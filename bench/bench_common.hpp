@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every bench prints: a header describing the experiment and how it maps
+// to the paper, the figure's series as an aligned table, and (with
+// --csv=PATH) the same series as CSV.  Ensemble sizes are laptop-scale
+// by default and multiply with CSMABW_BENCH_SCALE (the paper used 80
+// testbed repetitions and 25k-70k simulator repetitions).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace csmabw::bench {
+
+inline void announce(const std::string& figure, const std::string& what,
+                     const std::string& setup) {
+  std::cout << "# " << figure << " — " << what << "\n";
+  std::cout << "# setup: " << setup << "\n";
+  std::cout << "# scale: CSMABW_BENCH_SCALE=" << util::bench_scale()
+            << " (multiply to approach the paper's ensemble sizes)\n";
+}
+
+/// Prints the table and mirrors the numeric rows to --csv=PATH if given
+/// (first CSV row carries the column names).
+inline void emit(const util::Table& table, const util::Args& args,
+                 const std::vector<std::vector<double>>& rows) {
+  table.print(std::cout);
+  const std::string path = args.get("csv", "");
+  if (path.empty()) {
+    return;
+  }
+  util::CsvWriter csv(path);
+  csv.row(std::vector<std::string>(table.columns().begin(),
+                                   table.columns().end()));
+  for (const auto& r : rows) {
+    csv.row(r);
+  }
+  std::cout << "# csv written: " << path << "\n";
+}
+
+}  // namespace csmabw::bench

@@ -1,0 +1,83 @@
+// Extension: the 802.11 rate anomaly (Heusse et al. 2003) reproduced on
+// our DCF, and its effect on bandwidth probing.  A slow (2 Mb/s) station
+// contending with fast (11 Mb/s) ones drags everyone to roughly equal
+// per-station throughput; a probing flow measuring the cell sees its
+// achievable throughput collapse accordingly.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "mac/wlan.hpp"
+#include "traffic/flow_meter.hpp"
+#include "traffic/source.hpp"
+
+using namespace csmabw;
+
+namespace {
+
+struct CellResult {
+  double fast_mbps = 0.0;
+  double slow_mbps = 0.0;
+};
+
+CellResult run_cell(int fast_stations, bool with_slow, double slow_rate_bps,
+                    double seconds, std::uint64_t seed) {
+  mac::WlanNetwork net(mac::PhyParams::dot11b_short(), seed);
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  std::vector<std::unique_ptr<traffic::FlowMeter>> meters;
+  std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatch;
+  const TimeNs end = TimeNs::from_seconds(seconds);
+  const int total = fast_stations + (with_slow ? 1 : 0);
+  for (int i = 0; i < total; ++i) {
+    auto& st = net.add_station();
+    if (with_slow && i == total - 1) {
+      st.set_data_rate_bps(slow_rate_bps);
+    }
+    sources.push_back(std::make_unique<traffic::CbrSource>(
+        net.simulator(), st, i, 1500, BitRate::mbps(20).gap_for(1500)));
+    sources.back()->start(TimeNs::zero());
+    meters.push_back(
+        std::make_unique<traffic::FlowMeter>(TimeNs::sec(1), end));
+    dispatch.push_back(std::make_unique<traffic::FlowDispatcher>(st));
+    traffic::FlowMeter* m = meters.back().get();
+    dispatch.back()->on_any([m](const mac::Packet& p) { m->on_packet(p); });
+  }
+  net.simulator().run_until(end);
+
+  CellResult r;
+  for (int i = 0; i < fast_stations; ++i) {
+    r.fast_mbps += meters[static_cast<std::size_t>(i)]->rate().to_mbps();
+  }
+  r.fast_mbps /= fast_stations;
+  if (with_slow) {
+    r.slow_mbps = meters.back()->rate().to_mbps();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const double seconds = args.get("duration", 8.0) * util::bench_scale() + 1.0;
+
+  bench::announce("Extension: 802.11 rate anomaly",
+                  "per-station saturation throughput with one 2 Mb/s "
+                  "laggard in an 11 Mb/s cell",
+                  "all stations saturated, 1500 B frames");
+
+  util::Table table({"fast_stations", "fast_alone_mbps",
+                     "fast_with_laggard_mbps", "laggard_mbps"});
+  std::vector<std::vector<double>> rows;
+  for (int n : {1, 2, 3, 5}) {
+    const CellResult alone = run_cell(n, false, 0.0, seconds, 401);
+    const CellResult mixed = run_cell(n, true, 2e6, seconds, 402);
+    rows.push_back({static_cast<double>(n), alone.fast_mbps,
+                    mixed.fast_mbps, mixed.slow_mbps});
+    table.add_row(rows.back());
+  }
+  bench::emit(table, args, rows);
+  std::cout << "# expect: fast_with_laggard ~= laggard (equal shares), far "
+               "below fast_alone — the anomaly\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 6: mean access delay vs. probe packet number.  The first
+// packets of the probing sequence observe a lower access delay than the
+// steady state — the transient regime (Section 4).  Paper setup: NS2,
+// 1000-packet trains at 5 Mb/s, 4 Mb/s Poisson contending cross-traffic,
+// 25000 repetitions (we default to a laptop-scale ensemble; raise
+// CSMABW_BENCH_SCALE or --reps).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "core/transient.hpp"
+
+using namespace csmabw;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int reps = args.get("reps", util::scaled_reps(2000));
+  const int train = args.get("train", 1000);
+  const int show = args.get("show", 150);
+
+  core::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 6));
+  cfg.contenders.push_back(
+      {BitRate::mbps(args.get("cross-mbps", 4.0)), 1500});
+  core::Scenario sc(cfg);
+
+  traffic::TrainSpec spec;
+  spec.n = train;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(args.get("probe-mbps", 5.0)).gap_for(1500);
+
+  bench::announce("Figure 6", "mean access delay vs probe packet number",
+                  "probe 5 Mb/s, contender Poisson 4 Mb/s, trains of " +
+                      std::to_string(train) + ", " + std::to_string(reps) +
+                      " repetitions (paper: 25000)");
+
+  core::TransientConfig tc;
+  tc.train_length = train;
+  tc.ks_prefix = 1;  // raw samples not needed here
+  tc.steady_tail = train / 2;
+  core::TransientAnalyzer ta(tc);
+  int dropped = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const core::TrainRun run =
+        sc.run_train(spec, static_cast<std::uint64_t>(rep));
+    if (run.any_dropped) {
+      ++dropped;
+      continue;
+    }
+    ta.add_repetition(run.access_delays_s());
+  }
+
+  std::cout << "# repetitions used: " << ta.repetitions() << " (dropped "
+            << dropped << ")\n";
+  std::cout << "# steady-state mean access delay: "
+            << util::Table::format(ta.steady_mean() * 1e3, 4) << " ms\n";
+
+  util::Table table({"packet", "mean_access_delay_ms"});
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < show && i < train; ++i) {
+    rows.push_back({static_cast<double>(i + 1), ta.mean_at(i) * 1e3});
+    table.add_row(rows.back());
+  }
+  bench::emit(table, args, rows);
+  return 0;
+}

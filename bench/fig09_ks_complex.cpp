@@ -1,0 +1,78 @@
+// Figure 9: KS-based transient detection in a complex scenario — four
+// contending stations with heterogeneous packet sizes (40, 576, 1000,
+// 1500 B) and rates (0.1, 0.5, 0.75, 2 Mb/s); probe at 0.5 Mb/s.  Even
+// at low probing rates the access-delay distribution needs tens of
+// packets to reach the steady state.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "core/transient.hpp"
+
+using namespace csmabw;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int reps = args.get("reps", util::scaled_reps(800));
+  const int train = args.get("train", 200);
+  const int show = args.get("show", 50);
+
+  core::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 9));
+  // NS2's 802.11b defaults (long preamble, 1 Mb/s basic rate): with them
+  // the paper's four flows offer ~0.91 Erlangs, so adding the probe
+  // pushes the system near criticality — that is what makes this
+  // low-rate probe exhibit a transient lasting tens of packets.
+  cfg.phy = args.get("short-preamble", false)
+                ? mac::PhyParams::dot11b_short()
+                : mac::PhyParams::dot11b_long();
+  cfg.warmup = TimeNs::ms(args.get("warmup-ms", 2000));
+  // --load-scale multiplies every cross rate.  The transient length in
+  // this near-critical scenario is extremely sensitive to the exact
+  // background load (relaxation time ~ 1/(1-rho)^2), which depends on
+  // MAC details NS2 and we model slightly differently; 1.05-1.10
+  // reproduces the paper's tens-of-packets transient.
+  const double load = args.get("load-scale", 1.0);
+  cfg.contenders.push_back({BitRate::mbps(0.1 * load), 40});
+  cfg.contenders.push_back({BitRate::mbps(0.5 * load), 576});
+  cfg.contenders.push_back({BitRate::mbps(0.75 * load), 1000});
+  cfg.contenders.push_back({BitRate::mbps(2.0 * load), 1500});
+  core::Scenario sc(cfg);
+
+  traffic::TrainSpec spec;
+  spec.n = train;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(args.get("probe-mbps", 0.5)).gap_for(1500);
+
+  bench::announce(
+      "Figure 9", "KS transient detection, complex multi-station case",
+      "4 contenders: 40B@0.1, 576B@0.5, 1000B@0.75, 1500B@2 Mb/s; probe "
+      "0.5 Mb/s; " +
+          std::to_string(reps) + " repetitions");
+
+  core::TransientConfig tc;
+  tc.train_length = train;
+  tc.ks_prefix = show;
+  tc.steady_tail = train / 2;
+  core::TransientAnalyzer ta(tc);
+  for (int rep = 0; rep < reps; ++rep) {
+    const core::TrainRun run =
+        sc.run_train(spec, static_cast<std::uint64_t>(rep));
+    if (run.any_dropped) {
+      continue;
+    }
+    ta.add_repetition(run.access_delays_s());
+  }
+
+  util::Table table({"packet", "ks_value", "ks_threshold_95"});
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < show; ++i) {
+    rows.push_back(
+        {static_cast<double>(i + 1), ta.ks_at(i), ta.ks_threshold_at(i)});
+    table.add_row(rows.back());
+  }
+  bench::emit(table, args, rows);
+  std::cout << "# transient length (0.1 tolerance): "
+            << ta.transient_length(0.1) << " packets\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 10: estimated duration of the transitory (in packets) vs the
+// offered cross-traffic load in Erlangs, at tolerances 0.1 and 0.01, for
+// an offered probing load of 1 Erlang.  The transient peaks when the
+// cross-traffic offers its fair share and, at 0.1 tolerance, stays well
+// under 150 packets everywhere (Section 4.1).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "core/transient.hpp"
+
+using namespace csmabw;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int reps = args.get("reps", util::scaled_reps(500));
+  const int train = args.get("train", 400);
+  const double probe_load = args.get("probe-erlang", 1.0);
+
+  const mac::PhyParams phy = mac::PhyParams::dot11b_short();
+  bench::announce(
+      "Figure 10", "transient duration vs offered cross-traffic load",
+      "probe offered load " + util::Table::format(probe_load) +
+          " Erlang; cross load swept 0.05..1.0; tolerances 0.1 / 0.01; " +
+          std::to_string(reps) + " repetitions per load");
+
+  traffic::TrainSpec spec;
+  spec.n = train;
+  spec.size_bytes = 1500;
+  spec.gap = TimeNs::from_seconds(1.0 /
+                                  phy.packet_rate_for_load(probe_load, 1500));
+
+  util::Table table(
+      {"cross_load_erlang", "transient_tol_0.1", "transient_tol_0.01"});
+  std::vector<std::vector<double>> rows;
+  for (double load = 0.05; load <= 1.0 + 1e-9; load += 0.05) {
+    core::ScenarioConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(args.get("seed", 10)) +
+               static_cast<std::uint64_t>(load * 1000);
+    cfg.contenders.push_back({phy.rate_for_load(load, 1500), 1500});
+    core::Scenario sc(cfg);
+
+    core::TransientConfig tc;
+    tc.train_length = train;
+    tc.ks_prefix = 1;
+    tc.steady_tail = train / 2;
+    core::TransientAnalyzer ta(tc);
+    for (int rep = 0; rep < reps; ++rep) {
+      const core::TrainRun run =
+          sc.run_train(spec, static_cast<std::uint64_t>(rep));
+      if (!run.any_dropped) {
+        ta.add_repetition(run.access_delays_s());
+      }
+    }
+    rows.push_back({load, static_cast<double>(ta.transient_length(0.1)),
+                    static_cast<double>(ta.transient_length(0.01))});
+    table.add_row(rows.back());
+  }
+  bench::emit(table, args, rows);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks of the library's hot paths: the
+// discrete-event engine, the DCF simulator, the KS statistic, MSER and
+// the trace-driven FIFO queue.  These bound the cost of scaling the
+// figure ensembles up to the paper's 25k-70k repetitions.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "mac/wlan.hpp"
+#include "queueing/fifo_trace.hpp"
+#include "sim/simulator.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/mser.hpp"
+#include "stats/rng.hpp"
+#include "traffic/flow_meter.hpp"
+#include "traffic/probe_train.hpp"
+#include "traffic/source.hpp"
+
+namespace {
+
+using namespace csmabw;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(TimeNs::ns(i * 997 % 100000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_DcfSaturatedStation(benchmark::State& state) {
+  const int stations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mac::WlanNetwork net(mac::PhyParams::dot11b_short(), 1);
+    std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+    for (int i = 0; i < stations; ++i) {
+      auto& st = net.add_station();
+      sources.push_back(std::make_unique<traffic::CbrSource>(
+          net.simulator(), st, i, 1500, BitRate::mbps(20).gap_for(1500)));
+      sources.back()->start(TimeNs::zero());
+    }
+    net.simulator().run_until(TimeNs::sec(1));
+    benchmark::DoNotOptimize(net.medium().stats().successes);
+  }
+  // Roughly 570 deliveries per simulated second at saturation.
+  state.SetItemsProcessed(state.iterations() * 570);
+}
+BENCHMARK(BM_DcfSaturatedStation)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_ProbeTrainRepetition(benchmark::State& state) {
+  core::ScenarioConfig cfg;
+  cfg.seed = 2;
+  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  const core::Scenario sc(cfg);
+  traffic::TrainSpec spec;
+  spec.n = static_cast<int>(state.range(0));
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(5.0).gap_for(1500);
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.run_train(spec, rep++));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.n);
+}
+BENCHMARK(BM_ProbeTrainRepetition)->Arg(100)->Arg(1000);
+
+void BM_KsStatistic(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(rng.exponential(1.0));
+    b.push_back(rng.exponential(1.1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_statistic(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KsStatistic)->Arg(1000)->Arg(10000);
+
+void BM_Mser2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stats::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(rng.exponential(i < n / 10 ? 0.5 : 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::mser(xs, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Mser2)->Arg(19)->Arg(999);
+
+void BM_FifoTrace(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stats::Rng rng(5);
+  std::vector<queueing::TraceJob> jobs;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(1e-3);
+    jobs.push_back(queueing::TraceJob{
+        TimeNs::from_seconds(t),
+        TimeNs::from_seconds(rng.exponential(0.8e-3)), 0});
+  }
+  for (auto _ : state) {
+    auto copy = jobs;
+    benchmark::DoNotOptimize(queueing::run_fifo_trace(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FifoTrace)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Quickstart: measure the achievable throughput of a contended CSMA/CA
+// link with the high-level estimator.
+//
+//   $ ./quickstart
+//
+// Builds a simulated 802.11b cell (one station sending Poisson
+// cross-traffic), runs the dispersion-based estimation tool over it, and
+// prints the steady-state achievable throughput — the metric the paper
+// shows bandwidth tools actually measure on CSMA/CA links (not the
+// available bandwidth).
+#include <cstdio>
+
+#include "core/estimator.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace csmabw;
+
+  // A WLAN cell: 802.11b at 11 Mb/s, one contending station offering
+  // 4 Mb/s of Poisson cross-traffic with 1500-byte packets.
+  core::ScenarioConfig cell;
+  cell.seed = 42;
+  cell.contenders.push_back({BitRate::mbps(4.0), 1500});
+
+  // The estimator drives any ProbeTransport; here the DCF simulator.
+  core::SimTransport link(cell);
+
+  core::EstimatorOptions options;
+  options.train_length = 40;   // packets per probe train
+  options.trains_per_rate = 5; // trains averaged per probing rate
+  core::BandwidthEstimator tool(link, options);
+
+  const double achievable = tool.estimate_achievable_bps();
+
+  const double capacity = cell.phy.saturation_rate(1500).to_bps();
+  std::printf("link capacity (C):          %.2f Mb/s\n", capacity / 1e6);
+  std::printf("cross traffic:              4.00 Mb/s\n");
+  std::printf("available bandwidth (A):    %.2f Mb/s\n",
+              (capacity - 4e6) / 1e6);
+  std::printf("measured achievable (B):    %.2f Mb/s\n", achievable / 1e6);
+  std::printf("\nNote how B != A: on CSMA/CA links dispersion tools measure\n"
+              "the fair share (achievable throughput), not the leftover\n"
+              "capacity — the paper's central observation.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/bounds.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+MuSummary summarize_mu(std::span<const double> mu_mean_s) {
+  CSMABW_REQUIRE(mu_mean_s.size() >= 2, "need at least two packets");
+  MuSummary m;
+  m.n = static_cast<int>(mu_mean_s.size());
+  const double nm1 = static_cast<double>(m.n - 1);
+  double total = 0.0;
+  for (double v : mu_mean_s) {
+    CSMABW_REQUIRE(v >= 0.0, "access delays must be non-negative");
+    total += v;
+  }
+  m.mean_all = total / static_cast<double>(m.n);
+  m.s1 = (total - mu_mean_s.back()) / nm1;
+  m.s2 = (total - mu_mean_s.front()) / nm1;
+  m.kappa_mu = (mu_mean_s.back() - mu_mean_s.front()) / nm1;
+  return m;
+}
+
+GapBounds expected_gap_bounds(const MuSummary& mu, double gap_s, double u_fifo,
+                              double kappa_w) {
+  CSMABW_REQUIRE(gap_s >= 0.0, "input gap must be non-negative");
+  CSMABW_REQUIRE(u_fifo >= 0.0 && u_fifo < 1.0, "u_fifo must be in [0, 1)");
+  const double kappa = mu.kappa_mu + kappa_w;
+
+  GapBounds b;
+  // Lower bound, Eq. (29): two regions split at (S2 - kappa)/(1 - u).
+  const double lower_knee = (mu.s2 - kappa) / (1.0 - u_fifo);
+  if (gap_s >= lower_knee) {
+    b.lower_s = gap_s + kappa;
+  } else {
+    b.lower_s = mu.s2 + u_fifo * gap_s;
+  }
+
+  // Upper bound, Eq. (30): three regions.  With u_fifo == 0 the first
+  // region (gI >= (S1 + kappa)/u) is empty.
+  const double upper_knee =
+      u_fifo > 0.0 ? (mu.s1 + kappa) / u_fifo
+                   : std::numeric_limits<double>::infinity();
+  if (gap_s >= upper_knee) {
+    b.upper_s = gap_s + mu.s1 + kappa;
+  } else if (gap_s >= mu.s2) {
+    b.upper_s = (u_fifo + 1.0) * gap_s;
+  } else {
+    b.upper_s = mu.s2 + u_fifo * gap_s;
+  }
+  return b;
+}
+
+GapBounds expected_gap_bounds_nofifo(const MuSummary& mu, double gap_s) {
+  return expected_gap_bounds(mu, gap_s, /*u_fifo=*/0.0, /*kappa_w=*/0.0);
+}
+
+double train_achievable_bps(int size_bytes, const MuSummary& mu,
+                            double u_fifo) {
+  CSMABW_REQUIRE(size_bytes > 0, "packet size must be positive");
+  CSMABW_REQUIRE(u_fifo >= 0.0 && u_fifo < 1.0, "u_fifo must be in [0, 1)");
+  CSMABW_REQUIRE(mu.mean_all > 0.0, "mean access delay must be positive");
+  return size_bytes * 8.0 * (1.0 - u_fifo) / mu.mean_all;
+}
+
+}  // namespace csmabw::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+
+namespace csmabw::core {
+
+/// Summary statistics of the per-index mean access delay sequence
+/// {E[mu_i], i = 1..n} used throughout Section 6.  All values in seconds.
+struct MuSummary {
+  int n = 0;
+  /// S1 = (1/(n-1)) * sum_{i=1}^{n-1} E[mu_i]
+  double s1 = 0.0;
+  /// S2 = (1/(n-1)) * sum_{i=2}^{n} E[mu_i]
+  double s2 = 0.0;
+  /// kappa(n)'s access-delay part: (E[mu_n] - E[mu_1]) / (n-1)
+  double kappa_mu = 0.0;
+  /// (1/n) * sum_{i=1}^{n} E[mu_i] — enters Eq. (31).
+  double mean_all = 0.0;
+};
+
+/// Builds the summary from the ensemble means of the access delay of each
+/// packet index (length >= 2).
+[[nodiscard]] MuSummary summarize_mu(std::span<const double> mu_mean_s);
+
+/// Bounds on the expected output dispersion E[gO] (seconds).
+struct GapBounds {
+  double lower_s = 0.0;
+  double upper_s = 0.0;
+
+  /// The paper's per-region bounds (Eqs. 29/30 and 33/34) are derived
+  /// independently and can cross by O(kappa) at high probing rates (the
+  /// lower bound gI + kappa exceeds the region-2 upper bound gI).  This
+  /// helper widens the interval so it is always consistent; tests check
+  /// measurements against the reconciled interval.
+  [[nodiscard]] GapBounds reconciled() const {
+    if (lower_s <= upper_s) {
+      return *this;
+    }
+    return GapBounds{upper_s, lower_s};
+  }
+};
+
+/// Eqs. (29) and (30): bounds on E[gO] for input gap `gap_s`, FIFO
+/// cross-traffic utilization `u_fifo` in [0, 1), and workload drift term
+/// `kappa_w = E[W(a_n) - W(a_1)]/(n-1)` (0 in stationarity).
+/// kappa(n) = kappa_w + mu.kappa_mu.
+[[nodiscard]] GapBounds expected_gap_bounds(const MuSummary& mu, double gap_s,
+                                            double u_fifo,
+                                            double kappa_w = 0.0);
+
+/// Eqs. (33) and (34): the no-FIFO-cross-traffic special case (u_fifo=0,
+/// kappa_w=0).
+[[nodiscard]] GapBounds expected_gap_bounds_nofifo(const MuSummary& mu,
+                                                   double gap_s);
+
+/// Eq. (31)/(36): achievable throughput of an n-packet train,
+///   L/B = mean(E[mu]) / (1 - u_fifo)  =>  B = 8 L (1 - u_fifo) / mean.
+/// `size_bytes` is the probe packet size L.
+[[nodiscard]] double train_achievable_bps(int size_bytes, const MuSummary& mu,
+                                          double u_fifo = 0.0);
+
+}  // namespace csmabw::core

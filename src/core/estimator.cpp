@@ -1,0 +1,87 @@
+#include "core/estimator.hpp"
+
+#include "core/fitting.hpp"
+#include "core/mser_correction.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+BandwidthEstimator::BandwidthEstimator(ProbeTransport& transport,
+                                       EstimatorOptions options)
+    : transport_(transport), opt_(options) {
+  CSMABW_REQUIRE(opt_.train_length >= 3, "trains must have >= 3 packets");
+  CSMABW_REQUIRE(opt_.size_bytes > 0, "probe size must be positive");
+  CSMABW_REQUIRE(opt_.trains_per_rate >= 1, "need >= 1 train per rate");
+  CSMABW_REQUIRE(opt_.min_rate_bps > 0.0 &&
+                     opt_.max_rate_bps > opt_.min_rate_bps,
+                 "invalid rate range");
+  CSMABW_REQUIRE(opt_.rel_tol > 0.0 && opt_.rel_tol < 1.0,
+                 "rel_tol must be in (0, 1)");
+}
+
+RateResponsePoint BandwidthEstimator::measure_rate(double input_bps) {
+  CSMABW_REQUIRE(input_bps > 0.0, "input rate must be positive");
+  traffic::TrainSpec spec;
+  spec.n = opt_.train_length;
+  spec.size_bytes = opt_.size_bytes;
+  spec.gap = BitRate::bps(input_bps).gap_for(opt_.size_bytes);
+
+  // MSER truncation works on the per-index mean gap series across the
+  // whole train sequence (Fig 17): single-train gap series are too noisy
+  // for the heuristic to separate the transient from backoff randomness.
+  EnsembleGapCorrector corrector(spec.n);
+  double total_gap = 0.0;
+  int used = 0;
+  for (int t = 0; t < opt_.trains_per_rate; ++t) {
+    const TrainResult train = transport_.send_train(spec);
+    if (!train.complete()) {
+      ++trains_lost_;
+      continue;
+    }
+    if (opt_.mser_correction) {
+      corrector.add_train(train.receive_times_s());
+    } else {
+      total_gap += train.output_gap_s();
+    }
+    ++used;
+  }
+  CSMABW_REQUIRE(used > 0, "every train at this rate was lost");
+
+  RateResponsePoint p;
+  p.input_bps = input_bps;
+  p.output_bps =
+      opt_.mser_correction
+          ? opt_.size_bytes * 8.0 / corrector.corrected(opt_.mser_m).corrected_gap_s
+          : opt_.size_bytes * 8.0 * used / total_gap;
+  return p;
+}
+
+SweepResult BandwidthEstimator::sweep(const std::vector<double>& rates_bps) {
+  CSMABW_REQUIRE(rates_bps.size() >= 2, "sweep needs >= 2 rates");
+  SweepResult result;
+  for (double r : rates_bps) {
+    result.curve.points.push_back(measure_rate(r));
+  }
+  result.fitted_achievable_bps =
+      fit_achievable_throughput_bps(result.curve.points);
+  result.trains_lost = trains_lost_;
+  return result;
+}
+
+double BandwidthEstimator::estimate_achievable_bps() {
+  double lo = opt_.min_rate_bps;
+  double hi = opt_.max_rate_bps;
+  // Invariant: rates <= lo follow ro ~= ri; rates >= hi are distorted.
+  for (int it = 0; it < opt_.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const RateResponsePoint p = measure_rate(mid);
+    if (p.output_bps / p.input_bps >= 1.0 - opt_.rel_tol) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace csmabw::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "core/rate_response.hpp"
+#include "core/transport.hpp"
+
+namespace csmabw::core {
+
+/// Options of the high-level achievable-throughput estimation tool.
+struct EstimatorOptions {
+  int train_length = 20;
+  int size_bytes = 1500;
+  /// Trains averaged per probing rate.
+  int trains_per_rate = 10;
+  /// Transient truncation (Section 7.4): apply MSER-m to each train's
+  /// inter-arrival series before averaging.
+  bool mser_correction = false;
+  int mser_m = 2;
+  /// Adaptive search range and termination.
+  double min_rate_bps = 250e3;
+  double max_rate_bps = 12e6;
+  int max_iterations = 12;
+  /// ro/ri >= 1 - rel_tol counts as "output follows input".
+  double rel_tol = 0.05;
+};
+
+/// Result of a rate sweep.
+struct SweepResult {
+  RateResponseCurve curve;
+  /// Achievable throughput fitted to the curve (Eq. 3 model).
+  double fitted_achievable_bps = 0.0;
+  /// Trains discarded because of losses.
+  int trains_lost = 0;
+};
+
+/// Active bandwidth measurement tool for CSMA/CA links.
+///
+/// Runs the classic dispersion methodology over any ProbeTransport:
+/// probe trains paced at an input rate, output rate inferred from the
+/// output dispersion (ro = L/gO), and the achievable throughput located
+/// either by sweeping a rate grid or by adaptive bisection on the
+/// condition ro/ri ~= 1.  Optional MSER-based transient truncation
+/// implements the paper's accuracy improvement.
+class BandwidthEstimator {
+ public:
+  BandwidthEstimator(ProbeTransport& transport, EstimatorOptions options);
+
+  /// Measures L/E[gO] at one input rate.
+  [[nodiscard]] RateResponsePoint measure_rate(double input_bps);
+
+  /// Sweeps the given rate grid (bits per second) and fits B.
+  [[nodiscard]] SweepResult sweep(const std::vector<double>& rates_bps);
+
+  /// Adaptive bisection for the achievable throughput: the largest rate
+  /// still forwarded undistorted (Eq. 2).
+  [[nodiscard]] double estimate_achievable_bps();
+
+  [[nodiscard]] int trains_lost() const { return trains_lost_; }
+
+ private:
+  ProbeTransport& transport_;
+  EstimatorOptions opt_;
+  int trains_lost_ = 0;
+};
+
+}  // namespace csmabw::core

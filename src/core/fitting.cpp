@@ -1,0 +1,125 @@
+#include "core/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+namespace {
+
+double sse_wlan(std::span<const RateResponsePoint> points, double b) {
+  double sse = 0.0;
+  for (const auto& p : points) {
+    const double m = wlan_rate_response_bps(p.input_bps, b);
+    sse += (p.output_bps - m) * (p.output_bps - m);
+  }
+  return sse;
+}
+
+double sse_fifo(std::span<const RateResponsePoint> points, double c,
+                double a) {
+  double sse = 0.0;
+  for (const auto& p : points) {
+    const double m = fifo_rate_response_bps(p.input_bps, c, a);
+    sse += (p.output_bps - m) * (p.output_bps - m);
+  }
+  return sse;
+}
+
+/// Minimizes f over [lo, hi] by iterated grid refinement.
+template <typename F>
+double grid_minimize(F f, double lo, double hi, int grid, int rounds) {
+  double best_x = lo;
+  double best_f = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    const double step = (hi - lo) / grid;
+    for (int i = 0; i <= grid; ++i) {
+      const double x = lo + i * step;
+      const double v = f(x);
+      if (v < best_f) {
+        best_f = v;
+        best_x = x;
+      }
+    }
+    lo = std::max(lo, best_x - step);
+    hi = best_x + step;
+  }
+  return best_x;
+}
+
+}  // namespace
+
+double fit_achievable_throughput_bps(
+    std::span<const RateResponsePoint> points) {
+  CSMABW_REQUIRE(points.size() >= 2, "need at least two points to fit");
+  double max_out = 0.0;
+  for (const auto& p : points) {
+    max_out = std::max(max_out, p.output_bps);
+  }
+  CSMABW_REQUIRE(max_out > 0.0, "all outputs are zero");
+  return grid_minimize([&](double b) { return sse_wlan(points, b); },
+                       /*lo=*/0.0, /*hi=*/1.5 * max_out, /*grid=*/200,
+                       /*rounds=*/4);
+}
+
+FifoFit fit_fifo_curve(std::span<const RateResponsePoint> points) {
+  CSMABW_REQUIRE(points.size() >= 3, "need at least three points to fit");
+  double max_out = 0.0;
+  for (const auto& p : points) {
+    max_out = std::max(max_out, p.output_bps);
+  }
+  CSMABW_REQUIRE(max_out > 0.0, "all outputs are zero");
+
+  // Coarse joint grid, then alternate 1-D refinements.
+  double best_c = max_out;
+  double best_a = max_out / 2;
+  double best = std::numeric_limits<double>::infinity();
+  const double c_hi = 3.0 * max_out;
+  for (int i = 1; i <= 40; ++i) {
+    const double c = max_out + (c_hi - max_out) * i / 40.0;
+    for (int j = 0; j <= 40; ++j) {
+      // min() guards the j == 40 case: c*40/40.0 can round one ulp above c.
+      const double a = std::min(c * j / 40.0, c);
+      const double v = sse_fifo(points, c, a);
+      if (v < best) {
+        best = v;
+        best_c = c;
+        best_a = a;
+      }
+    }
+  }
+  for (int round = 0; round < 6; ++round) {
+    best_c = grid_minimize(
+        [&](double c) { return sse_fifo(points, c, std::min(best_a, c)); },
+        std::max(max_out, best_c * 0.8), best_c * 1.2, 60, 2);
+    best_a = grid_minimize(
+        [&](double a) { return sse_fifo(points, best_c, std::min(a, best_c)); },
+        0.0, best_c, 60, 2);
+    best_a = std::min(best_a, best_c);
+  }
+
+  FifoFit fit;
+  fit.capacity_bps = best_c;
+  fit.available_bps = best_a;
+  fit.rmse_bps = std::sqrt(sse_fifo(points, best_c, best_a) /
+                           static_cast<double>(points.size()));
+  return fit;
+}
+
+double curve_rmse_bps(std::span<const RateResponsePoint> points,
+                      double (*model)(double, double, double), double p1,
+                      double p2) {
+  CSMABW_REQUIRE(!points.empty(), "no points");
+  CSMABW_REQUIRE(model != nullptr, "null model");
+  double sse = 0.0;
+  for (const auto& p : points) {
+    const double m = model(p.input_bps, p1, p2);
+    sse += (p.output_bps - m) * (p.output_bps - m);
+  }
+  return std::sqrt(sse / static_cast<double>(points.size()));
+}
+
+}  // namespace csmabw::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+
+#include "core/rate_response.hpp"
+
+namespace csmabw::core {
+
+/// Least-squares fit of the WLAN rate response model ro = min(ri, B)
+/// (Eq. 3) to measured points; returns the fitted achievable throughput
+/// B in bits per second.  This is the "raw-socket fit" a deployable tool
+/// applies to noisy measurements.
+[[nodiscard]] double fit_achievable_throughput_bps(
+    std::span<const RateResponsePoint> points);
+
+/// Result of fitting the FIFO model (Eq. 1).
+struct FifoFit {
+  double capacity_bps = 0.0;
+  double available_bps = 0.0;
+  double rmse_bps = 0.0;
+};
+
+/// Least-squares fit of Eq. (1) over (C, A); coarse grid search refined
+/// by coordinate descent.  Needs points on both sides of the knee to be
+/// well-conditioned.
+[[nodiscard]] FifoFit fit_fifo_curve(std::span<const RateResponsePoint> points);
+
+/// Root-mean-square error of a model curve against measured points.
+[[nodiscard]] double curve_rmse_bps(std::span<const RateResponsePoint> points,
+                                    double (*model)(double ri, double p1,
+                                                    double p2),
+                                    double p1, double p2);
+
+}  // namespace csmabw::core

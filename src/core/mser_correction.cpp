@@ -1,0 +1,70 @@
+#include "core/mser_correction.hpp"
+
+#include <vector>
+
+#include "stats/mser.hpp"
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+CorrectedGap mser_corrected_gap(std::span<const double> receive_times_s,
+                                int m) {
+  CSMABW_REQUIRE(receive_times_s.size() >= static_cast<std::size_t>(2 * m + 1),
+                 "train too short for MSER truncation");
+  std::vector<double> gaps;
+  gaps.reserve(receive_times_s.size() - 1);
+  for (std::size_t i = 1; i < receive_times_s.size(); ++i) {
+    const double g = receive_times_s[i] - receive_times_s[i - 1];
+    CSMABW_REQUIRE(g >= 0.0, "receive times must be non-decreasing");
+    gaps.push_back(g);
+  }
+
+  CorrectedGap out;
+  out.raw_gap_s = stats::mean(gaps);
+  const stats::MserResult r = stats::mser(gaps, m);
+  out.corrected_gap_s = r.truncated_mean;
+  out.truncated = r.cutoff;
+  return out;
+}
+
+EnsembleGapCorrector::EnsembleGapCorrector(int train_length)
+    : train_length_(train_length),
+      gap_stats_(static_cast<std::size_t>(train_length - 1)) {
+  CSMABW_REQUIRE(train_length >= 2, "trains need at least two packets");
+}
+
+void EnsembleGapCorrector::add_train(
+    std::span<const double> receive_times_s) {
+  CSMABW_REQUIRE(
+      receive_times_s.size() == static_cast<std::size_t>(train_length_),
+      "train length mismatch");
+  for (std::size_t i = 1; i < receive_times_s.size(); ++i) {
+    const double g = receive_times_s[i] - receive_times_s[i - 1];
+    CSMABW_REQUIRE(g >= 0.0, "receive times must be non-decreasing");
+    gap_stats_[i - 1].add(g);
+  }
+  ++trains_;
+}
+
+std::vector<double> EnsembleGapCorrector::mean_gaps() const {
+  std::vector<double> out;
+  out.reserve(gap_stats_.size());
+  for (const auto& s : gap_stats_) {
+    out.push_back(s.mean());
+  }
+  return out;
+}
+
+CorrectedGap EnsembleGapCorrector::corrected(int m) const {
+  CSMABW_REQUIRE(trains_ > 0, "no trains added");
+  const std::vector<double> gaps = mean_gaps();
+  CorrectedGap out;
+  out.raw_gap_s = stats::mean(gaps);
+  const stats::MserResult r = stats::mser(gaps, m);
+  out.corrected_gap_s = r.truncated_mean;
+  out.truncated = r.cutoff;
+  return out;
+}
+
+}  // namespace csmabw::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/time.hpp"
+
+namespace csmabw::core {
+
+/// Result of transient-truncating a dispersion measurement (Section 7.4).
+struct CorrectedGap {
+  /// Plain output gap (d_n - d_1)/(n - 1), Eq. (16).
+  double raw_gap_s = 0.0;
+  /// Mean inter-arrival gap after MSER-m truncation.
+  double corrected_gap_s = 0.0;
+  /// Inter-arrival observations removed from the front.
+  int truncated = 0;
+};
+
+/// Applies the MSER-m heuristic to the inter-arrival series of a probe
+/// train's receive timestamps, dropping the observations the heuristic
+/// attributes to the transient regime (the paper applies MSER-2 to
+/// 20-packet trains, Fig 17).
+///
+/// `receive_times_s` must be non-decreasing with at least 2*m + 1
+/// entries.
+[[nodiscard]] CorrectedGap mser_corrected_gap(
+    std::span<const double> receive_times_s, int m = 2);
+
+/// Ensemble form of the Fig 17 correction.
+///
+/// A single train's inter-arrival series is dominated by backoff noise,
+/// which hides the transient from the heuristic.  The paper's
+/// methodology sends a *sequence* of trains (Section 5.1.2); averaging
+/// the k-th gap across trains yields a smooth per-index series whose
+/// initial "accelerated" segment MSER-m can isolate reliably.
+class EnsembleGapCorrector {
+ public:
+  /// `train_length`: packets per train (gaps per train = n - 1).
+  explicit EnsembleGapCorrector(int train_length);
+
+  /// Adds one complete train's receive timestamps (length train_length,
+  /// non-decreasing).
+  void add_train(std::span<const double> receive_times_s);
+
+  [[nodiscard]] int trains() const { return trains_; }
+  /// Mean of gap k across trains, k = 0..n-2.
+  [[nodiscard]] std::vector<double> mean_gaps() const;
+  /// MSER-m truncation applied to the per-index mean gap series.
+  /// Requires at least one train.
+  [[nodiscard]] CorrectedGap corrected(int m = 2) const;
+
+ private:
+  int train_length_;
+  int trains_ = 0;
+  std::vector<stats::RunningStat> gap_stats_;
+};
+
+}  // namespace csmabw::core

@@ -1,0 +1,110 @@
+#include "core/owd_trend.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+OwdTrend owd_trend(std::span<const double> owd_s) {
+  CSMABW_REQUIRE(owd_s.size() >= 3, "trend test needs >= 3 delays");
+  int increases = 0;
+  int comparisons = 0;
+  double total_variation = 0.0;
+  for (std::size_t i = 1; i < owd_s.size(); ++i) {
+    const double diff = owd_s[i] - owd_s[i - 1];
+    if (diff != 0.0) {
+      ++comparisons;
+      if (diff > 0.0) {
+        ++increases;
+      }
+      total_variation += std::abs(diff);
+    }
+  }
+  OwdTrend t;
+  t.pct = comparisons > 0
+              ? static_cast<double>(increases) / comparisons
+              : 0.5;  // perfectly flat: no evidence either way
+  t.pdt = total_variation > 0.0
+              ? (owd_s.back() - owd_s.front()) / total_variation
+              : 0.0;
+  return t;
+}
+
+std::vector<double> one_way_delays_s(const TrainResult& train) {
+  CSMABW_REQUIRE(train.complete(), "train incomplete");
+  std::vector<double> owd;
+  owd.reserve(train.packets.size());
+  for (const auto& p : train.packets) {
+    owd.push_back(p.recv_s - p.send_s);
+  }
+  return owd;
+}
+
+TrendVerdict classify_trend(const OwdTrend& t) {
+  if (t.pct > 0.66 || t.pdt > 0.55) {
+    return TrendVerdict::kIncreasing;
+  }
+  if (t.pct < 0.54 && t.pdt < 0.45) {
+    return TrendVerdict::kNonIncreasing;
+  }
+  return TrendVerdict::kAmbiguous;
+}
+
+SlopsResult slops_estimate(ProbeTransport& transport,
+                           const SlopsOptions& options) {
+  CSMABW_REQUIRE(options.train_length >= 3 + options.skip_head,
+                 "train too short for the trend test");
+  CSMABW_REQUIRE(options.trains_per_rate >= 1, "need >= 1 train per rate");
+  CSMABW_REQUIRE(options.min_rate_bps > 0.0 &&
+                     options.max_rate_bps > options.min_rate_bps,
+                 "invalid rate range");
+  CSMABW_REQUIRE(options.skip_head >= 0, "skip_head must be >= 0");
+
+  SlopsResult result;
+  double lo = options.min_rate_bps;
+  double hi = options.max_rate_bps;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    traffic::TrainSpec spec;
+    spec.n = options.train_length;
+    spec.size_bytes = options.size_bytes;
+    spec.gap = BitRate::bps(mid).gap_for(options.size_bytes);
+
+    int increasing = 0;
+    int votes = 0;
+    for (int t = 0; t < options.trains_per_rate; ++t) {
+      const TrainResult train = transport.send_train(spec);
+      if (!train.complete()) {
+        continue;
+      }
+      ++result.trains_sent;
+      const auto owd = one_way_delays_s(train);
+      const std::span<const double> tail(
+          owd.data() + options.skip_head, owd.size() - options.skip_head);
+      switch (classify_trend(owd_trend(tail))) {
+        case TrendVerdict::kIncreasing:
+          ++increasing;
+          ++votes;
+          break;
+        case TrendVerdict::kNonIncreasing:
+          ++votes;
+          break;
+        case TrendVerdict::kAmbiguous:
+          ++result.ambiguous_trains;
+          break;
+      }
+    }
+    if (votes > 0 && 2 * increasing > votes) {
+      hi = mid;  // rate stresses the path
+    } else {
+      lo = mid;
+    }
+  }
+  result.low_bps = lo;
+  result.high_bps = hi;
+  result.estimate_bps = 0.5 * (lo + hi);
+  return result;
+}
+
+}  // namespace csmabw::core

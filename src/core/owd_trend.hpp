@@ -1,0 +1,74 @@
+#pragma once
+
+#include <span>
+
+#include "core/transport.hpp"
+
+namespace csmabw::core {
+
+/// One-way-delay trend statistics of a probe train — the SLoPS machinery
+/// of pathload (the paper's reference [17]).
+///
+/// When a train is sent faster than the path can forward it, the one-way
+/// delays of successive packets increase; SLoPS detects that trend and
+/// bisects for the largest non-increasing rate.  Section 7.2 of the
+/// paper argues such tools, designed to measure available bandwidth on
+/// FIFO paths, measure the *achievable throughput* on CSMA/CA links —
+/// this module lets the repository demonstrate that claim directly (see
+/// the ext_tool_comparison bench).
+struct OwdTrend {
+  /// Pairwise Comparison Test: fraction of consecutive OWD increases;
+  /// ~0.5 for noise, -> 1 under a strong increasing trend.
+  double pct = 0.0;
+  /// Pairwise Difference Test: net delay change over total variation;
+  /// ~0 for noise, -> 1 under a strong increasing trend.
+  double pdt = 0.0;
+};
+
+/// Verdict of one train, using pathload's published thresholds
+/// (increasing: PCT > 0.66 or PDT > 0.55; non-increasing: PCT < 0.54 and
+/// PDT < 0.45; anything else is ambiguous).
+enum class TrendVerdict { kIncreasing, kNonIncreasing, kAmbiguous };
+
+/// Computes PCT/PDT over a train's one-way delays (recv - send per
+/// packet; a constant clock offset between the endpoints cancels).
+/// Requires at least 3 delays.
+[[nodiscard]] OwdTrend owd_trend(std::span<const double> owd_s);
+
+/// Extracts the one-way delays of a complete train.
+[[nodiscard]] std::vector<double> one_way_delays_s(const TrainResult& train);
+
+[[nodiscard]] TrendVerdict classify_trend(const OwdTrend& t);
+
+/// Options of the SLoPS-style iterative estimator.
+struct SlopsOptions {
+  int train_length = 50;
+  int size_bytes = 1500;
+  /// Trains per rate; the majority verdict decides.
+  int trains_per_rate = 5;
+  double min_rate_bps = 250e3;
+  double max_rate_bps = 12e6;
+  int max_iterations = 12;
+  /// Leading packets to skip before the trend test — transient
+  /// truncation per Section 7.4 (0 = none).
+  int skip_head = 0;
+};
+
+/// Result of a SLoPS run.
+struct SlopsResult {
+  /// Final bracket [lo, hi] and its midpoint estimate.
+  double low_bps = 0.0;
+  double high_bps = 0.0;
+  double estimate_bps = 0.0;
+  int trains_sent = 0;
+  int ambiguous_trains = 0;
+};
+
+/// Iterative one-way-delay-trend estimation over any transport: bisects
+/// on "does the OWD trend increase at this rate".  On a FIFO path this
+/// estimates the available bandwidth; on a CSMA/CA link it converges to
+/// the achievable throughput (the paper's Section 7.2 consequence).
+[[nodiscard]] SlopsResult slops_estimate(ProbeTransport& transport,
+                                         const SlopsOptions& options);
+
+}  // namespace csmabw::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/transport.hpp"
+
+namespace csmabw::core {
+
+/// Packet-pair estimate over a transport (Section 7.3).
+struct PacketPairResult {
+  /// L / E[gO] over the pairs — what the classic technique reports as
+  /// the path capacity.
+  double estimate_bps = 0.0;
+  /// Mean pair dispersion (seconds).
+  double mean_gap_s = 0.0;
+  int pairs_used = 0;
+  int pairs_lost = 0;
+};
+
+/// Sends `pairs` back-to-back packet pairs (trains of n = 2 at infinite
+/// input rate, i.e. zero input gap) and reports the dispersion-based
+/// capacity estimate.
+///
+/// On a CSMA/CA link this estimator targets the *achievable throughput*,
+/// not the capacity, and — because the first packets of every pair ride
+/// the transient — overestimates even that (Fig 16).
+[[nodiscard]] PacketPairResult packet_pair_estimate(ProbeTransport& transport,
+                                                    int size_bytes, int pairs);
+
+}  // namespace csmabw::core

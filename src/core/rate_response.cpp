@@ -1,0 +1,55 @@
+#include "core/rate_response.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+double fifo_rate_response_bps(double ri_bps, double capacity_bps,
+                              double available_bps) {
+  CSMABW_REQUIRE(capacity_bps > 0.0, "capacity must be positive");
+  CSMABW_REQUIRE(available_bps >= 0.0 && available_bps <= capacity_bps,
+                 "available bandwidth must lie in [0, C]");
+  CSMABW_REQUIRE(ri_bps >= 0.0, "input rate must be non-negative");
+  if (ri_bps == 0.0) {
+    return 0.0;
+  }
+  const double shared =
+      capacity_bps * ri_bps / (ri_bps + capacity_bps - available_bps);
+  return std::min(ri_bps, shared);
+}
+
+double wlan_rate_response_bps(double ri_bps, double achievable_bps) {
+  CSMABW_REQUIRE(achievable_bps >= 0.0, "achievable throughput negative");
+  CSMABW_REQUIRE(ri_bps >= 0.0, "input rate must be non-negative");
+  return std::min(ri_bps, achievable_bps);
+}
+
+double CompleteCurve::response_bps(double ri_bps) const {
+  CSMABW_REQUIRE(bf_bps > 0.0, "Bf must be positive");
+  CSMABW_REQUIRE(u_fifo >= 0.0 && u_fifo <= 1.0, "u_fifo must be in [0, 1]");
+  CSMABW_REQUIRE(ri_bps >= 0.0, "input rate must be non-negative");
+  const double b = achievable_bps();
+  if (ri_bps <= b) {
+    return ri_bps;
+  }
+  return bf_bps * ri_bps / (ri_bps + u_fifo * bf_bps);
+}
+
+double achievable_throughput_from_curve(
+    std::span<const RateResponsePoint> points, double rel_tol) {
+  CSMABW_REQUIRE(rel_tol >= 0.0, "tolerance must be non-negative");
+  double best = 0.0;
+  for (const auto& p : points) {
+    if (p.input_bps <= 0.0) {
+      continue;
+    }
+    if (p.output_bps / p.input_bps >= 1.0 - rel_tol) {
+      best = std::max(best, p.input_bps);
+    }
+  }
+  return best;
+}
+
+}  // namespace csmabw::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace csmabw::core {
+
+/// One measured point of a rate response curve: input rate ri = L/gI and
+/// output rate ro = L/gO (both network-layer bits per second).
+struct RateResponsePoint {
+  double input_bps = 0.0;
+  double output_bps = 0.0;
+};
+
+/// A measured rate response curve (Section 2's basic model object).
+struct RateResponseCurve {
+  std::vector<RateResponsePoint> points;
+};
+
+/// Eq. (1): rate response of a FIFO queue with fluid cross-traffic,
+///   ro = min(ri, C ri / (ri + C - A)),
+/// where C is the capacity and A the available bandwidth.
+[[nodiscard]] double fifo_rate_response_bps(double ri_bps, double capacity_bps,
+                                            double available_bps);
+
+/// Eq. (3): rate response of a CSMA/CA link without FIFO cross-traffic,
+///   ro = min(ri, B),
+/// with B the achievable throughput (the probe's fair share).
+[[nodiscard]] double wlan_rate_response_bps(double ri_bps,
+                                            double achievable_bps);
+
+/// Parameters of the complete model (Section 3.2): Bf is the achievable
+/// throughput the probe would get with no FIFO cross-traffic, and u_fifo
+/// the mean utilization the FIFO cross-traffic makes of the queue.
+struct CompleteCurve {
+  double bf_bps = 0.0;
+  double u_fifo = 0.0;
+
+  /// Eq. (5): B = Bf (1 - u_fifo).
+  [[nodiscard]] double achievable_bps() const { return bf_bps * (1 - u_fifo); }
+
+  /// Eq. (4): ro = ri for ri <= B, else Bf ri / (ri + u_fifo Bf).
+  [[nodiscard]] double response_bps(double ri_bps) const;
+};
+
+/// The paper's definition of achievable throughput (Eq. 2):
+/// B = sup { ri : ro/ri = 1 }, evaluated on a measured curve as the
+/// largest input rate whose output matched the input within `rel_tol`.
+/// Returns 0 when no point qualifies.
+[[nodiscard]] double achievable_throughput_from_curve(
+    std::span<const RateResponsePoint> points, double rel_tol = 0.02);
+
+}  // namespace csmabw::core

@@ -1,0 +1,225 @@
+#include "core/scenario.hpp"
+
+#include <memory>
+
+#include "mac/wlan.hpp"
+#include "stats/rng.hpp"
+#include "traffic/flow_meter.hpp"
+#include "traffic/source.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+namespace {
+
+/// One fully wired WLAN cell: network, stations and cross-traffic
+/// sources.  Station 0 is the probing station; stations 1..k carry the
+/// contending flows 0..k-1.
+struct Cell {
+  mac::WlanNetwork net;
+  std::vector<std::unique_ptr<traffic::PoissonSource>> sources;
+
+  Cell(const ScenarioConfig& cfg, std::uint64_t repetition)
+      : net(cfg.phy, stats::Rng(cfg.seed).fork(repetition).seed()) {
+    mac::DcfStation& probe_station = net.add_station();
+    for (std::size_t i = 0; i < cfg.contenders.size(); ++i) {
+      const CrossTrafficSpec& spec = cfg.contenders[i];
+      mac::DcfStation& st = net.add_station();
+      auto src = std::make_unique<traffic::PoissonSource>(
+          net.simulator(), st, static_cast<int>(i), spec.size_bytes,
+          spec.rate, net.rng("cross-" + std::to_string(i)));
+      src->start(TimeNs::zero());
+      sources.push_back(std::move(src));
+    }
+    if (cfg.fifo_cross.has_value()) {
+      auto src = std::make_unique<traffic::PoissonSource>(
+          net.simulator(), probe_station, kFifoCrossFlow,
+          cfg.fifo_cross->size_bytes, cfg.fifo_cross->rate,
+          net.rng("fifo-cross"));
+      src->start(TimeNs::zero());
+      sources.push_back(std::move(src));
+    }
+  }
+
+  [[nodiscard]] mac::DcfStation& probe_station() { return net.station(0); }
+};
+
+}  // namespace
+
+std::vector<double> TrainRun::access_delays_s() const {
+  CSMABW_REQUIRE(!any_dropped, "train suffered drops");
+  std::vector<double> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets) {
+    out.push_back(p.access_delay_s());
+  }
+  return out;
+}
+
+double TrainRun::output_gap_s() const {
+  CSMABW_REQUIRE(!any_dropped, "train suffered drops");
+  CSMABW_REQUIRE(packets.size() >= 2, "need >= 2 packets");
+  const auto n = packets.size();
+  return (packets[n - 1].depart_time - packets[0].depart_time).to_seconds() /
+         static_cast<double>(n - 1);
+}
+
+double TrainSequenceResult::mean_gap_s() const {
+  CSMABW_REQUIRE(!gaps_s.empty(), "no complete trains");
+  double total = 0.0;
+  for (double g : gaps_s) {
+    total += g;
+  }
+  return total / static_cast<double>(gaps_s.size());
+}
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.phy.validate();
+  CSMABW_REQUIRE(cfg_.warmup >= TimeNs::zero(), "warmup must be >= 0");
+}
+
+TrainRun Scenario::run_train(const traffic::TrainSpec& spec,
+                             std::uint64_t repetition,
+                             bool sample_contender_queue) const {
+  CSMABW_REQUIRE(!sample_contender_queue || !cfg_.contenders.empty(),
+                 "queue sampling needs at least one contender");
+  Cell cell(cfg_, repetition);
+  auto& sim = cell.net.simulator();
+
+  stats::Rng phase_rng = cell.net.rng("probe-phase");
+  const TimeNs start =
+      cfg_.warmup + TimeNs::from_seconds(phase_rng.exponential(
+                        cfg_.probe_phase_mean.to_seconds()));
+
+  traffic::ProbeTrain train(sim, cell.probe_station(), spec, kProbeFlow);
+  traffic::FlowDispatcher dispatch(cell.probe_station());
+  dispatch.on_flow(kProbeFlow,
+                   [&train](const mac::Packet& p) { train.on_packet_done(p); });
+
+  TrainRun run;
+  if (sample_contender_queue) {
+    run.contender_queue_at_arrival.resize(static_cast<std::size_t>(spec.n));
+    auto& contender = cell.net.station(1);
+    for (int k = 0; k < spec.n; ++k) {
+      // One nanosecond after the arrival: samples the contending queue
+      // state the probe packet actually faces.
+      sim.schedule_at(start + spec.gap * k + TimeNs::ns(1),
+                      [&run, &contender, k] {
+                        run.contender_queue_at_arrival[static_cast<std::size_t>(
+                            k)] = static_cast<double>(contender.queue_length());
+                      });
+    }
+  }
+
+  train.start(start);
+  const bool finished =
+      sim.run_while_pending([&train] { return train.complete(); });
+  CSMABW_REQUIRE(finished, "simulation drained before the train completed");
+
+  run.packets = train.records();
+  run.any_dropped = train.any_dropped();
+  return run;
+}
+
+SteadyStateResult Scenario::run_steady_state(BitRate probe_rate,
+                                             int probe_size_bytes,
+                                             TimeNs duration,
+                                             TimeNs measure_from) const {
+  CSMABW_REQUIRE(measure_from >= cfg_.warmup,
+                 "measurement must start after warm-up");
+  CSMABW_REQUIRE(duration > measure_from, "duration must exceed window start");
+  Cell cell(cfg_, /*repetition=*/0);
+  auto& sim = cell.net.simulator();
+
+  traffic::CbrSource probe(sim, cell.probe_station(), kProbeFlow,
+                           probe_size_bytes, probe_rate.gap_for(probe_size_bytes));
+  probe.start(cfg_.warmup);
+
+  traffic::FlowMeter probe_meter(measure_from, duration);
+  traffic::FlowMeter fifo_meter(measure_from, duration);
+  traffic::FlowDispatcher probe_dispatch(cell.probe_station());
+  probe_dispatch.on_flow(kProbeFlow, [&probe_meter](const mac::Packet& p) {
+    probe_meter.on_packet(p);
+  });
+  probe_dispatch.on_flow(kFifoCrossFlow, [&fifo_meter](const mac::Packet& p) {
+    fifo_meter.on_packet(p);
+  });
+
+  std::vector<std::unique_ptr<traffic::FlowMeter>> contender_meters;
+  std::vector<std::unique_ptr<traffic::FlowDispatcher>> contender_dispatch;
+  for (std::size_t i = 0; i < cfg_.contenders.size(); ++i) {
+    contender_meters.push_back(
+        std::make_unique<traffic::FlowMeter>(measure_from, duration));
+    contender_dispatch.push_back(std::make_unique<traffic::FlowDispatcher>(
+        cell.net.station(static_cast<int>(i) + 1)));
+    traffic::FlowMeter* meter = contender_meters.back().get();
+    contender_dispatch.back()->on_any(
+        [meter](const mac::Packet& p) { meter->on_packet(p); });
+  }
+
+  sim.run_until(duration);
+
+  SteadyStateResult r;
+  r.probe = probe_meter.rate();
+  r.fifo_cross = cfg_.fifo_cross.has_value() ? fifo_meter.rate()
+                                             : BitRate::bps(0.0);
+  double total = 0.0;
+  for (auto& m : contender_meters) {
+    r.per_contender.push_back(m->rate());
+    total += m->rate().to_bps();
+  }
+  r.contenders_total = BitRate::bps(total);
+  return r;
+}
+
+TrainSequenceResult Scenario::run_train_sequence(
+    const traffic::TrainSpec& spec, int trains, TimeNs mean_spacing,
+    std::uint64_t repetition) const {
+  CSMABW_REQUIRE(trains >= 1, "need at least one train");
+  Cell cell(cfg_, repetition);
+  auto& sim = cell.net.simulator();
+  traffic::FlowDispatcher dispatch(cell.probe_station());
+  stats::Rng spacing_rng = cell.net.rng("train-spacing");
+
+  TrainSequenceResult result;
+  TimeNs start = cfg_.warmup + TimeNs::from_seconds(spacing_rng.exponential(
+                                   cfg_.probe_phase_mean.to_seconds()));
+  for (int t = 0; t < trains; ++t) {
+    traffic::ProbeTrain train(sim, cell.probe_station(), spec, kProbeFlow);
+    dispatch.on_flow(kProbeFlow, [&train](const mac::Packet& p) {
+      train.on_packet_done(p);
+    });
+    train.start(start);
+    const bool finished =
+        sim.run_while_pending([&train] { return train.complete(); });
+    CSMABW_REQUIRE(finished, "simulation drained before the train completed");
+    if (train.any_dropped()) {
+      ++result.dropped_trains;
+    } else {
+      const auto departures = train.departures();
+      result.gaps_s.push_back(
+          (departures.back() - departures.front()).to_seconds() /
+          static_cast<double>(departures.size() - 1));
+    }
+    start = sim.now() + TimeNs::from_seconds(spacing_rng.exponential(
+                            mean_spacing.to_seconds()));
+  }
+  return result;
+}
+
+TrainResult SimTransport::send_train(const traffic::TrainSpec& spec) {
+  const TrainRun run = scenario_.run_train(spec, next_rep_++);
+  TrainResult out;
+  out.packets.reserve(run.packets.size());
+  for (const auto& p : run.packets) {
+    ProbeRecord rec;
+    rec.seq = p.seq;
+    rec.send_s = p.enqueue_time.to_seconds();
+    rec.recv_s = p.depart_time.to_seconds();
+    rec.lost = p.dropped;
+    out.packets.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace csmabw::core

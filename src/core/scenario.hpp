@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/transport.hpp"
+#include "mac/packet.hpp"
+#include "mac/phy.hpp"
+#include "traffic/probe_train.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace csmabw::core {
+
+/// A cross-traffic flow: Poisson arrivals at `rate` with `size_bytes`
+/// packets (the paper's cross-traffic model).
+struct CrossTrafficSpec {
+  BitRate rate;
+  int size_bytes = 1500;
+};
+
+/// The experimental scenario of the paper's Fig 2/Fig 3: one probing
+/// station, zero or more contending stations each carrying one Poisson
+/// flow, and optionally Poisson FIFO cross-traffic sharing the probing
+/// station's queue.
+struct ScenarioConfig {
+  mac::PhyParams phy = mac::PhyParams::dot11b_short();
+  /// One entry per contending station.
+  std::vector<CrossTrafficSpec> contenders;
+  /// FIFO cross-traffic on the probing station (Fig 3); disabled when
+  /// absent (Fig 5).
+  std::optional<CrossTrafficSpec> fifo_cross;
+  std::uint64_t seed = 1;
+  /// Cross-traffic warm-up before the probe enters the system.
+  TimeNs warmup = TimeNs::ms(500);
+  /// The probe start is additionally offset by an exponential delay with
+  /// this mean, randomizing the phase against the cross-traffic (the
+  /// paper sends probing sequences with Poisson spacing for the same
+  /// reason).
+  TimeNs probe_phase_mean = TimeNs::ms(20);
+};
+
+/// Flow-id convention inside scenarios.
+inline constexpr int kProbeFlow = 1000;
+inline constexpr int kFifoCrossFlow = 1001;
+/// Contender station i carries flow i (0-based).
+
+/// Result of one probing-sequence repetition.
+struct TrainRun {
+  /// Probe packet records in sequence order (timestamps per mac::Packet).
+  std::vector<mac::Packet> packets;
+  bool any_dropped = false;
+  /// Contender-0 queue length sampled just after each probe arrival
+  /// (only when requested) — Fig 8 bottom.
+  std::vector<double> contender_queue_at_arrival;
+
+  /// Access delays mu_i in seconds; requires !any_dropped.
+  [[nodiscard]] std::vector<double> access_delays_s() const;
+  /// Output gap (Eq. 16) over the departure timestamps.
+  [[nodiscard]] double output_gap_s() const;
+};
+
+/// Steady-state throughputs of a long constant-rate probing run.
+struct SteadyStateResult {
+  BitRate probe;
+  BitRate contenders_total;
+  std::vector<BitRate> per_contender;
+  BitRate fifo_cross;
+};
+
+/// Result of a sequence of m trains in one long run (Section 5.1.2: m
+/// probing sequences with Poisson spacing).
+struct TrainSequenceResult {
+  std::vector<double> gaps_s;  ///< per-train output gaps (complete trains)
+  int dropped_trains = 0;
+
+  [[nodiscard]] double mean_gap_s() const;
+};
+
+/// Builds and runs WLAN experiments for one scenario configuration.
+///
+/// Each run constructs a fresh simulator seeded from (seed, repetition),
+/// warms the cross-traffic up, injects probe traffic and harvests the
+/// records — exactly the ensemble methodology of Section 4.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+
+  /// One ensemble repetition: a single train of `spec` packets.
+  /// `sample_contender_queue` additionally samples contender 0's queue at
+  /// probe arrival instants.
+  [[nodiscard]] TrainRun run_train(const traffic::TrainSpec& spec,
+                                   std::uint64_t repetition,
+                                   bool sample_contender_queue = false) const;
+
+  /// Long-run steady state: CBR probe at `probe_rate` from warmup until
+  /// `duration`; throughput measured over [measure_from, duration).
+  [[nodiscard]] SteadyStateResult run_steady_state(BitRate probe_rate,
+                                                   int probe_size_bytes,
+                                                   TimeNs duration,
+                                                   TimeNs measure_from) const;
+
+  /// m trains of `spec` in one long run, consecutive trains separated by
+  /// an exponential gap with mean `mean_spacing`.
+  [[nodiscard]] TrainSequenceResult run_train_sequence(
+      const traffic::TrainSpec& spec, int trains, TimeNs mean_spacing,
+      std::uint64_t repetition) const;
+
+ private:
+  ScenarioConfig cfg_;
+};
+
+/// ProbeTransport implementation backed by a Scenario: every train runs
+/// in a fresh warmed-up system (repetition counter advances per call).
+class SimTransport : public ProbeTransport {
+ public:
+  explicit SimTransport(ScenarioConfig cfg) : scenario_(std::move(cfg)) {}
+
+  TrainResult send_train(const traffic::TrainSpec& spec) override;
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+  std::uint64_t next_rep_ = 0;
+};
+
+}  // namespace csmabw::core

@@ -1,0 +1,66 @@
+#include "core/transient.hpp"
+
+#include <cmath>
+
+#include "stats/ks_test.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+TransientAnalyzer::TransientAnalyzer(const TransientConfig& cfg)
+    : cfg_(cfg),
+      series_(cfg.train_length, cfg.ks_prefix, cfg.steady_tail) {
+  CSMABW_REQUIRE(cfg.train_length >= 2, "train too short");
+  CSMABW_REQUIRE(cfg.steady_tail >= 1, "steady tail must be non-empty");
+}
+
+void TransientAnalyzer::add_repetition(
+    std::span<const double> access_delays_s) {
+  for (double v : access_delays_s) {
+    CSMABW_REQUIRE(std::isfinite(v) && v >= 0.0,
+                   "access delays must be finite and non-negative");
+  }
+  series_.add_repetition(access_delays_s);
+}
+
+double TransientAnalyzer::ks_at(int i) const {
+  return stats::ks_statistic(series_.raw_at(i), series_.steady_pool());
+}
+
+double TransientAnalyzer::ks_threshold_at(int i) const {
+  return stats::ks_threshold(series_.raw_at(i).size(),
+                             series_.steady_pool().size());
+}
+
+std::vector<double> TransientAnalyzer::ks_curve() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(cfg_.ks_prefix));
+  for (int i = 0; i < cfg_.ks_prefix; ++i) {
+    out.push_back(ks_at(i));
+  }
+  return out;
+}
+
+int TransientAnalyzer::transient_length(double tol, int window) const {
+  CSMABW_REQUIRE(tol > 0.0, "tolerance must be positive");
+  CSMABW_REQUIRE(window >= 1, "window must be >= 1");
+  const double target = steady_mean();
+  CSMABW_REQUIRE(target > 0.0, "steady-state mean must be positive");
+
+  const int n = cfg_.train_length;
+  int within = 0;
+  for (int i = 0; i < n; ++i) {
+    const double rel = std::abs(series_.mean_at(i) - target) / target;
+    if (rel <= tol) {
+      ++within;
+      if (within >= window) {
+        return i - window + 2;  // 1-based index of the first settled packet
+      }
+    } else {
+      within = 0;
+    }
+  }
+  return n;
+}
+
+}  // namespace csmabw::core

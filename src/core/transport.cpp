@@ -1,0 +1,36 @@
+#include "core/transport.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+bool TrainResult::complete() const {
+  if (packets.size() < 2) {
+    return false;
+  }
+  for (const auto& p : packets) {
+    if (p.lost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double TrainResult::output_gap_s() const {
+  CSMABW_REQUIRE(complete(), "train incomplete");
+  const auto n = packets.size();
+  return (packets[n - 1].recv_s - packets[0].recv_s) /
+         static_cast<double>(n - 1);
+}
+
+std::vector<double> TrainResult::receive_times_s() const {
+  CSMABW_REQUIRE(complete(), "train incomplete");
+  std::vector<double> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets) {
+    out.push_back(p.recv_s);
+  }
+  return out;
+}
+
+}  // namespace csmabw::core

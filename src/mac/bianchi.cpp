@@ -1,0 +1,80 @@
+#include "mac/bianchi.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace csmabw::mac {
+
+namespace {
+
+// Transmission probability for a given conditional collision probability
+// (Bianchi 2000, Eq. 7), with W = CWmin + 1 and m backoff stages.
+double tau_of_p(double p, int w, int m) {
+  if (p >= 1.0) {
+    return 0.0;
+  }
+  const double num = 2.0 * (1.0 - 2.0 * p);
+  const double den = (1.0 - 2.0 * p) * (w + 1) +
+                     p * w * (1.0 - std::pow(2.0 * p, m));
+  return num / den;
+}
+
+}  // namespace
+
+BianchiResult bianchi_saturation(const PhyParams& phy, int n,
+                                 int payload_bytes) {
+  CSMABW_REQUIRE(n >= 1, "need at least one station");
+  CSMABW_REQUIRE(payload_bytes > 0, "payload must be positive");
+  phy.validate();
+
+  const int w = phy.cw_min + 1;
+  const int m = static_cast<int>(
+      std::lround(std::log2(static_cast<double>(phy.cw_max + 1) / w)));
+
+  // Fixed point of tau = f(p), p = 1 - (1 - tau)^(n-1), by bisection on
+  // tau (the map is monotone in p, so the difference is monotone).
+  double lo = 0.0;
+  double hi = 1.0;
+  double tau = 0.0;
+  for (int it = 0; it < 200; ++it) {
+    tau = 0.5 * (lo + hi);
+    const double p = 1.0 - std::pow(1.0 - tau, n - 1);
+    const double tau_next = tau_of_p(p, w, m);
+    if (tau_next > tau) {
+      lo = tau;
+    } else {
+      hi = tau;
+    }
+  }
+  const double p = 1.0 - std::pow(1.0 - tau, n - 1);
+
+  // Slot-type probabilities.
+  const double p_tr = 1.0 - std::pow(1.0 - tau, n);      // some tx
+  const double p_s = (p_tr > 0.0)
+                         ? n * tau * std::pow(1.0 - tau, n - 1) / p_tr
+                         : 0.0;                           // success | tx
+
+  const double sigma = phy.slot_time.to_seconds();
+  const double t_s = (phy.data_tx_time(payload_bytes) + phy.sifs +
+                      phy.ack_tx_time() + phy.difs())
+                         .to_seconds();
+  const double t_c =
+      (phy.data_tx_time(payload_bytes) +
+       (phy.use_eifs ? phy.eifs() : phy.difs()))
+          .to_seconds();
+
+  const double payload_bits = payload_bytes * 8.0;
+  const double denom = (1.0 - p_tr) * sigma + p_tr * p_s * t_s +
+                       p_tr * (1.0 - p_s) * t_c;
+  const double s_bps = (denom > 0.0) ? p_tr * p_s * payload_bits / denom : 0.0;
+
+  BianchiResult r;
+  r.tau = tau;
+  r.p = p;
+  r.aggregate = BitRate::bps(s_bps);
+  r.per_station = BitRate::bps(s_bps / n);
+  return r;
+}
+
+}  // namespace csmabw::mac

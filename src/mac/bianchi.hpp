@@ -1,0 +1,31 @@
+#pragma once
+
+#include "mac/phy.hpp"
+#include "util/units.hpp"
+
+namespace csmabw::mac {
+
+/// Result of the Bianchi (2000) saturation analysis of the DCF.
+struct BianchiResult {
+  /// Per-slot transmission probability of a saturated station.
+  double tau = 0.0;
+  /// Conditional collision probability seen by a transmitting station.
+  double p = 0.0;
+  /// Aggregate saturation throughput (network-layer bits per second).
+  BitRate aggregate;
+  /// Fair share of one station: aggregate / n.
+  BitRate per_station;
+};
+
+/// Solves Bianchi's fixed point for `n` saturated stations sending
+/// `payload_bytes` packets under `phy`, and evaluates the saturation
+/// throughput.
+///
+/// Used to predict the fair share — the paper's achievable throughput B
+/// when the probe saturates its queue — and to cross-validate the DCF
+/// simulator (the paper calibrated its testbed and NS2 the same way,
+/// Appendix A / [8]).
+[[nodiscard]] BianchiResult bianchi_saturation(const PhyParams& phy, int n,
+                                               int payload_bytes);
+
+}  // namespace csmabw::mac

@@ -1,0 +1,170 @@
+#include "mac/medium.hpp"
+
+#include <algorithm>
+
+#include "mac/station.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::mac {
+
+Medium::Medium(sim::Simulator& sim, const PhyParams& phy)
+    : sim_(sim), phy_(phy) {
+  phy_.validate();
+}
+
+void Medium::register_station(DcfStation* s) {
+  CSMABW_REQUIRE(s != nullptr, "null station");
+  stations_.push_back(s);
+}
+
+bool Medium::idle_for_difs(TimeNs now) const {
+  return !busy_ && now - idle_start_ >= phy_.difs();
+}
+
+TimeNs Medium::fire_time(const DcfStation& s) const {
+  const TimeNs start = std::max(idle_start_, s.contend_from());
+  return start + s.defer() + phy_.slot_time * s.backoff_slots();
+}
+
+void Medium::update_contention() {
+  if (!busy_) {
+    reschedule();
+  }
+}
+
+void Medium::reschedule() {
+  pending_fire_.cancel();
+  if (busy_) {
+    return;
+  }
+  bool any = false;
+  TimeNs earliest;
+  for (DcfStation* s : stations_) {
+    if (!s->in_contention()) {
+      continue;
+    }
+    const TimeNs t = fire_time(*s);
+    if (!any || t < earliest) {
+      earliest = t;
+      any = true;
+    }
+  }
+  if (any) {
+    CSMABW_REQUIRE(earliest >= sim_.now(), "fire time in the past");
+    pending_fire_ = sim_.schedule_at(earliest, [this] { fire(); });
+  }
+}
+
+void Medium::fire() {
+  const TimeNs now = sim_.now();
+  CSMABW_REQUIRE(!busy_, "fire while busy");
+
+  // Partition the stations whose countdown completes exactly now.
+  std::vector<DcfStation*> winners;
+  std::vector<DcfStation*> post_backoff_done;
+  for (DcfStation* s : stations_) {
+    if (!s->in_contention() || fire_time(*s) != now) {
+      continue;
+    }
+    if (s->has_frame()) {
+      winners.push_back(s);
+    } else {
+      post_backoff_done.push_back(s);
+    }
+  }
+  for (DcfStation* s : post_backoff_done) {
+    s->finish_post_backoff();
+  }
+  if (winners.empty()) {
+    reschedule();
+    return;
+  }
+
+  // Freeze every other contender before the medium state changes: the
+  // number of whole slots they observed is measured against the idle
+  // period that is ending now.
+  for (DcfStation* s : stations_) {
+    if (s->in_contention() &&
+        std::find(winners.begin(), winners.end(), s) == winners.end()) {
+      s->medium_seized(now, idle_start_);
+    }
+  }
+
+  begin_occupation(std::move(winners));
+}
+
+void Medium::begin_occupation(std::vector<DcfStation*> transmitters) {
+  const TimeNs now = sim_.now();
+  busy_ = true;
+  transmitters_ = std::move(transmitters);
+  occupation_start_ = now;
+  occupation_success_ = transmitters_.size() == 1;
+
+  // The frame a station puts on the air first: the data frame itself, or
+  // an RTS when the payload exceeds the RTS threshold.  Collisions
+  // involve (and cost) only these first frames.
+  tx_data_ends_.clear();
+  occupation_data_end_ = now;
+  for (DcfStation* s : transmitters_) {
+    const bool rts = phy_.uses_rts(s->head_frame_bytes());
+    const TimeNs first_dur =
+        rts ? phy_.rts_tx_time() : s->head_frame_airtime();
+    tx_data_ends_.push_back(now + first_dur);
+    occupation_data_end_ = std::max(occupation_data_end_, now + first_dur);
+    s->tx_started(now);
+  }
+
+  if (occupation_success_) {
+    DcfStation* s = transmitters_.front();
+    if (phy_.uses_rts(s->head_frame_bytes())) {
+      // RTS + SIFS + CTS + SIFS + DATA + SIFS + ACK as one exchange.
+      occupation_data_end_ = now + phy_.rts_tx_time() + phy_.sifs +
+                             phy_.cts_tx_time() + phy_.sifs +
+                             s->head_frame_airtime();
+    }
+    occupation_end_ = occupation_data_end_ + phy_.sifs + phy_.ack_tx_time();
+    ++stats_.successes;
+  } else {
+    occupation_end_ = occupation_data_end_;
+    ++stats_.collisions;
+    stats_.collided_frames += transmitters_.size();
+  }
+  stats_.busy_time += occupation_end_ - occupation_start_;
+
+  pending_end_ = sim_.schedule_at(occupation_end_, [this] { end_occupation(); });
+}
+
+void Medium::end_occupation() {
+  const TimeNs now = sim_.now();
+  CSMABW_REQUIRE(busy_, "occupation end while idle");
+  busy_ = false;
+  idle_start_ = now;
+
+  const bool collision = !occupation_success_;
+  // Outcome for the transmitters first: they update their own contention
+  // state (retry backoff after their CTS/ACK timeout, or next-packet /
+  // post-backoff after success).
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    DcfStation* s = transmitters_[i];
+    if (occupation_success_) {
+      s->tx_succeeded(occupation_data_end_, now);
+    } else {
+      const TimeNs timeout = phy_.uses_rts(s->head_frame_bytes())
+                                 ? phy_.cts_timeout()
+                                 : phy_.ack_timeout();
+      s->tx_collided(tx_data_ends_[i] + timeout);
+    }
+  }
+  // Bystanders defer DIFS after a success, EIFS after a collision.
+  for (DcfStation* s : stations_) {
+    if (std::find(transmitters_.begin(), transmitters_.end(), s) ==
+        transmitters_.end()) {
+      s->occupation_observed(collision);
+    }
+  }
+  transmitters_.clear();
+  tx_data_ends_.clear();
+  reschedule();
+}
+
+}  // namespace csmabw::mac

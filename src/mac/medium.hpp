@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/phy.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace csmabw::mac {
+
+class DcfStation;
+
+/// Statistics of the shared wireless medium.
+struct MediumStats {
+  std::uint64_t successes = 0;
+  std::uint64_t collisions = 0;        ///< collision events (>= 2 frames)
+  std::uint64_t collided_frames = 0;   ///< frames involved in collisions
+  TimeNs busy_time;                    ///< cumulative occupation time
+};
+
+/// Single-collision-domain CSMA/CA medium.
+///
+/// All stations hear each other perfectly (no hidden terminals, no
+/// capture, no channel errors — matching the paper's NS2 setup).  The
+/// medium owns the contention clock: it computes, lazily, the next
+/// instant any contending station's DIFS/EIFS deference plus backoff
+/// countdown completes, fires the transmission(s) scheduled for that
+/// instant and detects collisions as exact slot-boundary coincidences
+/// (times are integer nanoseconds, so coincidence is exact equality).
+///
+/// Fire time of a contending station s during an idle period starting at
+/// `idle_since()`:
+///
+///   fire(s) = max(idle_since, s.contend_from) + s.defer + slot * s.backoff
+///
+/// where `contend_from` is the earliest instant s may begin observing the
+/// medium (e.g. the end of its ACK timeout after a collision) and `defer`
+/// is DIFS or EIFS.
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, const PhyParams& phy);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a station.  The station must outlive the medium.
+  void register_station(DcfStation* s);
+
+  /// A station's contention state changed; recompute the pending fire.
+  void update_contention();
+
+  [[nodiscard]] bool is_busy() const { return busy_; }
+  /// Start of the current idle period.  Meaningful only when !is_busy().
+  [[nodiscard]] TimeNs idle_since() const { return idle_start_; }
+  /// True when the medium has been idle for at least DIFS at `now`.
+  [[nodiscard]] bool idle_for_difs(TimeNs now) const;
+
+  [[nodiscard]] const PhyParams& phy() const { return phy_; }
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  [[nodiscard]] TimeNs fire_time(const DcfStation& s) const;
+  void reschedule();
+  void fire();
+  void begin_occupation(std::vector<DcfStation*> transmitters);
+  void end_occupation();
+
+  sim::Simulator& sim_;
+  PhyParams phy_;
+  std::vector<DcfStation*> stations_;
+
+  bool busy_ = false;
+  TimeNs idle_start_ = TimeNs::zero();
+  sim::EventHandle pending_fire_;
+  sim::EventHandle pending_end_;
+
+  // Current occupation.
+  std::vector<DcfStation*> transmitters_;
+  std::vector<TimeNs> tx_data_ends_;
+  TimeNs occupation_start_;
+  TimeNs occupation_data_end_;
+  TimeNs occupation_end_;
+  bool occupation_success_ = false;
+
+  MediumStats stats_;
+};
+
+}  // namespace csmabw::mac

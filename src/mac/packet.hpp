@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace csmabw::mac {
+
+/// A network-layer packet travelling through a DCF station.
+///
+/// The station fills in the life-cycle timestamps; the paper's access
+/// delay is `depart_time - head_time` (time at the head of the FIFO
+/// transmission queue until the data frame is completely transmitted,
+/// Section 3.1).
+struct Packet {
+  /// Unique id assigned by the station at enqueue.
+  std::uint64_t id = 0;
+  /// Flow the packet belongs to (probe train, cross-traffic, ...).
+  int flow = 0;
+  /// Sequence number within the flow (probe packet index, 0-based).
+  int seq = 0;
+  /// Network-layer size (the paper's L); MAC overhead is added by the PHY
+  /// model.
+  int size_bytes = 0;
+
+  TimeNs enqueue_time;       ///< arrival at the transmission queue (a_i)
+  TimeNs head_time;          ///< reached the head of the queue
+  TimeNs first_tx_time;      ///< first transmission attempt started
+  TimeNs depart_time;        ///< data frame completely transmitted (d_i)
+  int retries = 0;           ///< number of collisions suffered
+  bool dropped = false;      ///< retry limit exceeded
+
+  /// Access delay mu_i = d_i - head time, in seconds.
+  [[nodiscard]] double access_delay_s() const {
+    return (depart_time - head_time).to_seconds();
+  }
+  /// Queueing + access delay Z_i = d_i - a_i, in seconds (Eq. 15).
+  [[nodiscard]] double sojourn_s() const {
+    return (depart_time - enqueue_time).to_seconds();
+  }
+};
+
+}  // namespace csmabw::mac

@@ -1,0 +1,99 @@
+#include "mac/phy.hpp"
+
+#include <cmath>
+
+namespace csmabw::mac {
+
+namespace {
+
+TimeNs airtime(int bytes, double rate_bps) {
+  const double seconds = bytes * 8.0 / rate_bps;
+  return TimeNs::from_seconds(seconds);
+}
+
+}  // namespace
+
+TimeNs PhyParams::data_tx_time(int payload_bytes) const {
+  return data_tx_time_at(payload_bytes, data_rate_bps);
+}
+
+TimeNs PhyParams::data_tx_time_at(int payload_bytes, double rate_bps) const {
+  CSMABW_REQUIRE(payload_bytes > 0, "payload must be positive");
+  CSMABW_REQUIRE(rate_bps > 0.0, "rate must be positive");
+  return phy_header + airtime(mac_header_bytes + payload_bytes, rate_bps);
+}
+
+TimeNs PhyParams::ack_tx_time() const {
+  return phy_header + airtime(ack_bytes, basic_rate_bps);
+}
+
+TimeNs PhyParams::rts_tx_time() const {
+  return phy_header + airtime(rts_bytes, basic_rate_bps);
+}
+
+TimeNs PhyParams::cts_tx_time() const {
+  return phy_header + airtime(cts_bytes, basic_rate_bps);
+}
+
+TimeNs PhyParams::mean_packet_service_time(int payload_bytes) const {
+  const TimeNs mean_backoff = slot_time * cw_min / 2;
+  return difs() + mean_backoff + data_tx_time(payload_bytes) + sifs +
+         ack_tx_time();
+}
+
+BitRate PhyParams::saturation_rate(int payload_bytes) const {
+  return BitRate::bps(payload_bytes * 8.0 /
+                      mean_packet_service_time(payload_bytes).to_seconds());
+}
+
+double PhyParams::packet_rate_for_load(double erlangs,
+                                       int payload_bytes) const {
+  CSMABW_REQUIRE(erlangs >= 0.0, "offered load must be non-negative");
+  return erlangs / mean_packet_service_time(payload_bytes).to_seconds();
+}
+
+BitRate PhyParams::rate_for_load(double erlangs, int payload_bytes) const {
+  return BitRate::bps(packet_rate_for_load(erlangs, payload_bytes) *
+                      payload_bytes * 8.0);
+}
+
+void PhyParams::validate() const {
+  CSMABW_REQUIRE(slot_time > TimeNs::zero(), "slot time must be positive");
+  CSMABW_REQUIRE(sifs > TimeNs::zero(), "SIFS must be positive");
+  CSMABW_REQUIRE(phy_header >= TimeNs::zero(), "PLCP duration negative");
+  CSMABW_REQUIRE(data_rate_bps > 0.0, "data rate must be positive");
+  CSMABW_REQUIRE(basic_rate_bps > 0.0, "basic rate must be positive");
+  CSMABW_REQUIRE(cw_min >= 1, "CWmin must be >= 1");
+  CSMABW_REQUIRE(cw_max >= cw_min, "CWmax must be >= CWmin");
+  CSMABW_REQUIRE(retry_limit >= 0, "retry limit must be >= 0");
+  CSMABW_REQUIRE(mac_header_bytes >= 0, "MAC overhead negative");
+  CSMABW_REQUIRE(ack_bytes > 0, "ACK size must be positive");
+}
+
+PhyParams PhyParams::dot11b_short() {
+  PhyParams p;
+  p.phy_header = TimeNs::us(96);
+  p.basic_rate_bps = 2e6;
+  return p;
+}
+
+PhyParams PhyParams::dot11b_long() {
+  PhyParams p;
+  p.phy_header = TimeNs::us(192);
+  p.basic_rate_bps = 1e6;
+  return p;
+}
+
+PhyParams PhyParams::dot11g() {
+  PhyParams p;
+  p.slot_time = TimeNs::us(9);
+  p.sifs = TimeNs::us(10);
+  p.phy_header = TimeNs::us(20);
+  p.data_rate_bps = 54e6;
+  p.basic_rate_bps = 24e6;
+  p.cw_min = 15;
+  p.cw_max = 1023;
+  return p;
+}
+
+}  // namespace csmabw::mac

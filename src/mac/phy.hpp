@@ -1,0 +1,116 @@
+#pragma once
+
+#include "util/require.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace csmabw::mac {
+
+/// PHY/MAC timing parameters of an IEEE 802.11 DCF link.
+///
+/// The defaults mirror the paper's validation setup: 802.11b at 11 Mb/s,
+/// no RTS/CTS, error-free channel, infinite queues (Appendix A).  All
+/// frame durations are exact integer nanoseconds so that slot-boundary
+/// coincidences (collisions) are detected exactly.
+struct PhyParams {
+  TimeNs slot_time = TimeNs::us(20);
+  TimeNs sifs = TimeNs::us(10);
+  /// PLCP preamble + header duration (192 us long, 96 us short preamble).
+  TimeNs phy_header = TimeNs::us(96);
+  /// Data rate for MAC payloads, bits per second.
+  double data_rate_bps = 11e6;
+  /// Control rate for ACK frames, bits per second.
+  double basic_rate_bps = 2e6;
+  int cw_min = 31;
+  int cw_max = 1023;
+  /// Maximum retransmissions of a frame before it is dropped.
+  int retry_limit = 7;
+  /// MAC framing overhead added to every network-layer packet
+  /// (24-byte header + 4-byte FCS).
+  int mac_header_bytes = 28;
+  int ack_bytes = 14;
+  int rts_bytes = 20;
+  int cts_bytes = 14;
+  /// Frames whose network-layer size exceeds this use RTS/CTS; negative
+  /// disables the exchange entirely (the paper's setting).
+  int rts_threshold_bytes = -1;
+
+  // --- behavioural switches (ablations, see DESIGN.md section 5) ---
+  /// A packet arriving at an idle station may be sent after DIFS without
+  /// a random backoff (NS2 behaviour).  This is the primary mechanism
+  /// behind the transient "acceleration" of the first probe packets.
+  bool immediate_access = true;
+  /// Mandatory backoff after every successful transmission, even with an
+  /// empty queue (standard post-backoff).
+  bool post_backoff = true;
+  /// Stations overhearing a collision defer EIFS instead of DIFS.
+  bool use_eifs = true;
+
+  [[nodiscard]] TimeNs difs() const { return sifs + 2 * slot_time; }
+
+  /// Airtime of a data frame carrying `payload_bytes` of network-layer
+  /// payload (PLCP header + MAC frame at the data rate).
+  [[nodiscard]] TimeNs data_tx_time(int payload_bytes) const;
+
+  /// Airtime of a data frame at an explicit PHY rate — stations may
+  /// transmit below the cell's nominal rate (see
+  /// DcfStation::set_data_rate_bps and the rate-anomaly bench).
+  [[nodiscard]] TimeNs data_tx_time_at(int payload_bytes,
+                                       double rate_bps) const;
+
+  /// Airtime of an ACK (PLCP header + ACK at the basic rate).
+  [[nodiscard]] TimeNs ack_tx_time() const;
+
+  /// Airtime of RTS / CTS control frames (basic rate).
+  [[nodiscard]] TimeNs rts_tx_time() const;
+  [[nodiscard]] TimeNs cts_tx_time() const;
+
+  /// Whether a frame of `payload_bytes` uses the RTS/CTS exchange.
+  [[nodiscard]] bool uses_rts(int payload_bytes) const {
+    return rts_threshold_bytes >= 0 && payload_bytes > rts_threshold_bytes;
+  }
+
+  /// How long an RTS sender waits for a missing CTS.
+  [[nodiscard]] TimeNs cts_timeout() const {
+    return sifs + cts_tx_time() + slot_time;
+  }
+
+  /// EIFS = SIFS + T_ack + DIFS (deference after an erroneous frame).
+  [[nodiscard]] TimeNs eifs() const { return sifs + ack_tx_time() + difs(); }
+
+  /// How long a transmitter waits for a missing ACK before rescheduling.
+  [[nodiscard]] TimeNs ack_timeout() const {
+    return sifs + ack_tx_time() + slot_time;
+  }
+
+  /// Mean channel time consumed per packet by a station transmitting
+  /// alone: DIFS + E[CWmin backoff] + data + SIFS + ACK.  This is the
+  /// service time used to express offered loads in Erlangs (Fig 10).
+  [[nodiscard]] TimeNs mean_packet_service_time(int payload_bytes) const;
+
+  /// Network-layer saturation rate of a lone station sending
+  /// `payload_bytes` packets: 8 * payload / mean_packet_service_time.
+  /// This is the link "capacity" C in the paper's sense.
+  [[nodiscard]] BitRate saturation_rate(int payload_bytes) const;
+
+  /// Packet rate (packets/s) that offers `erlangs` of load with
+  /// `payload_bytes` packets.
+  [[nodiscard]] double packet_rate_for_load(double erlangs,
+                                            int payload_bytes) const;
+  /// Network-layer bit rate offering `erlangs` of load.
+  [[nodiscard]] BitRate rate_for_load(double erlangs, int payload_bytes) const;
+
+  /// Throws PreconditionError if the parameter set is inconsistent.
+  void validate() const;
+
+  /// 802.11b, 11 Mb/s, short PLCP preamble, ACKs at 2 Mb/s.  The closest
+  /// preset to the paper's testbed (C ~= 6.9 Mb/s for 1500-byte packets;
+  /// the paper measured 6.5).
+  [[nodiscard]] static PhyParams dot11b_short();
+  /// 802.11b, 11 Mb/s, long PLCP preamble, ACKs at 1 Mb/s (NS2 default).
+  [[nodiscard]] static PhyParams dot11b_long();
+  /// 802.11g, 54 Mb/s (ERP-OFDM, 9 us slots) — used by extension tests.
+  [[nodiscard]] static PhyParams dot11g();
+};
+
+}  // namespace csmabw::mac

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mac/medium.hpp"
+#include "mac/station.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace csmabw::mac {
+
+/// Owns a simulator, a medium and the stations of one WLAN cell — the
+/// experimental scenario of the paper's Fig 2 in one object.
+///
+/// Station 0 is conventionally the probing/measurement station; further
+/// stations carry contending cross-traffic.  Traffic sources (see
+/// `traffic/`) attach to stations by reference.
+class WlanNetwork {
+ public:
+  WlanNetwork(const PhyParams& phy, std::uint64_t seed);
+
+  WlanNetwork(const WlanNetwork&) = delete;
+  WlanNetwork& operator=(const WlanNetwork&) = delete;
+
+  /// Adds a station; returns a stable reference (stations are never
+  /// removed).
+  DcfStation& add_station();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] Medium& medium() { return *medium_; }
+  [[nodiscard]] const PhyParams& phy() const { return medium_->phy(); }
+  [[nodiscard]] DcfStation& station(int i) { return *stations_.at(i); }
+  [[nodiscard]] int num_stations() const {
+    return static_cast<int>(stations_.size());
+  }
+  /// Derives a reproducible named random stream from the network seed
+  /// (for traffic sources etc.).
+  [[nodiscard]] stats::Rng rng(std::string_view name) const {
+    return root_rng_.fork(name);
+  }
+
+ private:
+  sim::Simulator sim_;
+  stats::Rng root_rng_;
+  std::unique_ptr<Medium> medium_;
+  std::vector<std::unique_ptr<DcfStation>> stations_;
+};
+
+}  // namespace csmabw::mac

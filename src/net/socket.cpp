@@ -1,0 +1,121 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+namespace csmabw::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket() : fd_(::socket(AF_INET, SOCK_DGRAM, 0)) {
+  if (fd_ < 0) {
+    throw_errno("socket(AF_INET, SOCK_DGRAM)");
+  }
+}
+
+UdpSocket::~UdpSocket() { close_fd(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void UdpSocket::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void UdpSocket::bind_loopback(std::uint16_t port) {
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind(127.0.0.1)");
+  }
+}
+
+std::uint16_t UdpSocket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+bool UdpSocket::send_to_loopback(std::span<const std::byte> payload,
+                                 std::uint16_t port) {
+  const sockaddr_in addr = loopback_addr(port);
+  const ssize_t sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent >= 0) {
+    return static_cast<std::size_t>(sent) == payload.size();
+  }
+  if (errno == ENOBUFS || errno == EAGAIN || errno == EWOULDBLOCK ||
+      errno == EINTR) {
+    return false;
+  }
+  throw_errno("sendto(127.0.0.1)");
+}
+
+std::optional<std::size_t> UdpSocket::recv(std::span<std::byte> buffer,
+                                           int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      return std::nullopt;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("poll");
+    }
+    const ssize_t got = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    if (got >= 0) {
+      return static_cast<std::size_t>(got);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw_errno("recv");
+  }
+}
+
+double monotonic_seconds() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace csmabw::net

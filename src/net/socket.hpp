@@ -1,0 +1,56 @@
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace csmabw::net {
+
+/// RAII UDP/IPv4 socket.
+///
+/// Errors surface as std::system_error (construction, bind) or as
+/// empty/false results (timed-out receives); the destructor never
+/// throws.  Move-only.
+class UdpSocket {
+ public:
+  /// Creates an unbound UDP socket.  Throws std::system_error.
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral).  Throws std::system_error.
+  void bind_loopback(std::uint16_t port);
+  /// Local port after bind.
+  [[nodiscard]] std::uint16_t local_port() const;
+
+  /// Sends `payload` to 127.0.0.1:`port`.  Returns false on transient
+  /// failure (e.g. ENOBUFS); throws std::system_error on hard errors.
+  bool send_to_loopback(std::span<const std::byte> payload,
+                        std::uint16_t port);
+
+  /// Receives one datagram into `buffer`, waiting at most `timeout_ms`.
+  /// Returns the datagram size, or std::nullopt on timeout.
+  std::optional<std::size_t> recv(std::span<std::byte> buffer,
+                                  int timeout_ms);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  void close_fd() noexcept;
+
+  int fd_ = -1;
+};
+
+/// Monotonic clock timestamp in seconds (CLOCK_MONOTONIC) — the common
+/// clock for sender and receiver on one host, mirroring the testbed's
+/// driver-level timestamping intent.
+[[nodiscard]] double monotonic_seconds();
+
+}  // namespace csmabw::net

@@ -1,0 +1,120 @@
+#include "net/udp_probe.hpp"
+
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace csmabw::net {
+
+namespace {
+
+/// Sleep-then-spin until the monotonic clock reaches `deadline_s`.
+void pace_until(double deadline_s) {
+  for (;;) {
+    const double now = monotonic_seconds();
+    const double remaining = deadline_s - now;
+    if (remaining <= 0.0) {
+      return;
+    }
+    if (remaining > 200e-6) {
+      // Leave ~100us of spin margin to absorb scheduler wake-up jitter.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(remaining - 100e-6));
+    }
+    // Short residues spin on the clock.
+  }
+}
+
+}  // namespace
+
+UdpProbeSender::UdpProbeSender(std::uint32_t session, std::uint16_t dest_port)
+    : session_(session), dest_port_(dest_port) {}
+
+std::vector<double> UdpProbeSender::send_train(const traffic::TrainSpec& spec,
+                                               std::uint32_t train_idx) {
+  CSMABW_REQUIRE(spec.n >= 2, "train needs >= 2 packets");
+  std::vector<double> send_ts(static_cast<std::size_t>(spec.n),
+                              std::numeric_limits<double>::quiet_NaN());
+  const double start = monotonic_seconds() + 1e-3;
+  for (int k = 0; k < spec.n; ++k) {
+    pace_until(start + k * spec.gap.to_seconds());
+    ProbeHeader h;
+    h.session = session_;
+    h.train = train_idx;
+    h.seq = static_cast<std::uint32_t>(k);
+    h.train_len = static_cast<std::uint32_t>(spec.n);
+    const double ts = monotonic_seconds();
+    h.send_ts_ns = static_cast<std::uint64_t>(ts * 1e9);
+    const auto pkt = make_probe_packet(h, spec.size_bytes);
+    if (socket_.send_to_loopback(pkt, dest_port_)) {
+      send_ts[static_cast<std::size_t>(k)] = ts;
+    }
+  }
+  return send_ts;
+}
+
+UdpProbeReceiver::UdpProbeReceiver() { socket_.bind_loopback(0); }
+
+std::uint16_t UdpProbeReceiver::port() const { return socket_.local_port(); }
+
+std::vector<double> UdpProbeReceiver::collect_train(std::uint32_t session,
+                                                    std::uint32_t train,
+                                                    std::uint32_t train_len,
+                                                    int timeout_ms) {
+  std::vector<double> recv_ts(train_len,
+                              std::numeric_limits<double>::quiet_NaN());
+  std::uint32_t got = 0;
+  std::byte buffer[65536];
+  while (got < train_len) {
+    const auto size = socket_.recv(buffer, timeout_ms);
+    if (!size.has_value()) {
+      break;  // no progress within the timeout
+    }
+    const double ts = monotonic_seconds();
+    const auto header = decode_probe_header({buffer, *size});
+    if (!header.has_value() || header->session != session ||
+        header->train != train || header->seq >= train_len) {
+      continue;  // stray datagram
+    }
+    if (std::isnan(recv_ts[header->seq])) {
+      recv_ts[header->seq] = ts;
+      ++got;
+    }
+  }
+  return recv_ts;
+}
+
+UdpLoopbackTransport::UdpLoopbackTransport(std::uint32_t session)
+    : receiver_(), sender_(session, receiver_.port()), session_(session) {}
+
+core::TrainResult UdpLoopbackTransport::send_train(
+    const traffic::TrainSpec& spec) {
+  const std::uint32_t train = next_train_++;
+
+  // Collect in a worker so receive timestamps are taken while the sender
+  // paces (loopback delivery is near-instant; the kernel buffers any
+  // skew).
+  auto collected = std::async(std::launch::async, [&] {
+    return receiver_.collect_train(session_, train,
+                                   static_cast<std::uint32_t>(spec.n),
+                                   /*timeout_ms=*/500);
+  });
+  const std::vector<double> send_ts = sender_.send_train(spec, train);
+  const std::vector<double> recv_ts = collected.get();
+
+  core::TrainResult result;
+  result.packets.reserve(static_cast<std::size_t>(spec.n));
+  for (int k = 0; k < spec.n; ++k) {
+    core::ProbeRecord rec;
+    rec.seq = k;
+    rec.send_s = send_ts[static_cast<std::size_t>(k)];
+    rec.recv_s = recv_ts[static_cast<std::size_t>(k)];
+    rec.lost = std::isnan(rec.send_s) || std::isnan(rec.recv_s);
+    result.packets.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace csmabw::net

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/transport.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace csmabw::net {
+
+/// Paces one probe train onto a UDP socket with monotonic-clock
+/// timestamps taken immediately before each send (the user-space
+/// analogue of the paper's driver-level TX timestamping).
+class UdpProbeSender {
+ public:
+  UdpProbeSender(std::uint32_t session, std::uint16_t dest_port);
+
+  /// Sends train `train_idx` per `spec`; returns the per-packet send
+  /// timestamps (seconds, monotonic clock).  Pacing uses sleep for the
+  /// bulk of the gap and a short spin for the residue.
+  std::vector<double> send_train(const traffic::TrainSpec& spec,
+                                 std::uint32_t train_idx);
+
+ private:
+  UdpSocket socket_;
+  std::uint32_t session_;
+  std::uint16_t dest_port_;
+};
+
+/// Receives probe packets and reassembles trains, timestamping each
+/// datagram on arrival.
+class UdpProbeReceiver {
+ public:
+  /// Binds an ephemeral loopback port.
+  UdpProbeReceiver();
+
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Collects packets of (session, train) until `train_len` have arrived
+  /// or `timeout_ms` passes without progress.  Returns receive
+  /// timestamps indexed by seq (NaN = missing).
+  std::vector<double> collect_train(std::uint32_t session,
+                                    std::uint32_t train,
+                                    std::uint32_t train_len, int timeout_ms);
+
+ private:
+  UdpSocket socket_;
+};
+
+/// ProbeTransport over real UDP sockets on the loopback interface — the
+/// closest in-environment substitute for the paper's WLAN testbed: the
+/// full send-path (serialization, pacing, timestamping) and receive-path
+/// code is exercised, only the link under test is a kernel queue instead
+/// of a DCF.
+///
+/// The receiver runs inline in the calling thread via a background
+/// collector started per train.
+class UdpLoopbackTransport : public core::ProbeTransport {
+ public:
+  explicit UdpLoopbackTransport(std::uint32_t session = 1);
+
+  core::TrainResult send_train(const traffic::TrainSpec& spec) override;
+
+ private:
+  UdpProbeReceiver receiver_;
+  UdpProbeSender sender_;
+  std::uint32_t session_;
+  std::uint32_t next_train_ = 0;
+};
+
+}  // namespace csmabw::net

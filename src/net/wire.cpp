@@ -1,0 +1,72 @@
+#include "net/wire.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::net {
+
+namespace {
+
+void put_u32(std::span<std::byte> out, std::size_t at, std::uint32_t v) {
+  out[at + 0] = static_cast<std::byte>((v >> 24) & 0xff);
+  out[at + 1] = static_cast<std::byte>((v >> 16) & 0xff);
+  out[at + 2] = static_cast<std::byte>((v >> 8) & 0xff);
+  out[at + 3] = static_cast<std::byte>(v & 0xff);
+}
+
+void put_u64(std::span<std::byte> out, std::size_t at, std::uint64_t v) {
+  put_u32(out, at, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, at + 4, static_cast<std::uint32_t>(v & 0xffffffffULL));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at + 0]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
+         static_cast<std::uint32_t>(in[at + 3]);
+}
+
+std::uint64_t get_u64(std::span<const std::byte> in, std::size_t at) {
+  return (static_cast<std::uint64_t>(get_u32(in, at)) << 32) |
+         get_u32(in, at + 4);
+}
+
+}  // namespace
+
+void encode_probe_header(const ProbeHeader& h, std::span<std::byte> out) {
+  CSMABW_REQUIRE(out.size() >= ProbeHeader::kWireSize, "buffer too small");
+  put_u32(out, 0, ProbeHeader::kMagic);
+  put_u32(out, 4, h.session);
+  put_u32(out, 8, h.train);
+  put_u32(out, 12, h.seq);
+  put_u32(out, 16, h.train_len);
+  put_u64(out, 20, h.send_ts_ns);
+}
+
+std::optional<ProbeHeader> decode_probe_header(
+    std::span<const std::byte> in) {
+  if (in.size() < ProbeHeader::kWireSize) {
+    return std::nullopt;
+  }
+  if (get_u32(in, 0) != ProbeHeader::kMagic) {
+    return std::nullopt;
+  }
+  ProbeHeader h;
+  h.session = get_u32(in, 4);
+  h.train = get_u32(in, 8);
+  h.seq = get_u32(in, 12);
+  h.train_len = get_u32(in, 16);
+  h.send_ts_ns = get_u64(in, 20);
+  return h;
+}
+
+std::vector<std::byte> make_probe_packet(const ProbeHeader& h,
+                                         int size_bytes) {
+  CSMABW_REQUIRE(size_bytes >= static_cast<int>(ProbeHeader::kWireSize),
+                 "packet smaller than the probe header");
+  std::vector<std::byte> pkt(static_cast<std::size_t>(size_bytes),
+                             std::byte{0});
+  encode_probe_header(h, pkt);
+  return pkt;
+}
+
+}  // namespace csmabw::net

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace csmabw::net {
+
+/// On-the-wire header of a probe packet (network byte order).
+///
+/// Mirrors what MGEN-style probing tools stamp into each packet: enough
+/// to reassemble trains at the receiver and compute one-way dispersion.
+struct ProbeHeader {
+  static constexpr std::uint32_t kMagic = 0x43424D57;  // "CBMW"
+  static constexpr std::size_t kWireSize = 28;
+
+  std::uint32_t session = 0;    ///< measurement session id
+  std::uint32_t train = 0;      ///< train index within the session
+  std::uint32_t seq = 0;        ///< packet index within the train
+  std::uint32_t train_len = 0;  ///< packets in this train
+  std::uint64_t send_ts_ns = 0; ///< sender monotonic timestamp
+};
+
+/// Serializes `h` (plus magic) into the first kWireSize bytes of `out`.
+/// `out.size()` must be >= kWireSize.
+void encode_probe_header(const ProbeHeader& h, std::span<std::byte> out);
+
+/// Parses a header; returns std::nullopt if the buffer is too small or
+/// the magic does not match.
+[[nodiscard]] std::optional<ProbeHeader> decode_probe_header(
+    std::span<const std::byte> in);
+
+/// Builds a full probe datagram of `size_bytes` (header + zero padding).
+/// `size_bytes` must be >= kWireSize.
+[[nodiscard]] std::vector<std::byte> make_probe_packet(const ProbeHeader& h,
+                                                       int size_bytes);
+
+}  // namespace csmabw::net

@@ -1,0 +1,96 @@
+#include "queueing/fifo_trace.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace csmabw::queueing {
+
+FifoTraceResult::FifoTraceResult(std::vector<ServedJob> jobs)
+    : jobs_(std::move(jobs)) {
+  // Precompute maximal busy periods: a busy period extends while the next
+  // arrival happens at or before the current backlog drains.
+  for (const auto& sj : jobs_) {
+    if (busy_.empty() || sj.job.arrival > busy_.back().second) {
+      busy_.emplace_back(sj.job.arrival, sj.depart);
+    } else {
+      busy_.back().second = std::max(busy_.back().second, sj.depart);
+    }
+  }
+}
+
+TimeNs FifoTraceResult::workload_at(TimeNs t) const {
+  // Last job with arrival <= t.
+  const auto it = std::upper_bound(
+      jobs_.begin(), jobs_.end(), t,
+      [](TimeNs v, const ServedJob& j) { return v < j.job.arrival; });
+  if (it == jobs_.begin()) {
+    return TimeNs::zero();
+  }
+  const TimeNs last_depart = std::prev(it)->depart;
+  return last_depart > t ? last_depart - t : TimeNs::zero();
+}
+
+int FifoTraceResult::queue_length_at(TimeNs t) const {
+  // Jobs arrive in order; departures are also non-decreasing under FIFO.
+  const auto arrived = std::upper_bound(
+      jobs_.begin(), jobs_.end(), t,
+      [](TimeNs v, const ServedJob& j) { return v < j.job.arrival; });
+  const auto departed = std::upper_bound(
+      jobs_.begin(), jobs_.end(), t,
+      [](TimeNs v, const ServedJob& j) { return v < j.depart; });
+  return static_cast<int>(arrived - jobs_.begin()) -
+         static_cast<int>(departed - jobs_.begin());
+}
+
+double FifoTraceResult::utilization(TimeNs from, TimeNs to) const {
+  CSMABW_REQUIRE(to > from, "interval must be non-empty");
+  TimeNs busy = TimeNs::zero();
+  for (const auto& [b, e] : busy_) {
+    const TimeNs lo = std::max(b, from);
+    const TimeNs hi = std::min(e, to);
+    if (hi > lo) {
+      busy += hi - lo;
+    }
+  }
+  return busy.to_seconds() / (to - from).to_seconds();
+}
+
+TimeNs FifoTraceResult::offered_workload_at(TimeNs t) const {
+  TimeNs x = TimeNs::zero();
+  for (const auto& sj : jobs_) {
+    if (sj.job.arrival > t) {
+      break;
+    }
+    x += sj.job.service;
+  }
+  return x;
+}
+
+double FifoTraceResult::offered_rate(TimeNs from, TimeNs to) const {
+  CSMABW_REQUIRE(to > from, "interval must be non-empty");
+  const TimeNs dx = offered_workload_at(to) - offered_workload_at(from);
+  return dx.to_seconds() / (to - from).to_seconds();
+}
+
+FifoTraceResult run_fifo_trace(std::vector<TraceJob> jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.arrival < b.arrival;
+                   });
+  std::vector<ServedJob> served;
+  served.reserve(jobs.size());
+  TimeNs prev_depart = TimeNs::zero();
+  bool first = true;
+  for (const TraceJob& j : jobs) {
+    CSMABW_REQUIRE(j.service >= TimeNs::zero(), "negative service time");
+    const TimeNs start = first ? j.arrival : std::max(j.arrival, prev_depart);
+    const TimeNs depart = start + j.service;
+    served.push_back(ServedJob{j, start, depart});
+    prev_depart = depart;
+    first = false;
+  }
+  return FifoTraceResult(std::move(served));
+}
+
+}  // namespace csmabw::queueing

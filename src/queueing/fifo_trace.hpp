@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace csmabw::queueing {
+
+/// One job offered to the trace-driven FIFO queue.
+struct TraceJob {
+  TimeNs arrival;
+  TimeNs service;
+  int flow = 0;
+};
+
+/// A served job: FIFO start and departure instants.
+struct ServedJob {
+  TraceJob job;
+  TimeNs start;   ///< service began (head of queue reached)
+  TimeNs depart;  ///< service completed
+
+  [[nodiscard]] TimeNs wait() const { return start - job.arrival; }
+  [[nodiscard]] TimeNs sojourn() const { return depart - job.arrival; }
+};
+
+/// Result of running a job trace through a work-conserving FIFO queue.
+///
+/// This is the reimplementation of the paper's Matlab queueing simulator
+/// (Appendix A): it convolves an arrival sequence with a service-time
+/// sequence and exposes the sample-path processes of Section 5.1 —
+/// hop workload W(t), utilization U(t)/u_fifo(t, t+tau), queue length —
+/// for any mix of probe and cross-traffic jobs.
+class FifoTraceResult {
+ public:
+  explicit FifoTraceResult(std::vector<ServedJob> jobs);
+
+  [[nodiscard]] const std::vector<ServedJob>& jobs() const { return jobs_; }
+
+  /// Hop workload W(t): unfinished work in the queue at time t (service
+  /// time of queued jobs + residual of the job in service).  Eq. (6)'s
+  /// underlying process.  For a work-conserving FIFO queue this is
+  /// max(0, D_k - t) with D_k the departure of the last job arrived <= t.
+  [[nodiscard]] TimeNs workload_at(TimeNs t) const;
+
+  /// Number of jobs with arrival <= t < depart (queue + in service).
+  [[nodiscard]] int queue_length_at(TimeNs t) const;
+
+  /// Fraction of [from, to) during which the queue was busy — the
+  /// paper's u_fifo(t, t+tau), Eq. (9).
+  [[nodiscard]] double utilization(TimeNs from, TimeNs to) const;
+
+  /// Offered workload X(t): cumulative service time of jobs arrived in
+  /// [0, t], Eq. (10)'s X process.
+  [[nodiscard]] TimeNs offered_workload_at(TimeNs t) const;
+
+  /// Y(t, t+tau) = (X(t+tau) - X(t)) / tau, Eq. (10).
+  [[nodiscard]] double offered_rate(TimeNs from, TimeNs to) const;
+
+  /// Maximal busy periods [start, end) of the queue.
+  [[nodiscard]] const std::vector<std::pair<TimeNs, TimeNs>>& busy_periods()
+      const {
+    return busy_;
+  }
+
+ private:
+  std::vector<ServedJob> jobs_;  // sorted by arrival (== service order)
+  std::vector<std::pair<TimeNs, TimeNs>> busy_;
+};
+
+/// Runs `jobs` (any order; stable-sorted by arrival, ties keep input
+/// order) through the FIFO queue via the Lindley recursion.
+[[nodiscard]] FifoTraceResult run_fifo_trace(std::vector<TraceJob> jobs);
+
+}  // namespace csmabw::queueing

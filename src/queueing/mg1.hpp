@@ -1,0 +1,53 @@
+#pragma once
+
+#include "util/require.hpp"
+
+namespace csmabw::queueing {
+
+/// Closed-form M/G/1 results (Pollaczek-Khinchine) used to validate the
+/// trace-driven simulator and to reason about the FIFO stage of the
+/// paper's model (a WLAN transmission queue is an M/G/1 queue whose
+/// service time is the access delay).
+struct Mg1 {
+  double lambda = 0.0;      ///< arrivals per second
+  double mean_service = 0.0;  ///< E[S], seconds
+  double var_service = 0.0;   ///< Var[S], seconds^2
+
+  [[nodiscard]] double utilization() const { return lambda * mean_service; }
+
+  /// Mean waiting time in queue (excluding service), seconds.
+  [[nodiscard]] double mean_wait() const {
+    const double rho = utilization();
+    CSMABW_REQUIRE(lambda > 0.0 && mean_service > 0.0,
+                   "need positive arrival and service rates");
+    CSMABW_REQUIRE(rho < 1.0, "M/G/1 is unstable at rho >= 1");
+    const double es2 =
+        var_service + mean_service * mean_service;  // E[S^2]
+    return lambda * es2 / (2.0 * (1.0 - rho));
+  }
+
+  /// Mean sojourn time (wait + service), seconds.
+  [[nodiscard]] double mean_sojourn() const {
+    return mean_wait() + mean_service;
+  }
+
+  /// Mean number in queue (excluding service), by Little's law.
+  [[nodiscard]] double mean_queue_length() const {
+    return lambda * mean_wait();
+  }
+  /// Mean number in system.
+  [[nodiscard]] double mean_in_system() const {
+    return lambda * mean_sojourn();
+  }
+
+  /// M/M/1 special case: exponential service with the given mean.
+  [[nodiscard]] static Mg1 mm1(double lambda, double mean_service) {
+    return Mg1{lambda, mean_service, mean_service * mean_service};
+  }
+  /// M/D/1 special case: deterministic service.
+  [[nodiscard]] static Mg1 md1(double lambda, double service) {
+    return Mg1{lambda, service, 0.0};
+  }
+};
+
+}  // namespace csmabw::queueing

@@ -1,0 +1,97 @@
+#include "queueing/processes.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::queueing {
+
+std::vector<double> intrusion_residual_sampled(
+    const FifoTraceResult& with_probe, const FifoTraceResult& cross_only,
+    std::span<const TimeNs> probe_arrivals) {
+  std::vector<double> r;
+  r.reserve(probe_arrivals.size());
+  for (TimeNs a : probe_arrivals) {
+    // Sample just before the arrival: W~ and W are right-continuous step
+    // functions of arrivals, so exclude anything arriving exactly at a.
+    const TimeNs eps = TimeNs::ns(1);
+    const TimeNs wd =
+        with_probe.workload_at(a - eps) - cross_only.workload_at(a - eps);
+    // The minuend includes the elapsed nanosecond; both terms do, so the
+    // difference is unaffected.
+    r.push_back(wd.to_seconds());
+  }
+  return r;
+}
+
+std::vector<double> intrusion_residual_recursive(
+    std::span<const double> mu_s, std::span<const double> u_fifo_between,
+    double gap_s) {
+  CSMABW_REQUIRE(!mu_s.empty(), "need at least one probe packet");
+  CSMABW_REQUIRE(u_fifo_between.size() + 1 >= mu_s.size(),
+                 "need a utilization value per inter-arrival interval");
+  CSMABW_REQUIRE(gap_s >= 0.0, "gap must be non-negative");
+  std::vector<double> r(mu_s.size(), 0.0);
+  for (std::size_t i = 1; i < mu_s.size(); ++i) {
+    const double idle_share = 1.0 - u_fifo_between[i - 1];
+    const double next = mu_s[i - 1] + r[i - 1] - idle_share * gap_s;
+    r[i] = next > 0.0 ? next : 0.0;
+  }
+  return r;
+}
+
+std::vector<double> queueing_plus_access_delay(std::span<const double> mu_s,
+                                               std::span<const double> r_s,
+                                               std::span<const double> w_s) {
+  CSMABW_REQUIRE(mu_s.size() == r_s.size() && r_s.size() == w_s.size(),
+                 "process lengths must match");
+  std::vector<double> z(mu_s.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = mu_s[i] + r_s[i] + w_s[i];
+  }
+  return z;
+}
+
+double output_gap_s(std::span<const TimeNs> departures) {
+  CSMABW_REQUIRE(departures.size() >= 2, "output gap needs >= 2 departures");
+  const auto n = departures.size();
+  return (departures[n - 1] - departures[0]).to_seconds() /
+         static_cast<double>(n - 1);
+}
+
+double output_gap_identity18(double gap_s, std::span<const double> mu_s,
+                             std::span<const double> r_s,
+                             std::span<const double> w_s) {
+  CSMABW_REQUIRE(mu_s.size() >= 2, "need >= 2 packets");
+  CSMABW_REQUIRE(mu_s.size() == r_s.size() && r_s.size() == w_s.size(),
+                 "process lengths must match");
+  const auto n = mu_s.size();
+  const double nm1 = static_cast<double>(n - 1);
+  return gap_s + r_s[n - 1] / nm1 + (w_s[n - 1] - w_s[0]) / nm1 +
+         (mu_s[n - 1] - mu_s[0]) / nm1;
+}
+
+double output_gap_identity19(const FifoTraceResult& with_probe,
+                             const FifoTraceResult& cross_only,
+                             std::span<const TimeNs> probe_arrivals,
+                             std::span<const TimeNs> probe_departures,
+                             std::span<const double> mu_s) {
+  const auto n = probe_arrivals.size();
+  CSMABW_REQUIRE(n >= 2, "need >= 2 packets");
+  CSMABW_REQUIRE(probe_departures.size() == n && mu_s.size() == n,
+                 "process lengths must match");
+  const double nm1 = static_cast<double>(n - 1);
+
+  double service = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    service += mu_s[i];
+  }
+  const double dx = (cross_only.offered_workload_at(probe_arrivals[n - 1]) -
+                     cross_only.offered_workload_at(probe_arrivals[0]))
+                        .to_seconds();
+  const double u_tilde =
+      with_probe.utilization(probe_departures[0], probe_departures[n - 1]);
+  const double go_actual =
+      (probe_departures[n - 1] - probe_departures[0]).to_seconds() / nm1;
+  return (service + dx) / nm1 + (1.0 - u_tilde) * go_actual;
+}
+
+}  // namespace csmabw::queueing

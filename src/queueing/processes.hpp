@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "queueing/fifo_trace.hpp"
+#include "util/time.hpp"
+
+namespace csmabw::queueing {
+
+/// Sample-path processes of the paper's analytical framework (Section 5)
+/// evaluated on trace-driven FIFO runs.
+///
+/// Two runs of the same cross-traffic trace — once alone, once
+/// superposed with the probing jobs — give the hop workload W(t) and the
+/// superposed workload W~(t); their difference is the intrusion residual
+/// W_d(t) (Eq. 12), sampled at probe arrivals to obtain {R_i} (Eq. 13).
+
+/// R_i = W_d(a_i^-): the intrusion residual each probing packet finds on
+/// arrival, from the two runs (Eq. 13).  `probe_arrivals` are the a_i.
+/// The instant a_i^- is evaluated by excluding the arrival itself (the
+/// workload is sampled just before the probe packet joins).
+[[nodiscard]] std::vector<double> intrusion_residual_sampled(
+    const FifoTraceResult& with_probe, const FifoTraceResult& cross_only,
+    std::span<const TimeNs> probe_arrivals);
+
+/// The recursive form of the intrusion residual (Eq. 14):
+///
+///   R_1 = 0
+///   R_i = max(0, mu_{i-1} + R_{i-1} - (1 - u_fifo(a_{i-1}, a_i)) g_I)
+///
+/// where `mu_s` are the probe service (access-delay) times in seconds
+/// and `u_fifo_between[i]` is the cross-traffic-only utilization of the
+/// FIFO queue during (a_i, a_{i+1}].  All quantities in seconds.
+[[nodiscard]] std::vector<double> intrusion_residual_recursive(
+    std::span<const double> mu_s, std::span<const double> u_fifo_between,
+    double gap_s);
+
+/// Z_i = mu_i + R_i + W(a_i) (Eq. 15), in seconds.
+[[nodiscard]] std::vector<double> queueing_plus_access_delay(
+    std::span<const double> mu_s, std::span<const double> r_s,
+    std::span<const double> w_s);
+
+/// Output gap of a departure sequence (Eq. 16): (d_n - d_1) / (n - 1).
+[[nodiscard]] double output_gap_s(std::span<const TimeNs> departures);
+
+/// Eq. (18): g_O = g_I + R_n/(n-1) + (W(a_n) - W(a_1))/(n-1)
+///                + (mu_n - mu_1)/(n-1).
+/// Exact identity on any sample path; used to cross-check the simulator.
+[[nodiscard]] double output_gap_identity18(double gap_s,
+                                           std::span<const double> mu_s,
+                                           std::span<const double> r_s,
+                                           std::span<const double> w_s);
+
+/// Eq. (19)'s busy-time decomposition of the dispersion window: between
+/// d_1 and d_n the server spends exactly
+///
+///   sum_{i=2}^{n} mu_i            (probe service)
+/// + X(a_n) - X(a_1)               (cross work arrived in (a_1, a_n])
+///
+/// busy on work that completes inside the window (FIFO guarantees both),
+/// and the remainder idle:
+///
+///   g_O = (1/(n-1)) [ sum mu_i + dX ] + (1 - u~) g_O
+///
+/// with u~ the utilization of the superposed queue over (d_1, d_n].  The
+/// paper approximates the last term with g_I (their Eq. 19); this
+/// function evaluates the exact form and returns the reconstructed g_O,
+/// which must equal the measured one on any sample path.
+[[nodiscard]] double output_gap_identity19(
+    const FifoTraceResult& with_probe, const FifoTraceResult& cross_only,
+    std::span<const TimeNs> probe_arrivals,
+    std::span<const TimeNs> probe_departures, std::span<const double> mu_s);
+
+}  // namespace csmabw::queueing

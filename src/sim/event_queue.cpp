@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::sim {
+
+void EventHandle::cancel() {
+  if (state_ && !state_->fired) {
+    state_->cancelled = true;
+  }
+}
+
+bool EventHandle::scheduled() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::schedule(TimeNs at, std::function<void()> fn) {
+  CSMABW_REQUIRE(fn != nullptr, "cannot schedule a null event");
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  ++live_;
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+TimeNs EventQueue::next_time() const {
+  drop_cancelled();
+  CSMABW_REQUIRE(!heap_.empty(), "next_time() on an empty queue");
+  return heap_.top().at;
+}
+
+TimeNs EventQueue::pop_and_run() {
+  drop_cancelled();
+  CSMABW_REQUIRE(!heap_.empty(), "pop_and_run() on an empty queue");
+  // Move the entry out before running: the callback may schedule new
+  // events and reallocate the heap.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_;
+  e.state->fired = true;
+  e.fn();
+  return e.at;
+}
+
+}  // namespace csmabw::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace csmabw::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+///
+/// Cancellation is lazy: the event stays in the heap but is skipped when
+/// popped.  Handles are cheap to copy and safe to outlive the queue.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Idempotent.
+  void cancel();
+  [[nodiscard]] bool scheduled() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Time-ordered event queue.
+///
+/// Events at equal times fire in scheduling order (FIFO tie-break via a
+/// monotone sequence number) — deterministic replay requires a total
+/// order.
+class EventQueue {
+ public:
+  EventHandle schedule(TimeNs at, std::function<void()> fn);
+
+  [[nodiscard]] bool empty() const;
+  /// Time of the earliest live event.  Requires !empty().
+  [[nodiscard]] TimeNs next_time() const;
+  /// Pops and runs the earliest live event; returns its time.
+  /// Requires !empty().
+  TimeNs pop_and_run();
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  mutable std::size_t live_ = 0;
+};
+
+}  // namespace csmabw::sim

@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::sim {
+
+EventHandle Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
+  CSMABW_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventHandle Simulator::schedule_in(TimeNs delay, std::function<void()> fn) {
+  CSMABW_REQUIRE(delay >= TimeNs::zero(), "delay must be non-negative");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::run_until(TimeNs deadline) {
+  CSMABW_REQUIRE(deadline >= now_, "deadline is in the past");
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    // Advance the clock before dispatching: callbacks observe now() as
+    // the time they were scheduled for.
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++processed_;
+  }
+  now_ = deadline;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++processed_;
+  }
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& done) {
+  CSMABW_REQUIRE(done != nullptr, "predicate must be callable");
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++processed_;
+    if (done()) {
+      return true;
+    }
+  }
+  return done();
+}
+
+}  // namespace csmabw::sim

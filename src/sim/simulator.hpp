@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace csmabw::sim {
+
+/// Discrete-event simulator: a clock plus an event queue.
+///
+/// Components hold a `Simulator&` and schedule callbacks; the owner calls
+/// `run_until` / `run`.  The clock never moves backwards; scheduling in
+/// the past is a contract violation (it would silently reorder
+/// causality).
+class Simulator {
+ public:
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now()).
+  EventHandle schedule_at(TimeNs at, std::function<void()> fn);
+  /// Schedules `fn` after `delay` (>= 0).
+  EventHandle schedule_in(TimeNs delay, std::function<void()> fn);
+
+  /// Runs events with time <= `deadline`; afterwards now() == deadline.
+  void run_until(TimeNs deadline);
+  /// Runs until the event queue drains.
+  void run();
+  /// Runs until `pred()` becomes true (checked after each event) or the
+  /// queue drains.  Returns whether the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& done);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  TimeNs now_ = TimeNs::zero();
+  EventQueue queue_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace csmabw::sim

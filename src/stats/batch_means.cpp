@@ -1,0 +1,71 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+
+namespace {
+
+/// Two-sided 97.5% Student-t critical values by degrees of freedom;
+/// asymptotes to the normal 1.96.
+double t_critical_975(int dof) {
+  static constexpr double kTable[] = {
+      // dof = 1..30
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof <= 0) {
+    return 12.706;
+  }
+  if (dof <= 30) {
+    return kTable[dof - 1];
+  }
+  return 1.96;
+}
+
+}  // namespace
+
+BatchMeansResult batch_means_ci(std::span<const double> xs, int batches) {
+  CSMABW_REQUIRE(batches >= 2, "need at least two batches");
+  CSMABW_REQUIRE(xs.size() >= static_cast<std::size_t>(batches),
+                 "fewer observations than batches");
+  const std::size_t per_batch = xs.size() / static_cast<std::size_t>(batches);
+
+  RunningStat batch_stats;
+  for (int b = 0; b < batches; ++b) {
+    RunningStat batch;
+    for (std::size_t i = 0; i < per_batch; ++i) {
+      batch.add(xs[static_cast<std::size_t>(b) * per_batch + i]);
+    }
+    batch_stats.add(batch.mean());
+  }
+
+  BatchMeansResult r;
+  r.batches = batches;
+  r.mean = batch_stats.mean();
+  r.half_width = t_critical_975(batches - 1) * batch_stats.sem();
+  return r;
+}
+
+double autocorrelation(std::span<const double> xs, int lag) {
+  CSMABW_REQUIRE(lag >= 1, "lag must be >= 1");
+  CSMABW_REQUIRE(xs.size() > static_cast<std::size_t>(lag),
+                 "series shorter than the lag");
+  const double m = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - m;
+    den += d * d;
+    if (i + static_cast<std::size_t>(lag) < xs.size()) {
+      num += d * (xs[i + static_cast<std::size_t>(lag)] - m);
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace csmabw::stats

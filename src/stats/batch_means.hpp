@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+
+namespace csmabw::stats {
+
+/// Batch-means confidence interval for the mean of a correlated series.
+///
+/// Steady-state measurements of a CSMA/CA link (throughput samples,
+/// access delays of consecutive packets) are autocorrelated, so the
+/// naive SEM understates the error.  The classic remedy groups the
+/// series into `batches` contiguous batches and treats the batch means
+/// as approximately independent.
+struct BatchMeansResult {
+  double mean = 0.0;
+  /// Half-width of the confidence interval.
+  double half_width = 0.0;
+  int batches = 0;
+
+  [[nodiscard]] double low() const { return mean - half_width; }
+  [[nodiscard]] double high() const { return mean + half_width; }
+  [[nodiscard]] bool contains(double v) const {
+    return v >= low() && v <= high();
+  }
+};
+
+/// Computes a ~95% batch-means confidence interval (Student-t critical
+/// value approximated for the batch count).  Requires at least 2 batches
+/// and xs.size() >= batches.  Trailing observations that do not fill a
+/// whole batch are dropped.
+[[nodiscard]] BatchMeansResult batch_means_ci(std::span<const double> xs,
+                                              int batches = 20);
+
+/// Lag-k sample autocorrelation of a series (k >= 1, k < xs.size()).
+/// Used to check whether a batch size has decorrelated the means.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, int lag);
+
+}  // namespace csmabw::stats

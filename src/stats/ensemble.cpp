@@ -1,0 +1,64 @@
+#include "stats/ensemble.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+
+EnsembleSeries::EnsembleSeries(int length, int raw_prefix, int steady_tail)
+    : length_(length),
+      raw_prefix_(raw_prefix),
+      steady_tail_(steady_tail),
+      per_index_(static_cast<std::size_t>(length)),
+      raw_(static_cast<std::size_t>(raw_prefix)) {
+  CSMABW_REQUIRE(length > 0, "ensemble length must be positive");
+  CSMABW_REQUIRE(raw_prefix >= 0 && raw_prefix <= length,
+                 "raw_prefix must be within [0, length]");
+  CSMABW_REQUIRE(steady_tail >= 0 && steady_tail <= length,
+                 "steady_tail must be within [0, length]");
+}
+
+void EnsembleSeries::add_repetition(std::span<const double> values) {
+  CSMABW_REQUIRE(values.size() == static_cast<std::size_t>(length_),
+                 "repetition length mismatch");
+  for (int i = 0; i < length_; ++i) {
+    per_index_[static_cast<std::size_t>(i)].add(values[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < raw_prefix_; ++i) {
+    raw_[static_cast<std::size_t>(i)].push_back(values[static_cast<std::size_t>(i)]);
+  }
+  for (int i = length_ - steady_tail_; i < length_; ++i) {
+    const double v = values[static_cast<std::size_t>(i)];
+    steady_pool_.push_back(v);
+    steady_stat_.add(v);
+  }
+  ++reps_;
+}
+
+double EnsembleSeries::mean_at(int i) const { return stat_at(i).mean(); }
+
+const RunningStat& EnsembleSeries::stat_at(int i) const {
+  CSMABW_REQUIRE(i >= 0 && i < length_, "index out of range");
+  return per_index_[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> EnsembleSeries::means() const {
+  std::vector<double> out(static_cast<std::size_t>(length_));
+  for (int i = 0; i < length_; ++i) {
+    out[static_cast<std::size_t>(i)] = mean_at(i);
+  }
+  return out;
+}
+
+std::span<const double> EnsembleSeries::raw_at(int i) const {
+  CSMABW_REQUIRE(i >= 0 && i < raw_prefix_,
+                 "raw samples were not retained for this index");
+  return raw_[static_cast<std::size_t>(i)];
+}
+
+std::span<const double> EnsembleSeries::steady_pool() const {
+  return steady_pool_;
+}
+
+double EnsembleSeries::steady_mean() const { return steady_stat_.mean(); }
+
+}  // namespace csmabw::stats

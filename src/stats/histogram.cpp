@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / bins),
+      counts_(static_cast<std::size_t>(bins), 0) {
+  CSMABW_REQUIRE(hi > lo, "histogram range must be non-empty");
+  CSMABW_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::int64_t n) {
+  CSMABW_REQUIRE(n >= 0, "negative count");
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += n;
+    return;
+  }
+  auto b = static_cast<std::size_t>((x - lo_) / width_);
+  b = std::min(b, counts_.size() - 1);  // guard float edge at hi_
+  counts_[b] += n;
+}
+
+double Histogram::bin_center(int b) const {
+  CSMABW_REQUIRE(b >= 0 && b < bins(), "bin index out of range");
+  return lo_ + (b + 0.5) * width_;
+}
+
+std::int64_t Histogram::count(int b) const {
+  CSMABW_REQUIRE(b >= 0 && b < bins(), "bin index out of range");
+  return counts_[static_cast<std::size_t>(b)];
+}
+
+double Histogram::frequency(int b) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(count(b)) /
+                           static_cast<double>(total_);
+}
+
+double Histogram::mode() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return bin_center(static_cast<int>(it - counts_.begin()));
+}
+
+}  // namespace csmabw::stats

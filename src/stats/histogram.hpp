@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace csmabw::stats {
+
+/// Fixed-width-bin histogram over [lo, hi).
+///
+/// Out-of-range samples are counted separately (underflow/overflow), not
+/// silently clamped — the Fig 7 access-delay histograms rely on knowing
+/// the tail mass that falls outside the plotted range.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_n(double x, std::int64_t n);
+
+  [[nodiscard]] int bins() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_center(int b) const;
+  [[nodiscard]] std::int64_t count(int b) const;
+  [[nodiscard]] std::int64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+  /// Fraction of all samples (including out-of-range) in bin `b`.
+  [[nodiscard]] double frequency(int b) const;
+  /// Center of the most populated bin (ties: lowest bin). 0 if empty.
+  [[nodiscard]] double mode() const;
+
+  [[nodiscard]] const std::vector<std::int64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace csmabw::stats

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+namespace csmabw::stats {
+
+/// Two-sample Kolmogorov-Smirnov statistic.
+///
+/// Following the paper (Section 4, footnote 2): when comparing two
+/// empirical *discrete* distributions, one of them is converted to a
+/// continuous distribution by linear interpolation of its ECDF.  Here the
+/// second sample (`reference`, typically the pooled steady-state delays)
+/// is interpolated; the statistic is the supremum over the real line of
+/// |F_sample(x) - F_reference(x)|, which for a step function vs. a
+/// piecewise-linear function is attained at a sample jump or a reference
+/// kink, so we evaluate only those points.
+///
+/// Both samples must be non-empty.  Inputs need not be sorted.
+[[nodiscard]] double ks_statistic(std::span<const double> sample,
+                                  std::span<const double> reference);
+
+/// Large-sample two-sided KS rejection threshold at level `alpha`
+/// (default 0.05, the paper's 95% confidence line):
+///   c(alpha) * sqrt((n + m) / (n * m)),  c(0.05) ~= 1.358.
+[[nodiscard]] double ks_threshold(std::size_t n, std::size_t m,
+                                  double alpha = 0.05);
+
+namespace detail {
+/// ECDF of a *sorted* sample with linear interpolation between order
+/// statistics: F(x_(k)) = k / n (k = 1..n), F = 0 left of x_(1), linear in
+/// between, 1 right of x_(n).  Repeated sample values (atoms) stay as
+/// jumps.  Exposed for unit testing.
+[[nodiscard]] double interpolated_ecdf(std::span<const double> sorted,
+                                       double x);
+/// Left limit of interpolated_ecdf at x.
+[[nodiscard]] double interpolated_ecdf_left(std::span<const double> sorted,
+                                            double x);
+/// Right-continuous step ECDF of a *sorted* sample.
+[[nodiscard]] double step_ecdf(std::span<const double> sorted, double x);
+/// Left limit (strict fraction below x) of the step ECDF.
+[[nodiscard]] double step_ecdf_left(std::span<const double> sorted, double x);
+}  // namespace detail
+
+}  // namespace csmabw::stats

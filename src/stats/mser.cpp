@@ -1,0 +1,58 @@
+#include "stats/mser.hpp"
+
+#include <limits>
+
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+
+MserResult mser(std::span<const double> x, int m) {
+  CSMABW_REQUIRE(m >= 1, "MSER batch size must be >= 1");
+  CSMABW_REQUIRE(x.size() >= static_cast<std::size_t>(2 * m),
+                 "MSER needs at least two batches of observations");
+
+  const int num_batches = static_cast<int>(x.size()) / m;
+  std::vector<double> batch_mean(static_cast<std::size_t>(num_batches));
+  for (int j = 0; j < num_batches; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < m; ++i) {
+      s += x[static_cast<std::size_t>(j * m + i)];
+    }
+    batch_mean[static_cast<std::size_t>(j)] = s / m;
+  }
+
+  // Candidate cutoffs are restricted to the first half of the batches so
+  // a noisy tail cannot swallow the whole series.
+  const int max_cutoff = num_batches / 2;
+  MserResult result;
+  result.objective.resize(static_cast<std::size_t>(max_cutoff + 1));
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int d = 0; d <= max_cutoff; ++d) {
+    // Variance (biased, i.e. /k) of batches d..B-1, divided by count.
+    RunningStat s;
+    for (int j = d; j < num_batches; ++j) {
+      s.add(batch_mean[static_cast<std::size_t>(j)]);
+    }
+    const auto k = static_cast<double>(s.count());
+    const double biased_var = s.variance() * (k - 1.0) / k;
+    const double objective = biased_var / k;
+    result.objective[static_cast<std::size_t>(d)] = objective;
+    if (objective < best) {
+      best = objective;
+      result.batch_cutoff = d;
+    }
+  }
+
+  result.cutoff = result.batch_cutoff * m;
+  RunningStat retained;
+  for (std::size_t i = static_cast<std::size_t>(result.cutoff); i < x.size();
+       ++i) {
+    retained.add(x[i]);
+  }
+  result.truncated_mean = retained.mean();
+  return result;
+}
+
+}  // namespace csmabw::stats

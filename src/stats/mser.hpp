@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace csmabw::stats {
+
+/// Result of an MSER-m truncation analysis.
+struct MserResult {
+  /// Truncation point in *original observations* (drop x[0..cutoff)).
+  int cutoff = 0;
+  /// Truncation point in batches (cutoff == batch_cutoff * m).
+  int batch_cutoff = 0;
+  /// Mean of the retained observations.
+  double truncated_mean = 0.0;
+  /// The MSER objective evaluated at every candidate batch cutoff.
+  std::vector<double> objective;
+};
+
+/// MSER-m transient-truncation heuristic (White 1997; the Winter
+/// Simulation Conference comparison the paper cites as [32]).
+///
+/// The series is grouped into batches of `m` consecutive observations;
+/// for each candidate truncation point d the objective
+///
+///   MSER(d) = s^2_{d..B} / (B - d)
+///
+/// is evaluated, where s^2 is the sample variance of the retained batch
+/// means and B the number of batches; the minimizing d (restricted to the
+/// first half of the series, the standard guard against degenerate tail
+/// truncation) is returned.  The paper applies MSER-2 to the inter-
+/// arrival series of a 20-packet probe train (Fig 17).
+///
+/// Requires x.size() >= 2 * m (at least two batches must survive).
+[[nodiscard]] MserResult mser(std::span<const double> x, int m);
+
+/// Convenience: MSER-2 as used by the paper.
+[[nodiscard]] inline MserResult mser2(std::span<const double> x) {
+  return mser(x, 2);
+}
+
+}  // namespace csmabw::stats

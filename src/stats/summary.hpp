@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csmabw::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for the long ensembles the transient analysis
+/// accumulates (tens of thousands of access-delay samples per packet
+/// index).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Standard error of the mean; 0 when empty.
+  [[nodiscard]] double sem() const;
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const RunningStat& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Linear-interpolation quantile (same convention as the R type-7 /
+/// numpy default).  `q` in [0, 1]; sample must be non-empty.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+}  // namespace csmabw::stats

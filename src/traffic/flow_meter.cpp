@@ -1,0 +1,21 @@
+#include "traffic/flow_meter.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::traffic {
+
+FlowMeter::FlowMeter(TimeNs from, TimeNs to) : from_(from), to_(to) {
+  CSMABW_REQUIRE(to > from, "measurement window must be non-empty");
+}
+
+void FlowMeter::on_packet(const mac::Packet& p) {
+  if (p.dropped || p.depart_time < from_ || p.depart_time >= to_) {
+    return;
+  }
+  ++packets_;
+  bits_ += static_cast<std::int64_t>(p.size_bytes) * 8;
+}
+
+BitRate FlowMeter::rate() const { return throughput(bits_, window()); }
+
+}  // namespace csmabw::traffic

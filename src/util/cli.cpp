@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace csmabw::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      options_.emplace(std::string(arg.substr(0, eq)),
+                       std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` if the next token is not itself an option, else a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      options_.emplace(std::string(arg), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      options_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool Args::has(std::string_view name) const {
+  return options_.find(name) != options_.end();
+}
+
+std::string Args::get(std::string_view name, std::string_view def) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::string(def) : it->second;
+}
+
+double Args::get(std::string_view name, double def) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return def;
+  }
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw PreconditionError("option --" + std::string(name) +
+                            " expects a number, got '" + it->second + "'");
+  }
+}
+
+int Args::get(std::string_view name, int def) const {
+  const double v = get(name, static_cast<double>(def));
+  return static_cast<int>(std::llround(v));
+}
+
+bool Args::get(std::string_view name, bool def) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return def;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw PreconditionError("option --" + std::string(name) +
+                          " expects a boolean, got '" + v + "'");
+}
+
+double bench_scale() {
+  const char* env = std::getenv("CSMABW_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  try {
+    const double v = std::stod(env);
+    return v > 0.0 ? v : 1.0;
+  } catch (const std::exception&) {
+    return 1.0;
+  }
+}
+
+int scaled_reps(int base) {
+  CSMABW_REQUIRE(base >= 1, "base repetition count must be >= 1");
+  return std::max(1, static_cast<int>(std::llround(base * bench_scale())));
+}
+
+}  // namespace csmabw::util

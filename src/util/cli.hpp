@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csmabw::util {
+
+/// Tiny command-line option parser for the bench and example binaries.
+///
+/// Accepts `--name=value`, `--name value` and boolean `--name` forms.
+/// Unknown options are collected and reported via `unknown()` so binaries
+/// can warn without aborting (benches are run unattended in a loop).
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string_view def) const;
+  /// String-literal defaults would otherwise decay to the bool overload.
+  [[nodiscard]] std::string get(std::string_view name, const char* def) const {
+    return get(name, std::string_view(def));
+  }
+  [[nodiscard]] double get(std::string_view name, double def) const;
+  [[nodiscard]] int get(std::string_view name, int def) const;
+  [[nodiscard]] bool get(std::string_view name, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::vector<std::string>& unknown_values() const {
+    return unknown_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> options_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> unknown_;
+};
+
+/// Reads the CSMABW_BENCH_SCALE environment variable (default 1.0).
+///
+/// Every bench multiplies its ensemble sizes by this factor, so
+/// `CSMABW_BENCH_SCALE=10` approaches the paper's 25k-repetition
+/// ensembles while the default stays laptop-fast.
+[[nodiscard]] double bench_scale();
+
+/// max(1, round(base * bench_scale())) — convenience for repetition counts.
+[[nodiscard]] int scaled_reps(int base);
+
+}  // namespace csmabw::util

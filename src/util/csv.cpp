@@ -1,0 +1,73 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace csmabw::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  }
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(cell);
+  }
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  CSMABW_REQUIRE(!header_written_ && rows_ == 0,
+                 "header() must be the first write");
+  std::vector<std::string> cells;
+  cells.reserve(columns.size());
+  for (std::string_view c : columns) {
+    cells.emplace_back(c);
+  }
+  write_line(cells);
+  header_written_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_line(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    char buf[64];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    CSMABW_REQUIRE(ec == std::errc{}, "double formatting failed");
+    text.emplace_back(buf, end);
+  }
+  write_line(text);
+  ++rows_;
+}
+
+}  // namespace csmabw::util

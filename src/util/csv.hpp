@@ -1,0 +1,44 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csmabw::util {
+
+/// Minimal CSV writer used by the bench harnesses to dump figure series
+/// next to the human-readable console tables.
+///
+/// Values containing separators, quotes or newlines are quoted per RFC
+/// 4180 so the output loads cleanly in any plotting tool.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates).  Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row.  Must be called at most once, before any row.
+  void header(std::initializer_list<std::string_view> columns);
+
+  /// Appends a row of preformatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Appends a row of doubles, formatted with maximum round-trip precision.
+  void row(const std::vector<double>& cells);
+
+  /// Number of data rows written so far (header excluded).
+  [[nodiscard]] int rows_written() const { return rows_; }
+
+  static std::string escape(std::string_view cell);
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  bool header_written_ = false;
+  int rows_ = 0;
+};
+
+}  // namespace csmabw::util

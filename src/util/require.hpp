@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace csmabw::util {
+
+/// Thrown when a documented API precondition is violated.
+///
+/// The library reports contract violations with exceptions instead of
+/// aborting so that misuse is testable and embedding applications can
+/// recover (e.g. a long-running measurement daemon fed bad parameters).
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace csmabw::util
+
+/// Precondition check for public API entry points.  Always enabled (the
+/// checked expressions are cheap compared to the work they guard).
+#define CSMABW_REQUIRE(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::csmabw::util::detail::require_failed(#expr, __FILE__, __LINE__,  \
+                                             (msg));                     \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace csmabw::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  CSMABW_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+std::string Table::format(double v, int precision) {
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+void Table::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    text.push_back(format(v));
+  }
+  add_row(text);
+}
+
+void Table::add_row(const std::vector<std::string>& cells) {
+  CSMABW_REQUIRE(cells.size() == columns_.size(),
+                 "row width must match column count");
+  rows_.push_back(cells);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  os << std::right;
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) {
+      rule += "  ";
+    }
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace csmabw::util

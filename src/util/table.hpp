@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csmabw::util {
+
+/// Aligned console table used by the bench binaries to print figure
+/// series the way the paper reports them (one column per plotted curve).
+///
+/// Usage:
+///   Table t({"rate_mbps", "probe", "cross"});
+///   t.add_row({1.0, 1.0, 4.5});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(const std::vector<double>& cells);
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+
+  void print(std::ostream& os) const;
+
+  /// Formats a double compactly (up to `precision` significant decimals,
+  /// trailing zeros trimmed).
+  static std::string format(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csmabw::util

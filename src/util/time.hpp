@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace csmabw {
+
+/// A point in (or span of) simulated/wall time, held as integer nanoseconds.
+///
+/// The MAC layer depends on *exact* slot arithmetic: two stations whose
+/// backoff counters expire on the same slot boundary must collide, which
+/// requires their computed fire times to compare equal.  Integer
+/// nanoseconds make that exact; doubles would drift.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+
+  [[nodiscard]] static constexpr TimeNs zero() { return TimeNs{0}; }
+  [[nodiscard]] static constexpr TimeNs ns(std::int64_t v) { return TimeNs{v}; }
+  [[nodiscard]] static constexpr TimeNs us(std::int64_t v) {
+    return TimeNs{v * 1'000};
+  }
+  [[nodiscard]] static constexpr TimeNs ms(std::int64_t v) {
+    return TimeNs{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr TimeNs sec(std::int64_t v) {
+    return TimeNs{v * 1'000'000'000};
+  }
+  /// Nearest-nanosecond conversion from seconds expressed as a double.
+  [[nodiscard]] static TimeNs from_seconds(double s) {
+    return TimeNs{static_cast<std::int64_t>(std::llround(s * 1e9))};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return ns_ * 1e-9; }
+  [[nodiscard]] constexpr double to_us() const { return ns_ * 1e-3; }
+  [[nodiscard]] constexpr double to_ms() const { return ns_ * 1e-6; }
+
+  friend constexpr auto operator<=>(TimeNs, TimeNs) = default;
+
+  constexpr TimeNs& operator+=(TimeNs o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ + b.ns_};
+  }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ - b.ns_};
+  }
+  friend constexpr TimeNs operator*(TimeNs a, std::int64_t k) {
+    return TimeNs{a.ns_ * k};
+  }
+  friend constexpr TimeNs operator*(std::int64_t k, TimeNs a) { return a * k; }
+  /// Truncating division: how many whole `b` spans fit in `a`.
+  friend constexpr std::int64_t operator/(TimeNs a, TimeNs b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr TimeNs operator/(TimeNs a, std::int64_t k) {
+    return TimeNs{a.ns_ / k};
+  }
+  friend constexpr TimeNs operator%(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ % b.ns_};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TimeNs t) {
+    return os << t.ns_ << "ns";
+  }
+
+ private:
+  constexpr explicit TimeNs(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace csmabw

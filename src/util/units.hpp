@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/require.hpp"
+#include "util/time.hpp"
+
+namespace csmabw {
+
+/// A data rate in bits per second.
+///
+/// Rates in this library are network-layer rates over the probe packet
+/// size L (the paper's `ri = L / gI`); MAC/PHY overheads are accounted
+/// for by the MAC model, not folded into the rate type.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+
+  [[nodiscard]] static constexpr BitRate bps(double v) { return BitRate{v}; }
+  [[nodiscard]] static constexpr BitRate kbps(double v) {
+    return BitRate{v * 1e3};
+  }
+  [[nodiscard]] static constexpr BitRate mbps(double v) {
+    return BitRate{v * 1e6};
+  }
+
+  [[nodiscard]] constexpr double to_bps() const { return bps_; }
+  [[nodiscard]] constexpr double to_mbps() const { return bps_ / 1e6; }
+
+  /// Inter-packet gap that sends `payload_bytes`-byte packets at this rate.
+  [[nodiscard]] TimeNs gap_for(int payload_bytes) const {
+    CSMABW_REQUIRE(bps_ > 0.0, "rate must be positive to derive a gap");
+    CSMABW_REQUIRE(payload_bytes > 0, "payload must be positive");
+    return TimeNs::from_seconds(payload_bytes * 8.0 / bps_);
+  }
+
+  /// Rate achieved by sending `payload_bytes`-byte packets every `gap`.
+  [[nodiscard]] static BitRate from_gap(int payload_bytes, TimeNs gap) {
+    CSMABW_REQUIRE(gap > TimeNs::zero(), "gap must be positive");
+    return BitRate{payload_bytes * 8.0 / gap.to_seconds()};
+  }
+
+  friend constexpr auto operator<=>(BitRate, BitRate) = default;
+  friend constexpr BitRate operator+(BitRate a, BitRate b) {
+    return BitRate{a.bps_ + b.bps_};
+  }
+  friend constexpr BitRate operator-(BitRate a, BitRate b) {
+    return BitRate{a.bps_ - b.bps_};
+  }
+  friend constexpr BitRate operator*(BitRate a, double k) {
+    return BitRate{a.bps_ * k};
+  }
+  friend constexpr BitRate operator*(double k, BitRate a) { return a * k; }
+  friend constexpr double operator/(BitRate a, BitRate b) {
+    return a.bps_ / b.bps_;
+  }
+
+ private:
+  constexpr explicit BitRate(double v) : bps_(v) {}
+  double bps_ = 0.0;
+};
+
+/// Throughput of `bits` delivered over `span`.
+[[nodiscard]] inline BitRate throughput(std::int64_t bits, TimeNs span) {
+  CSMABW_REQUIRE(span > TimeNs::zero(), "span must be positive");
+  return BitRate::bps(static_cast<double>(bits) / span.to_seconds());
+}
+
+}  // namespace csmabw

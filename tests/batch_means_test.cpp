@@ -1,0 +1,86 @@
+#include "stats/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+namespace {
+
+TEST(BatchMeans, IidSeriesCoversTrueMean) {
+  Rng rng(1);
+  int covered = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) {
+      xs.push_back(rng.exponential(3.0));
+    }
+    const BatchMeansResult r = batch_means_ci(xs, 20);
+    if (r.contains(3.0)) {
+      ++covered;
+    }
+  }
+  // ~95% nominal coverage; allow generous slack over 40 trials.
+  EXPECT_GE(covered, 33);
+}
+
+TEST(BatchMeans, WiderIntervalForCorrelatedSeries) {
+  // AR(1) with strong positive correlation: the CI must widen relative
+  // to an IID series of the same marginal variance.
+  Rng rng(2);
+  std::vector<double> iid;
+  std::vector<double> ar1;
+  double prev = 0.0;
+  const double phi = 0.95;
+  const double innovation_sd = std::sqrt(1.0 - phi * phi);
+  for (int i = 0; i < 20000; ++i) {
+    const double z = rng.uniform(-1.0, 1.0) * std::sqrt(3.0);  // unit var
+    iid.push_back(z);
+    prev = phi * prev + innovation_sd * z;
+    ar1.push_back(prev);
+  }
+  const BatchMeansResult r_iid = batch_means_ci(iid, 20);
+  const BatchMeansResult r_ar1 = batch_means_ci(ar1, 20);
+  EXPECT_GT(r_ar1.half_width, 2.0 * r_iid.half_width);
+}
+
+TEST(BatchMeans, HandComputedTwoBatches) {
+  const std::vector<double> xs{1.0, 1.0, 3.0, 3.0};
+  const BatchMeansResult r = batch_means_ci(xs, 2);
+  EXPECT_DOUBLE_EQ(r.mean, 2.0);
+  // Batch means 1 and 3: s = sqrt(2), sem = 1, t(1) = 12.706.
+  EXPECT_NEAR(r.half_width, 12.706, 1e-9);
+  EXPECT_EQ(r.batches, 2);
+}
+
+TEST(BatchMeans, RejectsBadInput) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)batch_means_ci(xs, 1), util::PreconditionError);
+  EXPECT_THROW((void)batch_means_ci(xs, 4), util::PreconditionError);
+}
+
+TEST(Autocorrelation, DetectsStructure) {
+  Rng rng(3);
+  std::vector<double> alternating;
+  std::vector<double> noise;
+  for (int i = 0; i < 5000; ++i) {
+    alternating.push_back(i % 2 == 0 ? 1.0 : -1.0);
+    noise.push_back(rng.uniform(-1.0, 1.0));
+  }
+  EXPECT_NEAR(autocorrelation(alternating, 1), -1.0, 0.01);
+  EXPECT_NEAR(autocorrelation(alternating, 2), 1.0, 0.01);
+  EXPECT_NEAR(autocorrelation(noise, 1), 0.0, 0.05);
+}
+
+TEST(Autocorrelation, RejectsBadLag) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)autocorrelation(xs, 0), util::PreconditionError);
+  EXPECT_THROW((void)autocorrelation(xs, 2), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::stats

@@ -1,0 +1,81 @@
+#include "mac/bianchi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace csmabw::mac {
+namespace {
+
+TEST(Bianchi, SingleStationNoCollisions) {
+  const BianchiResult r =
+      bianchi_saturation(PhyParams::dot11b_short(), 1, 1500);
+  EXPECT_DOUBLE_EQ(r.p, 0.0);
+  // tau = 2/(W+1) with W = CWmin + 1 = 32.
+  EXPECT_NEAR(r.tau, 2.0 / 33.0, 1e-9);
+}
+
+TEST(Bianchi, SingleStationNearAnalyticServiceRate) {
+  const PhyParams phy = PhyParams::dot11b_short();
+  const BianchiResult r = bianchi_saturation(phy, 1, 1500);
+  // For n = 1 the Bianchi throughput equals the single-station service
+  // cycle rate up to the slot-process approximation.
+  EXPECT_NEAR(r.aggregate.to_mbps(), phy.saturation_rate(1500).to_mbps(),
+              0.05);
+}
+
+TEST(Bianchi, CollisionProbabilityGrowsWithStations) {
+  const PhyParams phy = PhyParams::dot11b_short();
+  double prev = 0.0;
+  for (int n : {2, 3, 5, 10, 20}) {
+    const BianchiResult r = bianchi_saturation(phy, n, 1500);
+    EXPECT_GT(r.p, prev);
+    EXPECT_LT(r.p, 1.0);
+    prev = r.p;
+  }
+}
+
+TEST(Bianchi, PerStationShareDecreasesWithStations) {
+  const PhyParams phy = PhyParams::dot11b_short();
+  double prev = 1e18;
+  for (int n : {1, 2, 4, 8}) {
+    const BianchiResult r = bianchi_saturation(phy, n, 1500);
+    EXPECT_LT(r.per_station.to_bps(), prev);
+    EXPECT_NEAR(r.per_station.to_bps() * n, r.aggregate.to_bps(), 1.0);
+    prev = r.per_station.to_bps();
+  }
+}
+
+TEST(Bianchi, AggregateDegradesGracefully) {
+  // Aggregate saturation throughput shrinks with contention but stays
+  // within a sane band (collisions waste channel time, they do not
+  // collapse it for moderate n).
+  const PhyParams phy = PhyParams::dot11b_short();
+  const double agg2 = bianchi_saturation(phy, 2, 1500).aggregate.to_mbps();
+  const double agg10 = bianchi_saturation(phy, 10, 1500).aggregate.to_mbps();
+  EXPECT_GT(agg2, agg10);
+  EXPECT_GT(agg10, 0.5 * agg2);
+}
+
+TEST(Bianchi, TauConsistentWithP) {
+  const BianchiResult r =
+      bianchi_saturation(PhyParams::dot11b_short(), 5, 1500);
+  // The returned pair must satisfy the coupled fixed point.
+  EXPECT_NEAR(r.p, 1.0 - std::pow(1.0 - r.tau, 4), 1e-6);
+}
+
+TEST(Bianchi, LargerPayloadHigherThroughput) {
+  const PhyParams phy = PhyParams::dot11b_short();
+  EXPECT_GT(bianchi_saturation(phy, 3, 1500).aggregate.to_bps(),
+            bianchi_saturation(phy, 3, 200).aggregate.to_bps());
+}
+
+TEST(Bianchi, RejectsBadInput) {
+  EXPECT_THROW((void)bianchi_saturation(PhyParams::dot11b_short(), 0, 1500),
+               util::PreconditionError);
+  EXPECT_THROW((void)bianchi_saturation(PhyParams::dot11b_short(), 2, 0),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::mac

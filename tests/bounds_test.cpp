@@ -1,0 +1,186 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+/// A transient-shaped mean access delay: rises from lo to hi over the
+/// first `ramp` packets (the paper's Fig 6 shape).
+std::vector<double> ramp_mu(int n, int ramp, double lo, double hi) {
+  std::vector<double> mu(static_cast<std::size_t>(n), hi);
+  for (int i = 0; i < ramp && i < n; ++i) {
+    mu[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / ramp;
+  }
+  return mu;
+}
+
+TEST(MuSummary, HandComputed) {
+  const std::vector<double> mu{1.0, 2.0, 3.0, 4.0};
+  const MuSummary s = summarize_mu(mu);
+  EXPECT_EQ(s.n, 4);
+  EXPECT_DOUBLE_EQ(s.s1, (1.0 + 2.0 + 3.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.s2, (2.0 + 3.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.kappa_mu, (4.0 - 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_all, 2.5);
+}
+
+TEST(MuSummary, IncreasingDelaysOrderS1BelowS2) {
+  const MuSummary s = summarize_mu(ramp_mu(50, 20, 0.001, 0.003));
+  // Paper Eq. (35): S1 <= S2 <= E[mu_n] when mu is increasing.
+  EXPECT_LE(s.s1, s.s2);
+  EXPECT_LE(s.s2, 0.003);
+  EXPECT_GE(s.kappa_mu, 0.0);
+}
+
+TEST(MuSummary, RejectsShortOrNegative) {
+  EXPECT_THROW((void)summarize_mu(std::vector<double>{1.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)summarize_mu(std::vector<double>{1.0, -0.1}),
+               util::PreconditionError);
+}
+
+TEST(BoundsNoFifo, Equations33And34Regions) {
+  const MuSummary s = summarize_mu(ramp_mu(20, 10, 0.001, 0.002));
+  // Low rate (large gap): lower = gI + kappa, upper = gI.
+  {
+    const double gap = 0.01;  // far above S2
+    const GapBounds b = expected_gap_bounds_nofifo(s, gap);
+    EXPECT_DOUBLE_EQ(b.lower_s, gap + s.kappa_mu);
+    EXPECT_DOUBLE_EQ(b.upper_s, gap);
+  }
+  // High rate (gap below S2 - kappa region): lower = S2, upper = S2.
+  {
+    const double gap = 0.0001;
+    const GapBounds b = expected_gap_bounds_nofifo(s, gap);
+    EXPECT_DOUBLE_EQ(b.lower_s, s.s2);
+    EXPECT_DOUBLE_EQ(b.upper_s, s.s2);
+  }
+}
+
+TEST(BoundsNoFifo, LowerBoundContinuousAtKnee) {
+  const MuSummary s = summarize_mu(ramp_mu(20, 10, 0.001, 0.002));
+  const double knee = s.s2 - s.kappa_mu;  // == S1 for the no-FIFO case
+  const GapBounds below = expected_gap_bounds_nofifo(s, knee - 1e-9);
+  const GapBounds above = expected_gap_bounds_nofifo(s, knee + 1e-9);
+  EXPECT_NEAR(below.lower_s, above.lower_s, 1e-8);
+}
+
+TEST(BoundsNoFifo, CrossingReconciled) {
+  // At large gaps the paper's lower bound gI + kappa exceeds the upper
+  // bound gI by kappa; reconciled() must produce a proper interval.
+  const MuSummary s = summarize_mu(ramp_mu(10, 5, 0.001, 0.003));
+  const GapBounds b = expected_gap_bounds_nofifo(s, 0.05);
+  EXPECT_GT(b.lower_s, b.upper_s);  // the paper's stated bounds cross
+  const GapBounds r = b.reconciled();
+  EXPECT_LE(r.lower_s, r.upper_s);
+  EXPECT_DOUBLE_EQ(r.lower_s, b.upper_s);
+}
+
+TEST(BoundsGeneral, ReducesToNoFifoAtZeroUtilization) {
+  const MuSummary s = summarize_mu(ramp_mu(30, 10, 0.001, 0.002));
+  for (double gap : {0.0001, 0.002, 0.05}) {
+    const GapBounds a = expected_gap_bounds(s, gap, 0.0, 0.0);
+    const GapBounds b = expected_gap_bounds_nofifo(s, gap);
+    EXPECT_DOUBLE_EQ(a.lower_s, b.lower_s);
+    EXPECT_DOUBLE_EQ(a.upper_s, b.upper_s);
+  }
+}
+
+TEST(BoundsGeneral, Equation30ThreeRegions) {
+  const MuSummary s = summarize_mu(ramp_mu(20, 10, 0.001, 0.002));
+  const double u = 0.3;
+  const double kappa = s.kappa_mu;
+  const double upper_knee = (s.s1 + kappa) / u;
+  // Region 1: very large gap.
+  {
+    const GapBounds b = expected_gap_bounds(s, upper_knee * 2, u);
+    EXPECT_DOUBLE_EQ(b.upper_s, upper_knee * 2 + s.s1 + kappa);
+  }
+  // Region 2: between S2 and the knee.
+  {
+    const double gap = (s.s2 + upper_knee) / 2;
+    const GapBounds b = expected_gap_bounds(s, gap, u);
+    EXPECT_DOUBLE_EQ(b.upper_s, (u + 1.0) * gap);
+  }
+  // Region 3: below S2.
+  {
+    const double gap = s.s2 / 2;
+    const GapBounds b = expected_gap_bounds(s, gap, u);
+    EXPECT_DOUBLE_EQ(b.upper_s, s.s2 + u * gap);
+  }
+}
+
+TEST(BoundsGeneral, UpperBoundContinuousAcrossRegions) {
+  const MuSummary s = summarize_mu(ramp_mu(25, 12, 0.0008, 0.0021));
+  const double u = 0.35;
+  const double k1 = s.s2;
+  const double k2 = (s.s1 + s.kappa_mu) / u;
+  for (double knee : {k1, k2}) {
+    const double lo = expected_gap_bounds(s, knee - 1e-9, u).upper_s;
+    const double hi = expected_gap_bounds(s, knee + 1e-9, u).upper_s;
+    EXPECT_NEAR(lo, hi, 1e-8);
+  }
+}
+
+TEST(BoundsGeneral, WorkloadDriftShiftsKappa) {
+  const MuSummary s = summarize_mu(ramp_mu(20, 10, 0.001, 0.002));
+  const double gap = 0.05;
+  const GapBounds without = expected_gap_bounds(s, gap, 0.2, 0.0);
+  const GapBounds with = expected_gap_bounds(s, gap, 0.2, 0.0005);
+  EXPECT_DOUBLE_EQ(with.lower_s, without.lower_s + 0.0005);
+}
+
+TEST(BoundsGeneral, MonotoneInGapOutsideCrossover) {
+  const MuSummary s = summarize_mu(ramp_mu(40, 15, 0.001, 0.0025));
+  double prev_lower = 0.0;
+  double prev_upper = 0.0;
+  for (double gap = 1e-4; gap < 2e-2; gap *= 1.5) {
+    const GapBounds b = expected_gap_bounds(s, gap, 0.25).reconciled();
+    EXPECT_GE(b.lower_s, prev_lower - 1e-12);
+    EXPECT_GE(b.upper_s, prev_upper - 1e-12);
+    prev_lower = b.lower_s;
+    prev_upper = b.upper_s;
+  }
+}
+
+TEST(BoundsGeneral, RejectsBadInput) {
+  const MuSummary s = summarize_mu(ramp_mu(10, 5, 0.001, 0.002));
+  EXPECT_THROW((void)expected_gap_bounds(s, -1.0, 0.2),
+               util::PreconditionError);
+  EXPECT_THROW((void)expected_gap_bounds(s, 0.001, 1.0),
+               util::PreconditionError);
+}
+
+TEST(TrainAchievable, Equation31) {
+  const std::vector<double> mu{0.002, 0.002, 0.002, 0.002};
+  const MuSummary s = summarize_mu(mu);
+  // L/B = mean(mu): B = 1500*8/0.002 = 6 Mb/s.
+  EXPECT_NEAR(train_achievable_bps(1500, s, 0.0), 6e6, 1.0);
+}
+
+TEST(TrainAchievable, Equation36ScalesWithUtilization) {
+  const std::vector<double> mu{0.002, 0.002};
+  const MuSummary s = summarize_mu(mu);
+  EXPECT_NEAR(train_achievable_bps(1500, s, 0.5),
+              0.5 * train_achievable_bps(1500, s, 0.0), 1e-6);
+}
+
+TEST(TrainAchievable, TransientInflatesB) {
+  // Short trains see smaller mean mu -> optimistic B (the paper's core
+  // bias result, in closed form).
+  const auto mu_long = ramp_mu(200, 20, 0.001, 0.002);
+  const auto mu_short =
+      std::vector<double>(mu_long.begin(), mu_long.begin() + 5);
+  const double b_short =
+      train_achievable_bps(1500, summarize_mu(mu_short), 0.0);
+  const double b_long = train_achievable_bps(1500, summarize_mu(mu_long), 0.0);
+  EXPECT_GT(b_short, b_long);
+}
+
+}  // namespace
+}  // namespace csmabw::core

@@ -1,0 +1,139 @@
+// Property sweeps over the DCF simulator: invariants that must hold for
+// any contention level, load and train shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/scenario.hpp"
+#include "mac/wlan.hpp"
+#include "traffic/flow_meter.hpp"
+#include "traffic/source.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+/// (number of contenders, per-contender offered rate in Mb/s)
+using SweepParam = std::tuple<int, double>;
+
+class DcfSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  ScenarioConfig config(std::uint64_t seed) const {
+    const auto [n, mbps] = GetParam();
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    for (int i = 0; i < n; ++i) {
+      cfg.contenders.push_back({BitRate::mbps(mbps), 1500});
+    }
+    return cfg;
+  }
+};
+
+TEST_P(DcfSweep, ProbeTimestampsWellFormed) {
+  Scenario sc(config(61));
+  traffic::TrainSpec spec;
+  spec.n = 50;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(5.0).gap_for(1500);
+  const TrainRun run = sc.run_train(spec, 0);
+  ASSERT_EQ(run.packets.size(), 50u);
+
+  const TimeNs airtime = sc.config().phy.data_tx_time(1500);
+  for (std::size_t i = 0; i < run.packets.size(); ++i) {
+    const auto& p = run.packets[i];
+    EXPECT_EQ(p.seq, static_cast<int>(i));
+    // Arrivals are exactly periodic.
+    if (i > 0) {
+      EXPECT_EQ(p.enqueue_time - run.packets[i - 1].enqueue_time, spec.gap);
+      EXPECT_GT(p.depart_time, run.packets[i - 1].depart_time);
+      // FIFO: later packets reach the head no earlier.
+      EXPECT_GE(p.head_time, run.packets[i - 1].head_time);
+    }
+    EXPECT_GE(p.head_time, p.enqueue_time);
+    if (!p.dropped) {
+      // Service takes at least the frame airtime.
+      EXPECT_GE(p.depart_time - p.head_time, airtime);
+      // And stays sane even under heavy contention.
+      EXPECT_LT(p.depart_time - p.head_time, TimeNs::sec(2));
+    }
+  }
+}
+
+TEST_P(DcfSweep, ThroughputConservation) {
+  const auto [n, mbps] = GetParam();
+  const ScenarioConfig cfg = config(62);
+  Scenario sc(cfg);
+  const auto r = sc.run_steady_state(BitRate::mbps(2.0), 1500,
+                                     TimeNs::sec(5), TimeNs::sec(1));
+  // The probe never exceeds its offered rate (CBR: tiny windowing slack).
+  EXPECT_LE(r.probe.to_mbps(), 2.0 * 1.05);
+  EXPECT_GT(r.probe.to_mbps(), 0.0);
+  // Contenders never exceed their aggregate offered rate beyond the
+  // Poisson fluctuation of the 4-second window (4 sigma).
+  if (n > 0) {
+    const double pkts = n * mbps * 1e6 / (1500 * 8) * 4.0;
+    const double slack = 4.0 / std::sqrt(pkts);
+    EXPECT_LE(r.contenders_total.to_mbps(), n * mbps * (1.0 + slack));
+  }
+  // Aggregate stays below the single-station saturation envelope times a
+  // small collision-free margin (nothing is created from thin air).
+  const double envelope =
+      cfg.phy.saturation_rate(1500).to_mbps() * 1.15;
+  EXPECT_LE(r.probe.to_mbps() + r.contenders_total.to_mbps(), envelope);
+}
+
+TEST_P(DcfSweep, RepetitionsDeterministic) {
+  Scenario sc(config(63));
+  traffic::TrainSpec spec;
+  spec.n = 10;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(4.0).gap_for(1500);
+  const TrainRun a = sc.run_train(spec, 5);
+  const TrainRun b = sc.run_train(spec, 5);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].depart_time, b.packets[i].depart_time);
+    EXPECT_EQ(a.packets[i].retries, b.packets[i].retries);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContendersAndLoads, DcfSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4),
+                       ::testing::Values(0.5, 2.0, 4.0)));
+
+/// Station-level conservation across random mixed traffic, including
+/// heterogeneous sizes and a saturated station.
+TEST(DcfConservation, MixedTrafficAccounting) {
+  mac::WlanNetwork net(mac::PhyParams::dot11b_short(), 64);
+  auto& a = net.add_station();
+  auto& b = net.add_station();
+  auto& c = net.add_station();
+  traffic::PoissonSource sa(net.simulator(), a, 0, 300, BitRate::mbps(1.5),
+                            net.rng("a"));
+  traffic::PoissonSource sb(net.simulator(), b, 1, 1500, BitRate::mbps(3.0),
+                            net.rng("b"));
+  traffic::CbrSource scbr(net.simulator(), c, 2, 1000,
+                          BitRate::mbps(12.0).gap_for(1000));  // saturated
+  sa.start(TimeNs::zero());
+  sb.start(TimeNs::zero());
+  scbr.start(TimeNs::zero());
+  net.simulator().run_until(TimeNs::sec(4));
+
+  std::uint64_t delivered = 0;
+  for (mac::DcfStation* st : {&a, &b, &c}) {
+    EXPECT_EQ(st->stats().enqueued, st->stats().delivered +
+                                        st->stats().dropped +
+                                        st->queue_length());
+    EXPECT_GE(st->stats().attempts, st->stats().delivered);
+    delivered += st->stats().delivered;
+  }
+  // Medium-level and station-level success counts agree.
+  EXPECT_EQ(net.medium().stats().successes, delivered);
+  // The channel cannot be busy longer than the experiment.
+  EXPECT_LE(net.medium().stats().busy_time, TimeNs::sec(4));
+}
+
+}  // namespace
+}  // namespace csmabw::core

@@ -1,0 +1,71 @@
+#include "stats/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+namespace {
+
+TEST(EnsembleSeries, PerIndexMeans) {
+  EnsembleSeries e(3, 3, 1);
+  e.add_repetition(std::vector<double>{1.0, 2.0, 3.0});
+  e.add_repetition(std::vector<double>{3.0, 4.0, 5.0});
+  EXPECT_EQ(e.repetitions(), 2);
+  EXPECT_DOUBLE_EQ(e.mean_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(e.mean_at(1), 3.0);
+  EXPECT_DOUBLE_EQ(e.mean_at(2), 4.0);
+  const auto means = e.means();
+  EXPECT_EQ(means, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(EnsembleSeries, RawSamplesRetainedForPrefix) {
+  EnsembleSeries e(4, 2, 1);
+  e.add_repetition(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  e.add_repetition(std::vector<double>{5.0, 6.0, 7.0, 8.0});
+  const auto raw0 = e.raw_at(0);
+  ASSERT_EQ(raw0.size(), 2u);
+  EXPECT_DOUBLE_EQ(raw0[0], 1.0);
+  EXPECT_DOUBLE_EQ(raw0[1], 5.0);
+  EXPECT_THROW((void)e.raw_at(2), util::PreconditionError);
+}
+
+TEST(EnsembleSeries, SteadyPoolCollectsTail) {
+  EnsembleSeries e(4, 0, 2);
+  e.add_repetition(std::vector<double>{1.0, 2.0, 10.0, 20.0});
+  e.add_repetition(std::vector<double>{3.0, 4.0, 30.0, 40.0});
+  ASSERT_EQ(e.steady_pool().size(), 4u);
+  EXPECT_DOUBLE_EQ(e.steady_mean(), 25.0);
+}
+
+TEST(EnsembleSeries, StatExposesSpread) {
+  EnsembleSeries e(1, 0, 1);
+  e.add_repetition(std::vector<double>{2.0});
+  e.add_repetition(std::vector<double>{4.0});
+  EXPECT_DOUBLE_EQ(e.stat_at(0).mean(), 3.0);
+  EXPECT_DOUBLE_EQ(e.stat_at(0).variance(), 2.0);
+}
+
+TEST(EnsembleSeries, RejectsWrongLength) {
+  EnsembleSeries e(3, 0, 1);
+  EXPECT_THROW(e.add_repetition(std::vector<double>{1.0}),
+               util::PreconditionError);
+}
+
+TEST(EnsembleSeries, RejectsBadConfig) {
+  EXPECT_THROW(EnsembleSeries(0, 0, 0), util::PreconditionError);
+  EXPECT_THROW(EnsembleSeries(3, 4, 0), util::PreconditionError);
+  EXPECT_THROW(EnsembleSeries(3, 0, 4), util::PreconditionError);
+}
+
+TEST(EnsembleSeries, IndexBoundsChecked) {
+  EnsembleSeries e(2, 0, 1);
+  e.add_repetition(std::vector<double>{1.0, 2.0});
+  EXPECT_THROW((void)e.mean_at(2), util::PreconditionError);
+  EXPECT_THROW((void)e.mean_at(-1), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::stats

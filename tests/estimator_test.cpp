@@ -1,0 +1,137 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/queueing_transport.hpp"
+#include "core/scenario.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+/// A queueing link whose steady-state service rate corresponds to 6 Mb/s
+/// for 1500-byte packets (service 2 ms), with an accelerated head that
+/// mimics the WLAN transient.
+QueueingTransport::Config transient_link() {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int index, stats::Rng& rng) {
+    const double level = index < 6 ? 0.0012 : 0.002;
+    return rng.uniform(level * 0.95, level * 1.05);
+  };
+  return cfg;
+}
+
+TEST(Estimator, MeasureRateTransparentBelowCapacity) {
+  QueueingTransport t(transient_link());
+  EstimatorOptions opt;
+  opt.train_length = 30;
+  opt.trains_per_rate = 5;
+  BandwidthEstimator est(t, opt);
+  const RateResponsePoint p = est.measure_rate(2e6);
+  EXPECT_NEAR(p.output_bps, 2e6, 0.05e6);
+}
+
+TEST(Estimator, SweepFitsAchievableThroughput) {
+  QueueingTransport t(transient_link());
+  EstimatorOptions opt;
+  opt.train_length = 50;
+  opt.trains_per_rate = 8;
+  BandwidthEstimator est(t, opt);
+  std::vector<double> rates;
+  for (double r = 1e6; r <= 10e6; r += 1e6) {
+    rates.push_back(r);
+  }
+  const SweepResult sweep = est.sweep(rates);
+  EXPECT_EQ(sweep.curve.points.size(), rates.size());
+  // Steady service 2 ms -> 6 Mb/s; the transient inflates it slightly.
+  EXPECT_NEAR(sweep.fitted_achievable_bps, 6e6, 0.7e6);
+}
+
+TEST(Estimator, MserCorrectionTightensShortTrainEstimate) {
+  // Short trains + transient: the raw estimate overshoots the
+  // steady-state achievable throughput; MSER-2 pulls it back (Fig 17).
+  EstimatorOptions raw_opt;
+  raw_opt.train_length = 20;
+  raw_opt.trains_per_rate = 40;
+  EstimatorOptions mser_opt = raw_opt;
+  mser_opt.mser_correction = true;
+
+  QueueingTransport t_raw(transient_link());
+  QueueingTransport t_mser(transient_link());
+  BandwidthEstimator raw(t_raw, raw_opt);
+  BandwidthEstimator corrected(t_mser, mser_opt);
+
+  const double probe_rate = 9e6;  // well above the 6 Mb/s steady rate
+  const double steady = 6e6;
+  const double raw_err =
+      std::abs(raw.measure_rate(probe_rate).output_bps - steady);
+  const double cor_err =
+      std::abs(corrected.measure_rate(probe_rate).output_bps - steady);
+  EXPECT_LT(cor_err, raw_err);
+}
+
+TEST(Estimator, AdaptiveSearchConvergesOnWlan) {
+  ScenarioConfig cfg;
+  cfg.seed = 31;
+  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  SimTransport t(cfg);
+  EstimatorOptions opt;
+  opt.train_length = 40;
+  opt.trains_per_rate = 3;
+  opt.max_iterations = 10;
+  BandwidthEstimator est(t, opt);
+  const double b = est.estimate_achievable_bps();
+  // Fair share against a 4 Mb/s contender on a ~6.9 Mb/s link is around
+  // 3.4-3.9 Mb/s; the adaptive search must land in that region.
+  EXPECT_GT(b, 2.8e6);
+  EXPECT_LT(b, 5.0e6);
+}
+
+TEST(Estimator, SweepOnWlanFlattensAtFairShare) {
+  ScenarioConfig cfg;
+  cfg.seed = 32;
+  cfg.contenders.push_back({BitRate::mbps(4.5), 1500});
+  SimTransport t(cfg);
+  EstimatorOptions opt;
+  opt.train_length = 60;
+  opt.trains_per_rate = 4;
+  BandwidthEstimator est(t, opt);
+  const SweepResult sweep =
+      est.sweep({1e6, 2e6, 3e6, 5e6, 7e6, 9e6});
+  // Low rates pass through; high rates flatten near the fair share.
+  EXPECT_NEAR(sweep.curve.points[0].output_bps, 1e6, 0.1e6);
+  EXPECT_LT(sweep.curve.points[5].output_bps, 5e6);
+  EXPECT_GT(sweep.fitted_achievable_bps, 2.5e6);
+  EXPECT_LT(sweep.fitted_achievable_bps, 5e6);
+}
+
+TEST(Estimator, ValidatesOptions) {
+  QueueingTransport t(transient_link());
+  EstimatorOptions opt;
+  opt.train_length = 2;
+  EXPECT_THROW(BandwidthEstimator(t, opt), util::PreconditionError);
+  opt = EstimatorOptions{};
+  opt.rel_tol = 0.0;
+  EXPECT_THROW(BandwidthEstimator(t, opt), util::PreconditionError);
+  opt = EstimatorOptions{};
+  opt.max_rate_bps = opt.min_rate_bps;
+  EXPECT_THROW(BandwidthEstimator(t, opt), util::PreconditionError);
+}
+
+TEST(Estimator, MeasureRateRejectsNonPositive) {
+  QueueingTransport t(transient_link());
+  BandwidthEstimator est(t, EstimatorOptions{});
+  EXPECT_THROW((void)est.measure_rate(0.0), util::PreconditionError);
+}
+
+TEST(Estimator, SweepNeedsTwoRates) {
+  QueueingTransport t(transient_link());
+  BandwidthEstimator est(t, EstimatorOptions{});
+  EXPECT_THROW((void)est.sweep({1e6}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::core

@@ -1,0 +1,111 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace csmabw::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs::us(30), [&] { order.push_back(3); });
+  q.schedule(TimeNs::us(10), [&] { order.push_back(1); });
+  q.schedule(TimeNs::us(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop_and_run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(TimeNs::us(7), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop_and_run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  auto h = q.schedule(TimeNs::us(1), [&] { order.push_back(1); });
+  q.schedule(TimeNs::us(2), [&] { order.push_back(2); });
+  h.cancel();
+  while (!q.empty()) {
+    q.pop_and_run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  auto h = q.schedule(TimeNs::us(1), [] {});
+  EXPECT_TRUE(h.scheduled());
+  q.pop_and_run();
+  EXPECT_FALSE(h.scheduled());
+  h.cancel();  // no effect after firing
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DefaultHandleIsUnscheduled) {
+  EventHandle h;
+  EXPECT_FALSE(h.scheduled());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueue, NextTimeSeesEarliestLiveEvent) {
+  EventQueue q;
+  auto h = q.schedule(TimeNs::us(1), [] {});
+  q.schedule(TimeNs::us(5), [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), TimeNs::us(5));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto h1 = q.schedule(TimeNs::us(1), [] {});
+  q.schedule(TimeNs::us(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  h1.cancel();
+  EXPECT_TRUE(!q.empty());
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs::us(1), [&] {
+    order.push_back(1);
+    q.schedule(TimeNs::us(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) {
+    q.pop_and_run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PopOnEmptyIsAnError) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop_and_run(), util::PreconditionError);
+  EXPECT_THROW((void)q.next_time(), util::PreconditionError);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW((void)q.schedule(TimeNs::us(1), nullptr),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::sim

@@ -1,0 +1,187 @@
+#include "queueing/fifo_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::queueing {
+namespace {
+
+TEST(FifoTrace, HandComputedLindley) {
+  // Arrivals 0, 1, 5 with services 2, 3, 1 (ms):
+  // depart: 2, 2+3=5 (waits 1ms), arrives at 5 -> departs 6.
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(0), TimeNs::ms(2), 0},
+      {TimeNs::ms(1), TimeNs::ms(3), 0},
+      {TimeNs::ms(5), TimeNs::ms(1), 0},
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  ASSERT_EQ(r.jobs().size(), 3u);
+  EXPECT_EQ(r.jobs()[0].depart, TimeNs::ms(2));
+  EXPECT_EQ(r.jobs()[1].start, TimeNs::ms(2));
+  EXPECT_EQ(r.jobs()[1].depart, TimeNs::ms(5));
+  EXPECT_EQ(r.jobs()[1].wait(), TimeNs::ms(1));
+  EXPECT_EQ(r.jobs()[2].start, TimeNs::ms(5));
+  EXPECT_EQ(r.jobs()[2].depart, TimeNs::ms(6));
+  EXPECT_EQ(r.jobs()[2].wait(), TimeNs::zero());
+}
+
+TEST(FifoTrace, SortsArrivalsStably) {
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(5), TimeNs::ms(1), 1},
+      {TimeNs::ms(0), TimeNs::ms(1), 2},
+      {TimeNs::ms(5), TimeNs::ms(1), 3},  // tie with flow 1: keeps order
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  EXPECT_EQ(r.jobs()[0].job.flow, 2);
+  EXPECT_EQ(r.jobs()[1].job.flow, 1);
+  EXPECT_EQ(r.jobs()[2].job.flow, 3);
+}
+
+TEST(FifoTrace, WorkloadSteps) {
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(0), TimeNs::ms(2), 0},
+      {TimeNs::ms(1), TimeNs::ms(3), 0},
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  // W(t) = remaining unfinished work.
+  EXPECT_EQ(r.workload_at(TimeNs::ms(0)), TimeNs::ms(2));   // job 0 whole
+  EXPECT_EQ(r.workload_at(TimeNs::ms(1)), TimeNs::ms(4));   // 1 left + 3
+  EXPECT_EQ(r.workload_at(TimeNs::ms(4)), TimeNs::ms(1));
+  EXPECT_EQ(r.workload_at(TimeNs::ms(5)), TimeNs::zero());
+  EXPECT_EQ(r.workload_at(TimeNs::ms(100)), TimeNs::zero());
+}
+
+TEST(FifoTrace, WorkloadBeforeFirstArrivalIsZero) {
+  std::vector<TraceJob> jobs{{TimeNs::ms(10), TimeNs::ms(2), 0}};
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  EXPECT_EQ(r.workload_at(TimeNs::ms(9)), TimeNs::zero());
+}
+
+TEST(FifoTrace, QueueLengthAtInstants) {
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(0), TimeNs::ms(2), 0},
+      {TimeNs::ms(1), TimeNs::ms(3), 0},
+      {TimeNs::ms(5), TimeNs::ms(1), 0},
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  EXPECT_EQ(r.queue_length_at(TimeNs::us(500)), 1);
+  EXPECT_EQ(r.queue_length_at(TimeNs::ms(1)), 2);
+  EXPECT_EQ(r.queue_length_at(TimeNs::ms(2)), 1);  // job 0 departed
+  EXPECT_EQ(r.queue_length_at(TimeNs::ms(6)), 0);
+}
+
+TEST(FifoTrace, UtilizationOverWindows) {
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(0), TimeNs::ms(2), 0},
+      {TimeNs::ms(10), TimeNs::ms(2), 0},
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  // Busy [0,2) and [10,12) within [0,20): 4/20.
+  EXPECT_NEAR(r.utilization(TimeNs::ms(0), TimeNs::ms(20)), 0.2, 1e-12);
+  EXPECT_NEAR(r.utilization(TimeNs::ms(0), TimeNs::ms(2)), 1.0, 1e-12);
+  EXPECT_NEAR(r.utilization(TimeNs::ms(2), TimeNs::ms(10)), 0.0, 1e-12);
+}
+
+TEST(FifoTrace, BusyPeriodsMerge) {
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(0), TimeNs::ms(2), 0},
+      {TimeNs::ms(2), TimeNs::ms(1), 0},  // arrives exactly at drain
+      {TimeNs::ms(10), TimeNs::ms(1), 0},
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  ASSERT_EQ(r.busy_periods().size(), 2u);
+  EXPECT_EQ(r.busy_periods()[0].first, TimeNs::ms(0));
+  EXPECT_EQ(r.busy_periods()[0].second, TimeNs::ms(3));
+  EXPECT_EQ(r.busy_periods()[1].first, TimeNs::ms(10));
+}
+
+TEST(FifoTrace, OfferedWorkloadCumulative) {
+  std::vector<TraceJob> jobs{
+      {TimeNs::ms(0), TimeNs::ms(2), 0},
+      {TimeNs::ms(4), TimeNs::ms(3), 0},
+  };
+  const FifoTraceResult r = run_fifo_trace(jobs);
+  EXPECT_EQ(r.offered_workload_at(TimeNs::ms(0)), TimeNs::ms(2));
+  EXPECT_EQ(r.offered_workload_at(TimeNs::ms(3)), TimeNs::ms(2));
+  EXPECT_EQ(r.offered_workload_at(TimeNs::ms(4)), TimeNs::ms(5));
+  // Y(0, 10ms) = (X(10ms) - X(0))/10ms; X(0) already counts the t=0
+  // arrival (X is right-continuous), so only the 3 ms job adds.
+  EXPECT_NEAR(r.offered_rate(TimeNs::zero(), TimeNs::ms(10)), 0.3, 1e-12);
+}
+
+TEST(FifoTrace, RejectsNegativeService) {
+  std::vector<TraceJob> jobs{{TimeNs::ms(0), TimeNs::ms(-1), 0}};
+  EXPECT_THROW((void)run_fifo_trace(jobs), util::PreconditionError);
+}
+
+TEST(FifoTrace, EmptyTraceIsValid) {
+  const FifoTraceResult r = run_fifo_trace({});
+  EXPECT_TRUE(r.jobs().empty());
+  EXPECT_EQ(r.workload_at(TimeNs::ms(1)), TimeNs::zero());
+  EXPECT_EQ(r.queue_length_at(TimeNs::ms(1)), 0);
+}
+
+/// M/M/1 sanity: mean waiting time in queue Wq = rho/(mu - lambda)
+/// for utilizations below 1.
+class MM1 : public ::testing::TestWithParam<double> {};
+
+TEST_P(MM1, MeanWaitMatchesTheory) {
+  const double rho = GetParam();
+  const double mu = 1000.0;           // services per second
+  const double lambda = rho * mu;     // arrivals per second
+  stats::Rng rng(1234);
+  std::vector<TraceJob> jobs;
+  double t = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    t += rng.exponential(1.0 / lambda);
+    jobs.push_back(TraceJob{TimeNs::from_seconds(t),
+                            TimeNs::from_seconds(rng.exponential(1.0 / mu)),
+                            0});
+  }
+  const FifoTraceResult r = run_fifo_trace(std::move(jobs));
+  stats::RunningStat wait;
+  for (const auto& sj : r.jobs()) {
+    wait.add(sj.wait().to_seconds());
+  }
+  const double expected = rho / (mu - lambda);
+  EXPECT_NEAR(wait.mean(), expected, 0.15 * expected + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, MM1,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.85));
+
+/// M/D/1: mean wait is half the M/M/1 value.
+class MD1 : public ::testing::TestWithParam<double> {};
+
+TEST_P(MD1, MeanWaitMatchesTheory) {
+  const double rho = GetParam();
+  const double mu = 1000.0;
+  const double lambda = rho * mu;
+  stats::Rng rng(4321);
+  std::vector<TraceJob> jobs;
+  double t = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    t += rng.exponential(1.0 / lambda);
+    jobs.push_back(
+        TraceJob{TimeNs::from_seconds(t), TimeNs::from_seconds(1.0 / mu), 0});
+  }
+  const FifoTraceResult r = run_fifo_trace(std::move(jobs));
+  stats::RunningStat wait;
+  for (const auto& sj : r.jobs()) {
+    wait.add(sj.wait().to_seconds());
+  }
+  const double expected = rho / (2.0 * (mu - lambda));
+  EXPECT_NEAR(wait.mean(), expected, 0.15 * expected + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, MD1,
+                         ::testing::Values(0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace csmabw::queueing

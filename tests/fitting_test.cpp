@@ -1,0 +1,100 @@
+#include "core/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+std::vector<RateResponsePoint> sample_wlan_curve(double b, double noise,
+                                                 std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<RateResponsePoint> pts;
+  for (double ri = 0.5e6; ri <= 10e6; ri += 0.5e6) {
+    const double ro = wlan_rate_response_bps(ri, b);
+    pts.push_back({ri, ro + (noise > 0.0 ? rng.uniform(-noise, noise) : 0.0)});
+  }
+  return pts;
+}
+
+std::vector<RateResponsePoint> sample_fifo_curve(double c, double a,
+                                                 double noise,
+                                                 std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<RateResponsePoint> pts;
+  for (double ri = 0.5e6; ri <= 12e6; ri += 0.5e6) {
+    const double ro = fifo_rate_response_bps(ri, c, a);
+    pts.push_back({ri, ro + (noise > 0.0 ? rng.uniform(-noise, noise) : 0.0)});
+  }
+  return pts;
+}
+
+TEST(FitWlan, ExactCurveRecovered) {
+  const auto pts = sample_wlan_curve(3.4e6, 0.0, 1);
+  EXPECT_NEAR(fit_achievable_throughput_bps(pts), 3.4e6, 5e3);
+}
+
+TEST(FitWlan, NoisyCurveRecovered) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto pts = sample_wlan_curve(3.4e6, 0.15e6, seed);
+    EXPECT_NEAR(fit_achievable_throughput_bps(pts), 3.4e6, 0.15e6)
+        << "seed " << seed;
+  }
+}
+
+TEST(FitWlan, RejectsDegenerateInput) {
+  EXPECT_THROW((void)fit_achievable_throughput_bps({}),
+               util::PreconditionError);
+  std::vector<RateResponsePoint> zeros{{1e6, 0.0}, {2e6, 0.0}};
+  EXPECT_THROW((void)fit_achievable_throughput_bps(zeros),
+               util::PreconditionError);
+}
+
+TEST(FitFifo, ExactCurveRecovered) {
+  const auto pts = sample_fifo_curve(6.5e6, 2e6, 0.0, 1);
+  const FifoFit fit = fit_fifo_curve(pts);
+  EXPECT_NEAR(fit.capacity_bps, 6.5e6, 0.1e6);
+  EXPECT_NEAR(fit.available_bps, 2e6, 0.1e6);
+  EXPECT_LT(fit.rmse_bps, 1e4);
+}
+
+TEST(FitFifo, NoisyCurveRecovered) {
+  const auto pts = sample_fifo_curve(6.5e6, 2e6, 0.1e6, 7);
+  const FifoFit fit = fit_fifo_curve(pts);
+  EXPECT_NEAR(fit.capacity_bps, 6.5e6, 0.4e6);
+  EXPECT_NEAR(fit.available_bps, 2e6, 0.4e6);
+}
+
+TEST(FitFifo, RmseReportsResidual) {
+  const auto pts = sample_fifo_curve(6.5e6, 2e6, 0.2e6, 9);
+  const FifoFit fit = fit_fifo_curve(pts);
+  EXPECT_GT(fit.rmse_bps, 0.03e6);
+  EXPECT_LT(fit.rmse_bps, 0.3e6);
+}
+
+TEST(FitFifo, RejectsTooFewPoints) {
+  std::vector<RateResponsePoint> two{{1e6, 1e6}, {2e6, 2e6}};
+  EXPECT_THROW((void)fit_fifo_curve(two), util::PreconditionError);
+}
+
+TEST(CurveRmse, ZeroOnExactModel) {
+  const auto pts = sample_fifo_curve(6.5e6, 2e6, 0.0, 1);
+  EXPECT_NEAR(curve_rmse_bps(pts, &fifo_rate_response_bps, 6.5e6, 2e6), 0.0,
+              1e-9);
+  EXPECT_GT(curve_rmse_bps(pts, &fifo_rate_response_bps, 6.5e6, 1e6), 1e4);
+}
+
+TEST(CurveRmse, RejectsBadInput) {
+  EXPECT_THROW((void)curve_rmse_bps({}, &fifo_rate_response_bps, 1.0, 1.0),
+               util::PreconditionError);
+  std::vector<RateResponsePoint> pts{{1e6, 1e6}};
+  EXPECT_THROW((void)curve_rmse_bps(pts, nullptr, 1.0, 1.0),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::core

@@ -1,0 +1,79 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, TracksOutOfRangeSeparately) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(0) + h.count(1), 0);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, FrequencyIncludesOutOfRangeMass) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5);
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.5);
+}
+
+TEST(Histogram, Mode) {
+  Histogram h(0.0, 3.0, 3);
+  h.add_n(0.5, 2);
+  h.add_n(1.5, 5);
+  h.add_n(2.5, 1);
+  EXPECT_DOUBLE_EQ(h.mode(), 1.5);
+}
+
+TEST(Histogram, ModeOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.mode(), 0.0);
+}
+
+TEST(Histogram, AddNWithWeights) {
+  Histogram h(0.0, 1.0, 1);
+  h.add_n(0.5, 10);
+  EXPECT_EQ(h.count(0), 10);
+  EXPECT_THROW(h.add_n(0.5, -1), util::PreconditionError);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), util::PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), util::PreconditionError);
+}
+
+TEST(Histogram, RejectsBadBinIndex) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), util::PreconditionError);
+  EXPECT_THROW((void)h.bin_center(-1), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::stats

@@ -1,0 +1,167 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+namespace {
+
+TEST(InterpolatedEcdf, KnownPoints) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0};  // sorted
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf(s, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf(s, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf(s, 1.5), 0.375);  // midway
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf(s, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf(s, 9.0), 1.0);
+}
+
+TEST(StepEcdf, RightContinuous) {
+  const std::vector<double> s{1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(detail::step_ecdf(s, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(detail::step_ecdf(s, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(detail::step_ecdf(s, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(detail::step_ecdf(s, 3.5), 1.0);
+}
+
+TEST(KsStatistic, IdenticalLargeSamplesNearZero) {
+  Rng r(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(r.uniform01());
+  }
+  // Same sample against itself: only the interpolation offset remains.
+  EXPECT_LT(ks_statistic(xs, xs), 0.01);
+}
+
+TEST(KsStatistic, DisjointSupportsReachOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 11.0, 12.0};
+  EXPECT_NEAR(ks_statistic(a, b), 1.0, 1e-12);
+}
+
+TEST(KsStatistic, SymmetricEnough) {
+  Rng r(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(r.uniform01());
+    b.push_back(r.uniform01() + 0.2);
+  }
+  const double d1 = ks_statistic(a, b);
+  const double d2 = ks_statistic(b, a);
+  EXPECT_NEAR(d1, d2, 0.02);
+  EXPECT_NEAR(d1, 0.2, 0.05);  // shift of a uniform by 0.2
+}
+
+TEST(KsStatistic, UnsortedInputAccepted) {
+  const std::vector<double> a{3.0, 1.0, 2.0};
+  const std::vector<double> b{2.5, 0.5, 1.5};
+  EXPECT_GT(ks_statistic(a, b), 0.0);
+  EXPECT_LE(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsStatistic, SharedAtomIsNotDivergence) {
+  // Regression: access-delay distributions carry large atoms (the
+  // deterministic DIFS + airtime delay of an uncontended transmission).
+  // Two samples of the same atomic mixture must score near zero, not
+  // near the atom mass.
+  Rng r(9);
+  auto draw = [&](int n) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(r.uniform01() < 0.6 ? 1.25e-3
+                                       : 1.25e-3 + r.exponential(1e-3));
+    }
+    return xs;
+  };
+  const auto a = draw(2000);
+  const auto b = draw(2000);
+  EXPECT_LT(ks_statistic(a, b), 0.05);
+}
+
+TEST(KsStatistic, AtomMassShiftDetected) {
+  // Same support, different atom weights: the divergence equals the
+  // weight difference.
+  Rng r(10);
+  auto draw = [&](int n, double w) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(r.uniform01() < w ? 1.0 : 1.0 + r.exponential(1.0));
+    }
+    return xs;
+  };
+  const auto a = draw(3000, 0.8);
+  const auto b = draw(3000, 0.4);
+  EXPECT_NEAR(ks_statistic(a, b), 0.4, 0.06);
+}
+
+TEST(InterpolatedEcdf, LeftLimitAtAtom) {
+  const std::vector<double> s{1.0, 2.0, 2.0, 2.0, 3.0};
+  // Just below the atom at 2.0 the ramp reaches (j+1)/n = 2/5.
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf_left(s, 2.0), 0.4);
+  // At the atom the full run counts: 4/5.
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf(s, 2.0), 0.8);
+  // Away from sample points both sides agree.
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf_left(s, 2.5),
+                   detail::interpolated_ecdf(s, 2.5));
+  EXPECT_DOUBLE_EQ(detail::interpolated_ecdf_left(s, 0.5), 0.0);
+}
+
+TEST(StepEcdf, LeftLimit) {
+  const std::vector<double> s{1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(detail::step_ecdf_left(s, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(detail::step_ecdf(s, 2.0), 0.75);
+}
+
+TEST(KsStatistic, RejectsEmpty) {
+  const std::vector<double> some{1.0};
+  EXPECT_THROW((void)ks_statistic({}, some), util::PreconditionError);
+  EXPECT_THROW((void)ks_statistic(some, {}), util::PreconditionError);
+}
+
+TEST(KsThreshold, MatchesClosedForm) {
+  // c(0.05) = sqrt(-ln(0.025)/2) ~= 1.3581
+  const double expected = 1.3581015157406195 *
+                          std::sqrt((100.0 + 400.0) / (100.0 * 400.0));
+  EXPECT_NEAR(ks_threshold(100, 400, 0.05), expected, 1e-9);
+}
+
+TEST(KsThreshold, TighterWithMoreSamples) {
+  EXPECT_LT(ks_threshold(1000, 1000), ks_threshold(100, 100));
+}
+
+TEST(KsThreshold, RejectsBadInput) {
+  EXPECT_THROW((void)ks_threshold(0, 10), util::PreconditionError);
+  EXPECT_THROW((void)ks_threshold(10, 10, 0.0), util::PreconditionError);
+}
+
+/// Statistical power: equal distributions stay below the 95% threshold
+/// most of the time; shifted ones exceed it.  Run over several seeds.
+class KsPower : public ::testing::TestWithParam<int> {};
+
+TEST_P(KsPower, DetectsShiftNotNoise) {
+  Rng r(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> shifted;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(r.exponential(1.0));
+    b.push_back(r.exponential(1.0));
+    shifted.push_back(r.exponential(1.0) + 0.5);
+  }
+  const double thr = ks_threshold(a.size(), b.size());
+  EXPECT_GT(ks_statistic(a, shifted), thr);
+  // Same-distribution comparison should not exceed 2x threshold (the 5%
+  // false-positive budget makes an exact bound per-seed too strict).
+  EXPECT_LT(ks_statistic(a, b), 2.0 * thr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsPower, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace csmabw::stats

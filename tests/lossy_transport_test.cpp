@@ -1,0 +1,89 @@
+// Failure injection: measurement tools must survive lossy links.
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "core/owd_trend.hpp"
+#include "core/packet_pair.hpp"
+#include "core/queueing_transport.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+/// Decorator that corrupts trains from an inner transport: every k-th
+/// train loses one packet.
+class LossyTransport : public ProbeTransport {
+ public:
+  LossyTransport(ProbeTransport& inner, int lose_every)
+      : inner_(inner), lose_every_(lose_every) {}
+
+  TrainResult send_train(const traffic::TrainSpec& spec) override {
+    TrainResult r = inner_.send_train(spec);
+    if (++count_ % lose_every_ == 0 && !r.packets.empty()) {
+      r.packets[r.packets.size() / 2].lost = true;
+    }
+    return r;
+  }
+
+ private:
+  ProbeTransport& inner_;
+  int lose_every_;
+  int count_ = 0;
+};
+
+QueueingTransport::Config healthy_link() {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int, stats::Rng& rng) {
+    return rng.uniform(0.0019, 0.0021);
+  };
+  return cfg;
+}
+
+TEST(LossyLink, EstimatorSkipsLostTrainsAndCounts) {
+  QueueingTransport inner(healthy_link());
+  LossyTransport lossy(inner, /*lose_every=*/3);
+  EstimatorOptions opt;
+  opt.train_length = 30;
+  opt.trains_per_rate = 9;
+  BandwidthEstimator est(lossy, opt);
+  const RateResponsePoint p = est.measure_rate(2e6);
+  // A third of the trains are lost; the measurement still lands.
+  EXPECT_NEAR(p.output_bps, 2e6, 0.1e6);
+  EXPECT_EQ(est.trains_lost(), 3);
+}
+
+TEST(LossyLink, EstimatorFailsCleanlyWhenEverythingLost) {
+  QueueingTransport inner(healthy_link());
+  LossyTransport lossy(inner, /*lose_every=*/1);
+  EstimatorOptions opt;
+  opt.train_length = 30;
+  opt.trains_per_rate = 4;
+  BandwidthEstimator est(lossy, opt);
+  EXPECT_THROW((void)est.measure_rate(2e6), util::PreconditionError);
+}
+
+TEST(LossyLink, PacketPairReportsLostPairs) {
+  QueueingTransport inner(healthy_link());
+  LossyTransport lossy(inner, /*lose_every=*/4);
+  const PacketPairResult r = packet_pair_estimate(lossy, 1500, 8);
+  EXPECT_EQ(r.pairs_lost, 2);
+  EXPECT_EQ(r.pairs_used, 6);
+  EXPECT_GT(r.estimate_bps, 0.0);
+}
+
+TEST(LossyLink, SlopsIgnoresIncompleteTrains) {
+  QueueingTransport inner(healthy_link());
+  LossyTransport lossy(inner, /*lose_every=*/2);
+  SlopsOptions opt;
+  opt.train_length = 40;
+  opt.trains_per_rate = 4;
+  opt.max_iterations = 8;
+  const SlopsResult r = slops_estimate(lossy, opt);
+  // Half the trains vanish; the bisection still converges to the same
+  // band as on the clean link (~6 Mb/s service rate).
+  EXPECT_GT(r.estimate_bps, 4.5e6);
+  EXPECT_LT(r.estimate_bps, 7.5e6);
+}
+
+}  // namespace
+}  // namespace csmabw::core

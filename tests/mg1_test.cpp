@@ -1,0 +1,64 @@
+#include "queueing/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "queueing/fifo_trace.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::queueing {
+namespace {
+
+TEST(Mg1, Mm1SpecialCase) {
+  // M/M/1: Wq = rho / (mu - lambda).
+  const Mg1 q = Mg1::mm1(/*lambda=*/500.0, /*mean_service=*/0.001);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.5);
+  EXPECT_NEAR(q.mean_wait(), 0.5 / (1000.0 - 500.0), 1e-12);
+  EXPECT_NEAR(q.mean_sojourn(), q.mean_wait() + 0.001, 1e-15);
+}
+
+TEST(Mg1, Md1IsHalfOfMm1) {
+  const Mg1 mm1 = Mg1::mm1(700.0, 0.001);
+  const Mg1 md1 = Mg1::md1(700.0, 0.001);
+  EXPECT_NEAR(md1.mean_wait(), 0.5 * mm1.mean_wait(), 1e-12);
+}
+
+TEST(Mg1, LittlesLaw) {
+  const Mg1 q = Mg1::mm1(300.0, 0.002);
+  EXPECT_NEAR(q.mean_queue_length(), 300.0 * q.mean_wait(), 1e-12);
+  EXPECT_NEAR(q.mean_in_system(), 300.0 * q.mean_sojourn(), 1e-12);
+}
+
+TEST(Mg1, RejectsUnstableQueue) {
+  const Mg1 q = Mg1::mm1(1000.0, 0.001);  // rho = 1
+  EXPECT_THROW((void)q.mean_wait(), util::PreconditionError);
+}
+
+TEST(Mg1, TraceSimulatorMatchesPollaczekKhinchine) {
+  // Uniform service in [0.5, 1.5] ms: E[S] = 1 ms, Var = (1e-3)^2/12.
+  const double lambda = 600.0;
+  const Mg1 analytic{lambda, 1e-3, 1e-6 / 12.0};
+
+  stats::Rng rng(77);
+  std::vector<TraceJob> jobs;
+  double t = 0.0;
+  for (int i = 0; i < 150'000; ++i) {
+    t += rng.exponential(1.0 / lambda);
+    jobs.push_back(TraceJob{TimeNs::from_seconds(t),
+                            TimeNs::from_seconds(rng.uniform(0.5e-3, 1.5e-3)),
+                            0});
+  }
+  const FifoTraceResult r = run_fifo_trace(std::move(jobs));
+  stats::RunningStat wait;
+  for (const auto& sj : r.jobs()) {
+    wait.add(sj.wait().to_seconds());
+  }
+  EXPECT_NEAR(wait.mean(), analytic.mean_wait(),
+              0.1 * analytic.mean_wait());
+}
+
+}  // namespace
+}  // namespace csmabw::queueing

@@ -1,0 +1,115 @@
+#include "core/mser_correction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+/// Receive times with inter-arrival gaps that start "accelerated" (small)
+/// and settle at `steady` — the dispersion signature of the transient.
+std::vector<double> transient_receive_times(int n, int ramp, double fast,
+                                            double steady, double noise,
+                                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> times{0.0};
+  for (int i = 1; i < n; ++i) {
+    const double level = i <= ramp ? fast : steady;
+    times.push_back(times.back() + level + rng.uniform(0.0, noise));
+  }
+  return times;
+}
+
+TEST(MserCorrection, StationaryTrainUnchanged) {
+  const auto times = transient_receive_times(40, 0, 2e-3, 2e-3, 1e-5, 1);
+  const CorrectedGap g = mser_corrected_gap(times, 2);
+  EXPECT_NEAR(g.corrected_gap_s, g.raw_gap_s, 2e-5);
+  EXPECT_LE(g.truncated, 8);
+}
+
+TEST(MserCorrection, TruncatesAcceleratedHead) {
+  const auto times = transient_receive_times(21, 6, 1e-3, 3e-3, 2e-5, 2);
+  const CorrectedGap g = mser_corrected_gap(times, 2);
+  EXPECT_GE(g.truncated, 4);
+  // The corrected gap approaches the steady-state inter-arrival time,
+  // while the raw gap is biased low by the fast head.
+  EXPECT_GT(g.corrected_gap_s, g.raw_gap_s);
+  EXPECT_NEAR(g.corrected_gap_s, 3e-3, 2e-4);
+  EXPECT_LT(g.raw_gap_s, 2.6e-3);
+}
+
+TEST(MserCorrection, CorrectionReducesRateError) {
+  // The paper's Fig 17 criterion: L/g_corrected is closer to the steady
+  // rate than L/g_raw.
+  const double steady_gap = 3e-3;
+  const double steady_rate = 1500 * 8 / steady_gap;
+  const auto times = transient_receive_times(21, 6, 1e-3, steady_gap, 1e-5, 3);
+  const CorrectedGap g = mser_corrected_gap(times, 2);
+  const double err_raw = std::abs(1500 * 8 / g.raw_gap_s - steady_rate);
+  const double err_cor = std::abs(1500 * 8 / g.corrected_gap_s - steady_rate);
+  EXPECT_LT(err_cor, err_raw);
+}
+
+TEST(MserCorrection, RawGapMatchesEquation16) {
+  const std::vector<double> times{0.0, 1.0, 3.0, 6.0, 10.0, 11.0, 13.0};
+  const CorrectedGap g = mser_corrected_gap(times, 1);
+  EXPECT_NEAR(g.raw_gap_s, 13.0 / 6.0, 1e-12);
+}
+
+TEST(EnsembleCorrector, AveragesOutPerTrainNoise) {
+  // Per-train gaps are extremely noisy; the per-index ensemble mean is
+  // smooth and the truncation locates the accelerated head.
+  stats::Rng rng(7);
+  EnsembleGapCorrector c(21);
+  for (int train = 0; train < 300; ++train) {
+    std::vector<double> times{0.0};
+    for (int i = 1; i < 21; ++i) {
+      const double level = i <= 5 ? 1e-3 : 3e-3;
+      // Noise comparable to the signal: a single train is useless.
+      times.push_back(times.back() + rng.exponential(level));
+    }
+    c.add_train(times);
+  }
+  EXPECT_EQ(c.trains(), 300);
+  const CorrectedGap g = c.corrected(2);
+  EXPECT_GE(g.truncated, 2);
+  EXPECT_NEAR(g.corrected_gap_s, 3e-3, 3e-4);
+  EXPECT_LT(g.raw_gap_s, g.corrected_gap_s);
+}
+
+TEST(EnsembleCorrector, MeanGapsPerIndex) {
+  EnsembleGapCorrector c(3);
+  c.add_train(std::vector<double>{0.0, 1.0, 3.0});
+  c.add_train(std::vector<double>{0.0, 2.0, 4.0});
+  const auto gaps = c.mean_gaps();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 1.5);
+  EXPECT_DOUBLE_EQ(gaps[1], 2.0);
+}
+
+TEST(EnsembleCorrector, ValidatesInput) {
+  EXPECT_THROW(EnsembleGapCorrector(1), util::PreconditionError);
+  EnsembleGapCorrector c(3);
+  EXPECT_THROW(c.add_train(std::vector<double>{0.0, 1.0}),
+               util::PreconditionError);
+  EXPECT_THROW(c.add_train(std::vector<double>{0.0, 2.0, 1.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)c.corrected(), util::PreconditionError);
+}
+
+TEST(MserCorrection, RejectsShortOrDecreasingInput) {
+  std::vector<double> short_times{0.0, 1.0, 2.0};
+  EXPECT_THROW((void)mser_corrected_gap(short_times, 2),
+               util::PreconditionError);
+  std::vector<double> decreasing{0.0, 2.0, 1.0, 3.0, 4.0, 5.0};
+  EXPECT_THROW((void)mser_corrected_gap(decreasing, 2),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::core

@@ -1,0 +1,138 @@
+#include "stats/mser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+namespace {
+
+std::vector<double> noisy_series(int n, double level, double noise,
+                                 std::uint64_t seed) {
+  Rng r(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(level + r.uniform(-noise, noise));
+  }
+  return xs;
+}
+
+TEST(Mser, StationarySeriesKeepsEverything) {
+  const auto xs = noisy_series(100, 5.0, 0.1, 1);
+  const MserResult r = mser(xs, 1);
+  // With no transient the objective is minimized by (near) zero cutoff:
+  // more retained batches shrink s^2/(B-d).
+  EXPECT_LE(r.cutoff, 10);
+  EXPECT_NEAR(r.truncated_mean, 5.0, 0.05);
+}
+
+TEST(Mser, DetectsInitialTransient) {
+  // First 20 observations far below the stationary level (the paper's
+  // "accelerated" first probe gaps), then stationary.
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(1.0);
+  }
+  const auto tail = noisy_series(180, 5.0, 0.05, 2);
+  xs.insert(xs.end(), tail.begin(), tail.end());
+
+  const MserResult r = mser(xs, 1);
+  EXPECT_GE(r.cutoff, 18);
+  EXPECT_LE(r.cutoff, 30);
+  EXPECT_NEAR(r.truncated_mean, 5.0, 0.1);
+}
+
+TEST(Mser, BatchSizeTwoMatchesPairedMeans) {
+  // MSER-2 must operate on means of consecutive pairs: cutoffs come in
+  // multiples of 2.
+  std::vector<double> xs;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(0.0);
+  }
+  const auto tail = noisy_series(90, 3.0, 0.01, 3);
+  xs.insert(xs.end(), tail.begin(), tail.end());
+  const MserResult r = mser(xs, 2);
+  EXPECT_EQ(r.cutoff % 2, 0);
+  EXPECT_EQ(r.cutoff, r.batch_cutoff * 2);
+  EXPECT_GE(r.cutoff, 10);
+}
+
+TEST(Mser, CutoffRestrictedToFirstHalf) {
+  // A decreasing ramp tempts the heuristic to truncate everything; the
+  // standard guard caps the cutoff at half the batches.
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(50.0 - i);
+  }
+  const MserResult r = mser(xs, 1);
+  EXPECT_LE(r.batch_cutoff, 25);
+}
+
+TEST(Mser, ObjectiveVectorHasCandidateEntries) {
+  const auto xs = noisy_series(40, 1.0, 0.1, 4);
+  const MserResult r = mser(xs, 2);
+  // 20 batches -> candidates d = 0..10.
+  EXPECT_EQ(r.objective.size(), 11u);
+  EXPECT_DOUBLE_EQ(r.objective[static_cast<std::size_t>(r.batch_cutoff)],
+                   *std::min_element(r.objective.begin(), r.objective.end()));
+}
+
+TEST(Mser, TruncationImprovesMeanEstimate) {
+  std::vector<double> xs;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(0.2);  // heavy transient
+  }
+  const auto tail = noisy_series(170, 2.0, 0.1, 5);
+  xs.insert(xs.end(), tail.begin(), tail.end());
+
+  double raw_mean = 0.0;
+  for (double v : xs) {
+    raw_mean += v;
+  }
+  raw_mean /= static_cast<double>(xs.size());
+
+  const MserResult r = mser2(xs);
+  EXPECT_LT(std::abs(r.truncated_mean - 2.0), std::abs(raw_mean - 2.0));
+}
+
+TEST(Mser, RejectsDegenerateInput) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)mser(xs, 0), util::PreconditionError);
+  EXPECT_THROW((void)mser(xs, 2), util::PreconditionError);  // < 2 batches
+}
+
+/// Property sweep: for any transient length t and batch size m, the
+/// chosen cutoff lands within a batch of the true change point.
+class MserSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MserSweep, LocatesChangePoint) {
+  const auto [transient, m] = GetParam();
+  std::vector<double> xs;
+  for (int i = 0; i < transient; ++i) {
+    xs.push_back(0.5);
+  }
+  const auto tail = noisy_series(300 - transient, 4.0, 0.05,
+                                 static_cast<std::uint64_t>(transient * m));
+  xs.insert(xs.end(), tail.begin(), tail.end());
+  const MserResult r = mser(xs, m);
+  // The heuristic must remove (at least) the transient; with a flat
+  // objective it may over-truncate somewhat, but never past the
+  // first-half guard, and the retained mean must be unbiased.
+  EXPECT_GE(r.cutoff, transient - m);
+  EXPECT_LE(r.batch_cutoff, 300 / m / 2);
+  EXPECT_NEAR(r.truncated_mean, 4.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransientsAndBatches, MserSweep,
+    ::testing::Combine(::testing::Values(8, 20, 50),
+                       ::testing::Values(1, 2, 5)));
+
+}  // namespace
+}  // namespace csmabw::stats

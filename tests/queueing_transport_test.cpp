@@ -1,0 +1,118 @@
+#include "core/queueing_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+traffic::TrainSpec spec_of(int n, double rate_mbps, int size = 1500) {
+  traffic::TrainSpec s;
+  s.n = n;
+  s.size_bytes = size;
+  s.gap = BitRate::mbps(rate_mbps).gap_for(size);
+  return s;
+}
+
+TEST(QueueingTransport, ConstantServiceBelowCapacityPreservesGap) {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int, stats::Rng&) { return 0.001; };
+  QueueingTransport t(cfg);
+  // 1500 B at 6 Mb/s: gap 2 ms > 1 ms service -> no queueing between
+  // probes; output gap equals input gap.
+  const TrainResult r = t.send_train(spec_of(10, 6.0));
+  ASSERT_TRUE(r.complete());
+  EXPECT_NEAR(r.output_gap_s(), 0.002, 1e-9);
+}
+
+TEST(QueueingTransport, ConstantServiceAboveCapacitySaturates) {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int, stats::Rng&) { return 0.002; };
+  QueueingTransport t(cfg);
+  // gap 1 ms < service 2 ms: packets queue behind each other and the
+  // output gap equals the service time.
+  const TrainResult r = t.send_train(spec_of(10, 12.0));
+  ASSERT_TRUE(r.complete());
+  EXPECT_NEAR(r.output_gap_s(), 0.002, 1e-9);
+}
+
+TEST(QueueingTransport, TransientServiceModelShowsAcceleratedHead) {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int index, stats::Rng&) {
+    return index < 5 ? 0.001 : 0.002;  // accelerated first packets
+  };
+  QueueingTransport t(cfg);
+  const TrainResult r = t.send_train(spec_of(20, 12.0));
+  ASSERT_TRUE(r.complete());
+  const auto times = r.receive_times_s();
+  const double head_gap = times[2] - times[1];
+  const double tail_gap = times[19] - times[18];
+  EXPECT_LT(head_gap, tail_gap);
+}
+
+TEST(QueueingTransport, CrossTrafficInflatesDispersion) {
+  QueueingTransport::Config no_cross;
+  no_cross.probe_service = [](int, stats::Rng&) { return 0.001; };
+  QueueingTransport t0(no_cross);
+
+  QueueingTransport::Config with_cross = no_cross;
+  with_cross.cross_rate_jobs_per_s = 300.0;
+  with_cross.cross_service_s = 0.001;
+  QueueingTransport t1(with_cross);
+
+  const auto spec = spec_of(50, 6.0);
+  double g0 = 0.0;
+  double g1 = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    g0 += t0.send_train(spec).output_gap_s();
+    g1 += t1.send_train(spec).output_gap_s();
+  }
+  EXPECT_GT(g1, g0);
+}
+
+TEST(QueueingTransport, SequentialTrainsDiffer) {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int, stats::Rng& rng) {
+    return rng.exponential(0.001);
+  };
+  QueueingTransport t(cfg);
+  const auto spec = spec_of(10, 12.0);
+  const double g1 = t.send_train(spec).output_gap_s();
+  const double g2 = t.send_train(spec).output_gap_s();
+  EXPECT_NE(g1, g2);  // fresh randomness per repetition
+}
+
+TEST(QueueingTransport, SameSeedReproducible) {
+  QueueingTransport::Config cfg;
+  cfg.probe_service = [](int, stats::Rng& rng) {
+    return rng.exponential(0.001);
+  };
+  cfg.cross_rate_jobs_per_s = 100.0;
+  cfg.cross_service_s = 0.0005;
+  QueueingTransport a(cfg);
+  QueueingTransport b(cfg);
+  const auto spec = spec_of(10, 12.0);
+  EXPECT_DOUBLE_EQ(a.send_train(spec).output_gap_s(),
+                   b.send_train(spec).output_gap_s());
+}
+
+TEST(QueueingTransport, RejectsMissingServiceModel) {
+  QueueingTransport::Config cfg;
+  EXPECT_THROW(QueueingTransport{cfg}, util::PreconditionError);
+}
+
+TEST(TrainResult, CompletenessAndAccessors) {
+  TrainResult r;
+  EXPECT_FALSE(r.complete());
+  r.packets.push_back({0, 0.0, 0.001, false});
+  r.packets.push_back({1, 0.001, 0.003, false});
+  EXPECT_TRUE(r.complete());
+  EXPECT_NEAR(r.output_gap_s(), 0.002, 1e-12);
+  r.packets.push_back({2, 0.002, 0.0, true});
+  EXPECT_FALSE(r.complete());
+  EXPECT_THROW((void)r.output_gap_s(), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::core

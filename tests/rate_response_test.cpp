@@ -1,0 +1,125 @@
+#include "core/rate_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+constexpr double kC = 6.5e6;
+constexpr double kA = 2.0e6;
+
+TEST(FifoCurve, FollowsInputBelowAvailableBandwidth) {
+  for (double ri : {0.1e6, 1.0e6, kA}) {
+    EXPECT_DOUBLE_EQ(fifo_rate_response_bps(ri, kC, kA), ri);
+  }
+}
+
+TEST(FifoCurve, SharesAboveAvailableBandwidth) {
+  const double ri = 4e6;
+  const double expected = kC * ri / (ri + kC - kA);
+  EXPECT_DOUBLE_EQ(fifo_rate_response_bps(ri, kC, kA), expected);
+  EXPECT_LT(expected, ri);
+}
+
+TEST(FifoCurve, ContinuousAtKnee) {
+  const double below = fifo_rate_response_bps(kA - 1.0, kC, kA);
+  const double above = fifo_rate_response_bps(kA + 1.0, kC, kA);
+  EXPECT_NEAR(below, above, 2.0);
+}
+
+TEST(FifoCurve, ApproachesCapacityAsymptotically) {
+  EXPECT_NEAR(fifo_rate_response_bps(1e12, kC, kA), kC, 0.01 * kC);
+  EXPECT_LT(fifo_rate_response_bps(1e12, kC, kA), kC);
+}
+
+TEST(FifoCurve, ZeroInputZeroOutput) {
+  EXPECT_DOUBLE_EQ(fifo_rate_response_bps(0.0, kC, kA), 0.0);
+}
+
+TEST(FifoCurve, RejectsBadParameters) {
+  EXPECT_THROW((void)fifo_rate_response_bps(1.0, 0.0, 0.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)fifo_rate_response_bps(1.0, kC, kC + 1.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)fifo_rate_response_bps(-1.0, kC, kA),
+               util::PreconditionError);
+}
+
+TEST(WlanCurve, MinOfInputAndAchievable) {
+  EXPECT_DOUBLE_EQ(wlan_rate_response_bps(1e6, 3.4e6), 1e6);
+  EXPECT_DOUBLE_EQ(wlan_rate_response_bps(5e6, 3.4e6), 3.4e6);
+  EXPECT_DOUBLE_EQ(wlan_rate_response_bps(3.4e6, 3.4e6), 3.4e6);
+}
+
+TEST(CompleteCurve, Equation5) {
+  const CompleteCurve c{/*bf_bps=*/3.6e6, /*u_fifo=*/0.25};
+  EXPECT_DOUBLE_EQ(c.achievable_bps(), 2.7e6);
+}
+
+TEST(CompleteCurve, FollowsInputUpToB) {
+  const CompleteCurve c{3.6e6, 0.25};
+  const double b = c.achievable_bps();
+  EXPECT_DOUBLE_EQ(c.response_bps(b * 0.5), b * 0.5);
+  EXPECT_DOUBLE_EQ(c.response_bps(b), b);
+}
+
+TEST(CompleteCurve, ContinuousAtB) {
+  const CompleteCurve c{3.6e6, 0.25};
+  const double b = c.achievable_bps();
+  EXPECT_NEAR(c.response_bps(b - 1.0), c.response_bps(b + 1.0), 2.0);
+}
+
+TEST(CompleteCurve, Equation4AboveB) {
+  const CompleteCurve c{3.6e6, 0.25};
+  const double ri = 6e6;
+  EXPECT_DOUBLE_EQ(c.response_bps(ri),
+                   c.bf_bps * ri / (ri + c.u_fifo * c.bf_bps));
+}
+
+TEST(CompleteCurve, NoFifoCrossTrafficReducesToWlanCurve) {
+  const CompleteCurve c{3.6e6, 0.0};
+  // With u_fifo = 0, above B the response saturates exactly at Bf.
+  EXPECT_DOUBLE_EQ(c.achievable_bps(), 3.6e6);
+  EXPECT_NEAR(c.response_bps(1e9), 3.6e6, 1.0);
+  EXPECT_DOUBLE_EQ(c.response_bps(2e6), wlan_rate_response_bps(2e6, 3.6e6));
+}
+
+TEST(CompleteCurve, OutputDecaysTowardShareAboveB) {
+  const CompleteCurve c{3.6e6, 0.4};
+  const double b = c.achievable_bps();
+  // ro is monotonically increasing in ri but bounded by Bf.
+  double prev = 0.0;
+  for (double ri = b; ri < 20e6; ri += 1e6) {
+    const double ro = c.response_bps(ri);
+    EXPECT_GE(ro, prev);
+    EXPECT_LE(ro, c.bf_bps);
+    prev = ro;
+  }
+}
+
+TEST(CompleteCurve, RejectsBadParameters) {
+  EXPECT_THROW((void)(CompleteCurve{0.0, 0.5}).response_bps(1.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)(CompleteCurve{1e6, 1.5}).response_bps(1.0),
+               util::PreconditionError);
+}
+
+TEST(AchievableFromCurve, SupOfUndistortedRates) {
+  std::vector<RateResponsePoint> pts{
+      {1e6, 1e6}, {2e6, 2e6}, {3e6, 2.97e6}, {4e6, 3.4e6}, {6e6, 3.5e6}};
+  // 3e6 passes at 1% distortion with 2% tolerance; 4e6 fails.
+  EXPECT_DOUBLE_EQ(achievable_throughput_from_curve(pts, 0.02), 3e6);
+}
+
+TEST(AchievableFromCurve, EmptyOrAllDistorted) {
+  EXPECT_DOUBLE_EQ(achievable_throughput_from_curve({}, 0.02), 0.0);
+  std::vector<RateResponsePoint> pts{{4e6, 2e6}};
+  EXPECT_DOUBLE_EQ(achievable_throughput_from_curve(pts, 0.02), 0.0);
+}
+
+}  // namespace
+}  // namespace csmabw::core

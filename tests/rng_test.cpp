@@ -1,0 +1,124 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NamedForksAreStable) {
+  const Rng root(7);
+  Rng f1 = root.fork("cross-traffic");
+  Rng f2 = root.fork("cross-traffic");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(f1.uniform01(), f2.uniform01());
+  }
+}
+
+TEST(Rng, DistinctNamesGiveDistinctStreams) {
+  const Rng root(7);
+  Rng a = root.fork("a");
+  Rng b = root.fork("b");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, IndexedForksAreStableAndDistinct) {
+  const Rng root(99);
+  Rng a0 = root.fork(std::uint64_t{0});
+  Rng a0_again = root.fork(std::uint64_t{0});
+  Rng a1 = root.fork(std::uint64_t{1});
+  EXPECT_DOUBLE_EQ(a0.uniform01(), a0_again.uniform01());
+  EXPECT_NE(a0.uniform01(), a1.uniform01());
+}
+
+TEST(Rng, ForkIndependentOfParentDraws) {
+  const Rng root(5);
+  Rng f_before = root.fork("child");
+  Rng parent(5);
+  (void)parent.uniform01();
+  (void)parent.uniform01();
+  Rng f_after = parent.fork("child");
+  EXPECT_DOUBLE_EQ(f_before.uniform01(), f_after.uniform01());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.uniform_int(0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(4);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialMatchesMean) {
+  Rng r(11);
+  RunningStat s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(r.exponential(2.5));
+  }
+  EXPECT_NEAR(s.mean(), 2.5, 0.06);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(1);
+  EXPECT_THROW((void)r.exponential(0.0), util::PreconditionError);
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng r(1);
+  EXPECT_THROW((void)r.uniform(2.0, 2.0), util::PreconditionError);
+  EXPECT_THROW((void)r.uniform_int(3, 2), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::stats

@@ -1,0 +1,75 @@
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace csmabw::net {
+namespace {
+
+/// Sockets may be unavailable in sandboxed environments; skip cleanly.
+std::unique_ptr<UdpSocket> try_socket() {
+  try {
+    auto s = std::make_unique<UdpSocket>();
+    s->bind_loopback(0);
+    return s;
+  } catch (const std::system_error&) {
+    return nullptr;
+  }
+}
+
+#define SKIP_WITHOUT_SOCKETS(sock)                          \
+  if (!(sock)) {                                            \
+    GTEST_SKIP() << "UDP sockets unavailable in this environment"; \
+  }
+
+TEST(UdpSocket, BindsEphemeralPort) {
+  auto s = try_socket();
+  SKIP_WITHOUT_SOCKETS(s);
+  EXPECT_GT(s->local_port(), 0);
+  EXPECT_GE(s->fd(), 0);
+}
+
+TEST(UdpSocket, LoopbackSendReceive) {
+  auto rx = try_socket();
+  SKIP_WITHOUT_SOCKETS(rx);
+  UdpSocket tx;
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  ASSERT_TRUE(tx.send_to_loopback(payload, rx->local_port()));
+  std::byte buf[64];
+  const auto got = rx->recv(buf, /*timeout_ms=*/1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 3u);
+  EXPECT_EQ(buf[0], std::byte{1});
+  EXPECT_EQ(buf[2], std::byte{3});
+}
+
+TEST(UdpSocket, RecvTimesOut) {
+  auto rx = try_socket();
+  SKIP_WITHOUT_SOCKETS(rx);
+  std::byte buf[16];
+  const auto got = rx->recv(buf, /*timeout_ms=*/50);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  auto s = try_socket();
+  SKIP_WITHOUT_SOCKETS(s);
+  const int fd = s->fd();
+  UdpSocket moved(std::move(*s));
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_EQ(s->fd(), -1);
+}
+
+TEST(Monotonic, ClockAdvances) {
+  const double a = monotonic_seconds();
+  const double b = monotonic_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0.0);
+}
+
+}  // namespace
+}  // namespace csmabw::net

@@ -1,0 +1,87 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace csmabw {
+namespace {
+
+TEST(TimeNs, DefaultIsZero) {
+  EXPECT_EQ(TimeNs{}.count(), 0);
+  EXPECT_EQ(TimeNs::zero().count(), 0);
+}
+
+TEST(TimeNs, UnitFactories) {
+  EXPECT_EQ(TimeNs::ns(7).count(), 7);
+  EXPECT_EQ(TimeNs::us(20).count(), 20'000);
+  EXPECT_EQ(TimeNs::ms(3).count(), 3'000'000);
+  EXPECT_EQ(TimeNs::sec(2).count(), 2'000'000'000);
+}
+
+TEST(TimeNs, FromSecondsRoundsToNearest) {
+  EXPECT_EQ(TimeNs::from_seconds(1e-9).count(), 1);
+  EXPECT_EQ(TimeNs::from_seconds(1.4e-9).count(), 1);
+  EXPECT_EQ(TimeNs::from_seconds(1.6e-9).count(), 2);
+  EXPECT_EQ(TimeNs::from_seconds(-1.6e-9).count(), -2);
+}
+
+TEST(TimeNs, ConversionsBack) {
+  EXPECT_DOUBLE_EQ(TimeNs::us(1500).to_seconds(), 1.5e-3);
+  EXPECT_DOUBLE_EQ(TimeNs::us(1500).to_us(), 1500.0);
+  EXPECT_DOUBLE_EQ(TimeNs::us(1500).to_ms(), 1.5);
+}
+
+TEST(TimeNs, Arithmetic) {
+  const TimeNs a = TimeNs::us(30);
+  const TimeNs b = TimeNs::us(12);
+  EXPECT_EQ((a + b).count(), 42'000);
+  EXPECT_EQ((a - b).count(), 18'000);
+  EXPECT_EQ((a * 3).count(), 90'000);
+  EXPECT_EQ((3 * a).count(), 90'000);
+  EXPECT_EQ((a / 2).count(), 15'000);
+}
+
+TEST(TimeNs, DivisionCountsWholeSpans) {
+  EXPECT_EQ(TimeNs::us(100) / TimeNs::us(30), 3);
+  EXPECT_EQ(TimeNs::us(90) / TimeNs::us(30), 3);
+  EXPECT_EQ(TimeNs::us(29) / TimeNs::us(30), 0);
+}
+
+TEST(TimeNs, Modulo) {
+  EXPECT_EQ((TimeNs::us(100) % TimeNs::us(30)).count(), 10'000);
+  EXPECT_EQ((TimeNs::us(90) % TimeNs::us(30)).count(), 0);
+}
+
+TEST(TimeNs, CompoundAssignment) {
+  TimeNs t = TimeNs::us(10);
+  t += TimeNs::us(5);
+  EXPECT_EQ(t, TimeNs::us(15));
+  t -= TimeNs::us(20);
+  EXPECT_EQ(t.count(), -5'000);
+}
+
+TEST(TimeNs, Ordering) {
+  EXPECT_LT(TimeNs::us(1), TimeNs::us(2));
+  EXPECT_LE(TimeNs::us(2), TimeNs::us(2));
+  EXPECT_GT(TimeNs::ms(1), TimeNs::us(999));
+  EXPECT_EQ(TimeNs::us(1000), TimeNs::ms(1));
+}
+
+TEST(TimeNs, ExactSlotCoincidence) {
+  // The MAC depends on exact equality of independently computed slot
+  // boundaries.
+  const TimeNs slot = TimeNs::us(20);
+  const TimeNs a = TimeNs::us(50) + slot * 7;
+  const TimeNs b = TimeNs::us(50) + slot * 3 + slot * 4;
+  EXPECT_EQ(a, b);
+}
+
+TEST(TimeNs, StreamOutput) {
+  std::ostringstream os;
+  os << TimeNs::us(2);
+  EXPECT_EQ(os.str(), "2000ns");
+}
+
+}  // namespace
+}  // namespace csmabw

@@ -1,0 +1,144 @@
+#include "core/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/ks_test.hpp"
+#include "stats/rng.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+namespace {
+
+/// Synthetic access-delay repetition: exponential noise around a mean
+/// that ramps from `lo` to `hi` over `ramp` packets — the shape the DCF
+/// produces (Fig 6).
+std::vector<double> synthetic_rep(int n, int ramp, double lo, double hi,
+                                  stats::Rng& rng) {
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double level =
+        i >= ramp ? hi : lo + (hi - lo) * static_cast<double>(i) / ramp;
+    xs[static_cast<std::size_t>(i)] = rng.exponential(level);
+  }
+  return xs;
+}
+
+TransientConfig small_config() {
+  TransientConfig cfg;
+  cfg.train_length = 120;
+  cfg.ks_prefix = 40;
+  cfg.steady_tail = 40;
+  return cfg;
+}
+
+TEST(TransientAnalyzer, MeanCurveRecoversRamp) {
+  TransientAnalyzer ta(small_config());
+  stats::Rng rng(1);
+  for (int rep = 0; rep < 3000; ++rep) {
+    ta.add_repetition(synthetic_rep(120, 20, 0.001, 0.003, rng));
+  }
+  EXPECT_NEAR(ta.mean_at(0), 0.001, 0.0002);
+  EXPECT_NEAR(ta.mean_at(30), 0.003, 0.0002);
+  EXPECT_NEAR(ta.steady_mean(), 0.003, 0.0002);
+  // The curve is (stochastically) increasing over the ramp.
+  EXPECT_LT(ta.mean_at(2), ta.mean_at(10));
+  EXPECT_LT(ta.mean_at(10), ta.mean_at(19));
+}
+
+TEST(TransientAnalyzer, KsCurveFallsBelowThreshold) {
+  TransientAnalyzer ta(small_config());
+  stats::Rng rng(2);
+  for (int rep = 0; rep < 1500; ++rep) {
+    ta.add_repetition(synthetic_rep(120, 20, 0.001, 0.003, rng));
+  }
+  // Early packets: distribution differs from steady state.
+  EXPECT_GT(ta.ks_at(0), ta.ks_threshold_at(0));
+  // Packets past the ramp: distribution matches.
+  EXPECT_LT(ta.ks_at(35), 1.5 * ta.ks_threshold_at(35));
+  const auto curve = ta.ks_curve();
+  EXPECT_EQ(curve.size(), 40u);
+  EXPECT_GT(curve[0], curve[35]);
+}
+
+TEST(TransientAnalyzer, TransientLengthMatchesRamp) {
+  TransientAnalyzer ta(small_config());
+  stats::Rng rng(3);
+  for (int rep = 0; rep < 4000; ++rep) {
+    ta.add_repetition(synthetic_rep(120, 20, 0.001, 0.003, rng));
+  }
+  const int len01 = ta.transient_length(0.1);
+  // Mean reaches within 10% of 0.003 at ~17/20 of the ramp.
+  EXPECT_GE(len01, 10);
+  EXPECT_LE(len01, 25);
+  // A tighter tolerance cannot shorten the detected transient.
+  EXPECT_GE(ta.transient_length(0.01), len01);
+}
+
+TEST(TransientAnalyzer, StationarySeriesHasNoTransient) {
+  TransientAnalyzer ta(small_config());
+  stats::Rng rng(4);
+  for (int rep = 0; rep < 2000; ++rep) {
+    ta.add_repetition(synthetic_rep(120, 0, 0.003, 0.003, rng));
+  }
+  EXPECT_LE(ta.transient_length(0.1), 2);
+  EXPECT_LT(ta.ks_at(0), 1.5 * ta.ks_threshold_at(0));
+}
+
+TEST(TransientAnalyzer, NeverSettlingReportsTrainLength) {
+  TransientConfig cfg = small_config();
+  TransientAnalyzer ta(cfg);
+  stats::Rng rng(5);
+  for (int rep = 0; rep < 200; ++rep) {
+    // Monotone ramp across the whole train: never within 1% of the tail.
+    std::vector<double> xs(static_cast<std::size_t>(cfg.train_length));
+    for (int i = 0; i < cfg.train_length; ++i) {
+      xs[static_cast<std::size_t>(i)] = 0.001 * (1.0 + i);
+    }
+    ta.add_repetition(xs);
+  }
+  EXPECT_EQ(ta.transient_length(1e-6, /*window=*/5), cfg.train_length);
+}
+
+TEST(TransientAnalyzer, SamplesExposedForHistograms) {
+  TransientAnalyzer ta(small_config());
+  stats::Rng rng(6);
+  for (int rep = 0; rep < 10; ++rep) {
+    ta.add_repetition(synthetic_rep(120, 20, 0.001, 0.003, rng));
+  }
+  EXPECT_EQ(ta.sample_at(0).size(), 10u);
+  EXPECT_EQ(ta.steady_sample().size(), 400u);
+  EXPECT_EQ(ta.repetitions(), 10);
+}
+
+TEST(TransientAnalyzer, RejectsNonFiniteDelays) {
+  TransientAnalyzer ta(small_config());
+  std::vector<double> xs(120, 0.001);
+  xs[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ta.add_repetition(xs), util::PreconditionError);
+  xs[3] = -1.0;
+  EXPECT_THROW(ta.add_repetition(xs), util::PreconditionError);
+}
+
+TEST(TransientAnalyzer, RejectsBadConfig) {
+  TransientConfig cfg;
+  cfg.train_length = 1;
+  EXPECT_THROW(TransientAnalyzer{cfg}, util::PreconditionError);
+  cfg = small_config();
+  cfg.steady_tail = 0;
+  EXPECT_THROW(TransientAnalyzer{cfg}, util::PreconditionError);
+}
+
+TEST(TransientAnalyzer, TransientLengthValidatesArguments) {
+  TransientAnalyzer ta(small_config());
+  std::vector<double> xs(120, 0.001);
+  ta.add_repetition(xs);
+  EXPECT_THROW((void)ta.transient_length(0.0), util::PreconditionError);
+  EXPECT_THROW((void)ta.transient_length(0.1, 0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::core

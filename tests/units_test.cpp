@@ -1,0 +1,75 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/require.hpp"
+
+namespace csmabw {
+namespace {
+
+TEST(BitRate, Factories) {
+  EXPECT_DOUBLE_EQ(BitRate::bps(5.0).to_bps(), 5.0);
+  EXPECT_DOUBLE_EQ(BitRate::kbps(3.0).to_bps(), 3'000.0);
+  EXPECT_DOUBLE_EQ(BitRate::mbps(11.0).to_bps(), 11e6);
+  EXPECT_DOUBLE_EQ(BitRate::mbps(2.5).to_mbps(), 2.5);
+}
+
+TEST(BitRate, GapForSendsAtRate) {
+  // 1500-byte packets at 12 Mb/s: 1000 us between packets.
+  EXPECT_EQ(BitRate::mbps(12).gap_for(1500), TimeNs::us(1000));
+}
+
+TEST(BitRate, GapRequiresPositiveInputs) {
+  EXPECT_THROW((void)BitRate::bps(0).gap_for(1500),
+               util::PreconditionError);
+  EXPECT_THROW((void)BitRate::mbps(1).gap_for(0), util::PreconditionError);
+}
+
+TEST(BitRate, FromGapInverse) {
+  const BitRate r = BitRate::from_gap(1500, TimeNs::us(1000));
+  EXPECT_NEAR(r.to_mbps(), 12.0, 1e-9);
+}
+
+TEST(BitRate, Arithmetic) {
+  const BitRate a = BitRate::mbps(4);
+  const BitRate b = BitRate::mbps(1);
+  EXPECT_DOUBLE_EQ((a + b).to_mbps(), 5.0);
+  EXPECT_DOUBLE_EQ((a - b).to_mbps(), 3.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).to_mbps(), 2.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(BitRate, Ordering) {
+  EXPECT_LT(BitRate::kbps(999), BitRate::mbps(1));
+  EXPECT_EQ(BitRate::kbps(1000), BitRate::mbps(1));
+}
+
+TEST(Throughput, BitsOverSpan) {
+  EXPECT_DOUBLE_EQ(throughput(12'000'000, TimeNs::sec(2)).to_mbps(), 6.0);
+}
+
+TEST(Throughput, RejectsEmptySpan) {
+  EXPECT_THROW((void)throughput(1, TimeNs::zero()), util::PreconditionError);
+}
+
+/// gap_for/from_gap must round-trip across realistic probe sizes & rates.
+class GapRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GapRoundTrip, RateRecovered) {
+  const auto [size, mbps] = GetParam();
+  const TimeNs gap = BitRate::mbps(mbps).gap_for(size);
+  const BitRate back = BitRate::from_gap(size, gap);
+  // A nanosecond of gap rounding perturbs the rate by < 0.1% in range.
+  EXPECT_NEAR(back.to_mbps(), mbps, mbps * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRates, GapRoundTrip,
+    ::testing::Combine(::testing::Values(40, 576, 1000, 1500),
+                       ::testing::Values(0.1, 0.5, 2.0, 5.5, 11.0)));
+
+}  // namespace
+}  // namespace csmabw

@@ -1,0 +1,98 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/require.hpp"
+
+namespace csmabw::net {
+namespace {
+
+TEST(Wire, HeaderRoundTrip) {
+  ProbeHeader h;
+  h.session = 0xDEADBEEF;
+  h.train = 42;
+  h.seq = 7;
+  h.train_len = 50;
+  h.send_ts_ns = 0x0123456789ABCDEFULL;
+
+  std::array<std::byte, ProbeHeader::kWireSize> buf{};
+  encode_probe_header(h, buf);
+  const auto back = decode_probe_header(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->session, h.session);
+  EXPECT_EQ(back->train, h.train);
+  EXPECT_EQ(back->seq, h.seq);
+  EXPECT_EQ(back->train_len, h.train_len);
+  EXPECT_EQ(back->send_ts_ns, h.send_ts_ns);
+}
+
+TEST(Wire, NetworkByteOrderOnTheWire) {
+  ProbeHeader h;
+  h.session = 0x01020304;
+  std::array<std::byte, ProbeHeader::kWireSize> buf{};
+  encode_probe_header(h, buf);
+  // Magic "CBMW" = 0x43424D57 big-endian, then the session field.
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0x43);
+  EXPECT_EQ(std::to_integer<int>(buf[4]), 0x01);
+  EXPECT_EQ(std::to_integer<int>(buf[7]), 0x04);
+}
+
+TEST(Wire, RejectsShortBuffer) {
+  std::array<std::byte, 10> small{};
+  EXPECT_FALSE(decode_probe_header(small).has_value());
+  EXPECT_THROW(encode_probe_header(ProbeHeader{}, small),
+               util::PreconditionError);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::array<std::byte, ProbeHeader::kWireSize> buf{};
+  encode_probe_header(ProbeHeader{}, buf);
+  buf[0] = std::byte{0x00};
+  EXPECT_FALSE(decode_probe_header(buf).has_value());
+}
+
+TEST(Wire, MakePacketPadsToSize) {
+  ProbeHeader h;
+  h.seq = 3;
+  const auto pkt = make_probe_packet(h, 1500);
+  EXPECT_EQ(pkt.size(), 1500u);
+  const auto back = decode_probe_header(pkt);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 3u);
+  // Padding is zeroed.
+  EXPECT_EQ(std::to_integer<int>(pkt[1499]), 0);
+}
+
+TEST(Wire, MakePacketRejectsTooSmall) {
+  EXPECT_THROW((void)make_probe_packet(ProbeHeader{}, 8),
+               util::PreconditionError);
+}
+
+/// Round-trip must hold for extreme field values.
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, ExtremeValuesRoundTrip) {
+  const std::uint64_t v = GetParam();
+  ProbeHeader h;
+  h.session = static_cast<std::uint32_t>(v);
+  h.train = static_cast<std::uint32_t>(v >> 8);
+  h.seq = static_cast<std::uint32_t>(v >> 16);
+  h.train_len = static_cast<std::uint32_t>(v >> 24);
+  h.send_ts_ns = v * 0x9E3779B97F4A7C15ULL;
+  std::array<std::byte, ProbeHeader::kWireSize> buf{};
+  encode_probe_header(h, buf);
+  const auto back = decode_probe_header(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->session, h.session);
+  EXPECT_EQ(back->send_ts_ns, h.send_ts_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, WireFuzz,
+                         ::testing::Values(0ULL, 1ULL, 0xFFFFFFFFULL,
+                                           0xFFFFFFFFFFFFFFFFULL,
+                                           0x8000000180000001ULL));
+
+}  // namespace
+}  // namespace csmabw::net
