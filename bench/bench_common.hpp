@@ -8,15 +8,37 @@
 // by default and multiply with CSMABW_BENCH_SCALE (the paper used 80
 // testbed repetitions and 25k-70k simulator repetitions).
 
+#include <unistd.h>
+
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "exp/progress.hpp"
+#include "exp/runner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace csmabw::bench {
+
+/// Whether campaign progress lines should be drawn: forced by
+/// --progress / suppressed by --progress=0, defaulting to "stderr is a
+/// terminal".  Progress goes to stderr, so stdout stays byte-identical
+/// either way.
+inline bool progress_enabled(const util::Args& args) {
+  return args.get("progress", isatty(STDERR_FILENO) == 1);
+}
+
+/// Builds the campaign worker pool from --threads (0 = CSMABW_THREADS
+/// env, else hardware concurrency).
+inline exp::Runner runner_from(const util::Args& args,
+                               exp::Progress* progress = nullptr) {
+  exp::RunnerOptions opts;
+  opts.threads = args.get("threads", 0);
+  opts.progress = progress;
+  return exp::Runner(opts);
+}
 
 inline void announce(const std::string& figure, const std::string& what,
                      const std::string& setup) {

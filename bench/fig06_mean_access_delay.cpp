@@ -4,11 +4,13 @@
 // 1000-packet trains at 5 Mb/s, 4 Mb/s Poisson contending cross-traffic,
 // 25000 repetitions (we default to a laptop-scale ensemble; raise
 // CSMABW_BENCH_SCALE or --reps).
+//
+// Runs as a single-cell campaign on the exp:: engine: --threads N
+// parallelizes the ensemble with output identical to a serial run.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/scenario.hpp"
-#include "core/transient.hpp"
+#include "exp/engine.hpp"
 
 using namespace csmabw;
 
@@ -18,47 +20,40 @@ int main(int argc, char** argv) {
   const int train = args.get("train", 1000);
   const int show = args.get("show", 150);
 
-  core::ScenarioConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 6));
-  cfg.contenders.push_back(
-      {BitRate::mbps(args.get("cross-mbps", 4.0)), 1500});
-  core::Scenario sc(cfg);
-
-  traffic::TrainSpec spec;
-  spec.n = train;
-  spec.size_bytes = 1500;
-  spec.gap = BitRate::mbps(args.get("probe-mbps", 5.0)).gap_for(1500);
+  exp::SweepSpec spec;
+  spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 6));
+  spec.contender_counts = {1};
+  spec.cross_mbps = {args.get("cross-mbps", 4.0)};
+  spec.train_lengths = {train};
+  spec.probe_mbps = {args.get("probe-mbps", 5.0)};
+  spec.repetitions = reps;
+  const exp::Campaign campaign(spec);
 
   bench::announce("Figure 6", "mean access delay vs probe packet number",
                   "probe 5 Mb/s, contender Poisson 4 Mb/s, trains of " +
                       std::to_string(train) + ", " + std::to_string(reps) +
                       " repetitions (paper: 25000)");
 
-  core::TransientConfig tc;
-  tc.train_length = train;
-  tc.ks_prefix = 1;  // raw samples not needed here
-  tc.steady_tail = train / 2;
-  core::TransientAnalyzer ta(tc);
-  int dropped = 0;
-  for (int rep = 0; rep < reps; ++rep) {
-    const core::TrainRun run =
-        sc.run_train(spec, static_cast<std::uint64_t>(rep));
-    if (run.any_dropped) {
-      ++dropped;
-      continue;
-    }
-    ta.add_repetition(run.access_delays_s());
-  }
+  exp::TrainCampaignConfig tcfg;
+  tcfg.ks_prefix = 1;  // raw samples not needed here
+  exp::Progress progress(exp::count_train_shards(campaign, tcfg), "fig06",
+                         bench::progress_enabled(args));
+  const exp::Runner runner = bench::runner_from(args, &progress);
+  const auto cells = exp::run_train_campaign(campaign, tcfg, runner);
+  progress.finish();
+  const exp::TrainCellStats& cell = cells.front();
 
-  std::cout << "# repetitions used: " << ta.repetitions() << " (dropped "
-            << dropped << ")\n";
+  std::cout << "# repetitions used: " << cell.used << " (dropped "
+            << cell.dropped << ")\n";
   std::cout << "# steady-state mean access delay: "
-            << util::Table::format(ta.steady_mean() * 1e3, 4) << " ms\n";
+            << util::Table::format(cell.analyzer.steady_mean() * 1e3, 4)
+            << " ms\n";
 
   util::Table table({"packet", "mean_access_delay_ms"});
   std::vector<std::vector<double>> rows;
   for (int i = 0; i < show && i < train; ++i) {
-    rows.push_back({static_cast<double>(i + 1), ta.mean_at(i) * 1e3});
+    rows.push_back(
+        {static_cast<double>(i + 1), cell.analyzer.mean_at(i) * 1e3});
     table.add_row(rows.back());
   }
   bench::emit(table, args, rows);

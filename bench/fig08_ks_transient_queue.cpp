@@ -4,12 +4,12 @@
 // sampled at probe arrivals.  The transient ends when the contending
 // queue reaches its stationary size.  Paper setup: probe 8 Mb/s,
 // contending cross-traffic 2 Mb/s.
+//
+// Runs as a single-cell campaign on the exp:: engine (--threads N).
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/scenario.hpp"
-#include "core/transient.hpp"
-#include "stats/summary.hpp"
+#include "exp/engine.hpp"
 
 using namespace csmabw;
 
@@ -19,16 +19,14 @@ int main(int argc, char** argv) {
   const int train = args.get("train", 600);
   const int show = args.get("show", 100);
 
-  core::ScenarioConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 8));
-  cfg.contenders.push_back(
-      {BitRate::mbps(args.get("cross-mbps", 2.0)), 1500});
-  core::Scenario sc(cfg);
-
-  traffic::TrainSpec spec;
-  spec.n = train;
-  spec.size_bytes = 1500;
-  spec.gap = BitRate::mbps(args.get("probe-mbps", 8.0)).gap_for(1500);
+  exp::SweepSpec spec;
+  spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 8));
+  spec.contender_counts = {1};
+  spec.cross_mbps = {args.get("cross-mbps", 2.0)};
+  spec.train_lengths = {train};
+  spec.probe_mbps = {args.get("probe-mbps", 8.0)};
+  spec.repetitions = reps;
+  const exp::Campaign campaign(spec);
 
   bench::announce("Figure 8",
                   "KS transient detection + contending queue build-up",
@@ -36,32 +34,24 @@ int main(int argc, char** argv) {
                       std::to_string(train) + ", " + std::to_string(reps) +
                       " repetitions");
 
-  core::TransientConfig tc;
-  tc.train_length = train;
-  tc.ks_prefix = show;
-  tc.steady_tail = train / 2;
-  core::TransientAnalyzer ta(tc);
-  std::vector<stats::RunningStat> queue(static_cast<std::size_t>(show));
-  for (int rep = 0; rep < reps; ++rep) {
-    const core::TrainRun run = sc.run_train(
-        spec, static_cast<std::uint64_t>(rep), /*sample_contender_queue=*/true);
-    if (run.any_dropped) {
-      continue;
-    }
-    ta.add_repetition(run.access_delays_s());
-    for (int i = 0; i < show; ++i) {
-      queue[static_cast<std::size_t>(i)].add(
-          run.contender_queue_at_arrival[static_cast<std::size_t>(i)]);
-    }
-  }
+  exp::TrainCampaignConfig tcfg;
+  tcfg.ks_prefix = show;
+  tcfg.sample_contender_queue = true;
+  tcfg.queue_prefix = show;
+  exp::Progress progress(exp::count_train_shards(campaign, tcfg), "fig08",
+                         bench::progress_enabled(args));
+  const exp::Runner runner = bench::runner_from(args, &progress);
+  const auto cells = exp::run_train_campaign(campaign, tcfg, runner);
+  progress.finish();
+  const exp::TrainCellStats& cell = cells.front();
 
   util::Table table(
       {"packet", "ks_value", "ks_threshold_95", "mean_contender_queue"});
   std::vector<std::vector<double>> rows;
   for (int i = 0; i < show; ++i) {
-    rows.push_back({static_cast<double>(i + 1), ta.ks_at(i),
-                    ta.ks_threshold_at(i),
-                    queue[static_cast<std::size_t>(i)].mean()});
+    rows.push_back({static_cast<double>(i + 1), cell.analyzer.ks_at(i),
+                    cell.analyzer.ks_threshold_at(i),
+                    cell.queue_at_arrival[static_cast<std::size_t>(i)].mean()});
     table.add_row(rows.back());
   }
   bench::emit(table, args, rows);
@@ -69,7 +59,7 @@ int main(int argc, char** argv) {
   // Where does the KS statistic first dip under the 95% line?
   int settle = show;
   for (int i = 0; i < show; ++i) {
-    if (ta.ks_at(i) <= ta.ks_threshold_at(i)) {
+    if (cell.analyzer.ks_at(i) <= cell.analyzer.ks_threshold_at(i)) {
       settle = i + 1;
       break;
     }

@@ -3,11 +3,13 @@
 // an offered probing load of 1 Erlang.  The transient peaks when the
 // cross-traffic offers its fair share and, at 0.1 tolerance, stays well
 // under 150 packets everywhere (Section 4.1).
+//
+// One engine campaign: each offered load is a cell, all cells and their
+// repetition shards run across the worker pool (--threads N).
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/scenario.hpp"
-#include "core/transient.hpp"
+#include "exp/engine.hpp"
 
 using namespace csmabw;
 
@@ -24,36 +26,39 @@ int main(int argc, char** argv) {
           " Erlang; cross load swept 0.05..1.0; tolerances 0.1 / 0.01; " +
           std::to_string(reps) + " repetitions per load");
 
-  traffic::TrainSpec spec;
-  spec.n = train;
-  spec.size_bytes = 1500;
-  spec.gap = TimeNs::from_seconds(1.0 /
-                                  phy.packet_rate_for_load(probe_load, 1500));
+  std::vector<double> loads;
+  for (double load = 0.05; load <= 1.0 + 1e-9; load += 0.05) {
+    loads.push_back(load);
+  }
+
+  exp::SweepSpec spec;
+  spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 10));
+  spec.contender_counts = {1};
+  spec.cross_mbps.clear();
+  for (double load : loads) {
+    spec.cross_mbps.push_back(phy.rate_for_load(load, 1500).to_mbps());
+  }
+  spec.train_lengths = {train};
+  spec.probe_mbps = {phy.rate_for_load(probe_load, 1500).to_mbps()};
+  spec.repetitions = reps;
+  const exp::Campaign campaign(spec);
+
+  exp::TrainCampaignConfig tcfg;
+  tcfg.ks_prefix = 1;
+  exp::Progress progress(exp::count_train_shards(campaign, tcfg), "fig10",
+                         bench::progress_enabled(args));
+  const exp::Runner runner = bench::runner_from(args, &progress);
+  const auto cells = exp::run_train_campaign(campaign, tcfg, runner);
+  progress.finish();
 
   util::Table table(
       {"cross_load_erlang", "transient_tol_0.1", "transient_tol_0.01"});
   std::vector<std::vector<double>> rows;
-  for (double load = 0.05; load <= 1.0 + 1e-9; load += 0.05) {
-    core::ScenarioConfig cfg;
-    cfg.seed = static_cast<std::uint64_t>(args.get("seed", 10)) +
-               static_cast<std::uint64_t>(load * 1000);
-    cfg.contenders.push_back({phy.rate_for_load(load, 1500), 1500});
-    core::Scenario sc(cfg);
-
-    core::TransientConfig tc;
-    tc.train_length = train;
-    tc.ks_prefix = 1;
-    tc.steady_tail = train / 2;
-    core::TransientAnalyzer ta(tc);
-    for (int rep = 0; rep < reps; ++rep) {
-      const core::TrainRun run =
-          sc.run_train(spec, static_cast<std::uint64_t>(rep));
-      if (!run.any_dropped) {
-        ta.add_repetition(run.access_delays_s());
-      }
-    }
-    rows.push_back({load, static_cast<double>(ta.transient_length(0.1)),
-                    static_cast<double>(ta.transient_length(0.01))});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const exp::TrainCellStats& cell = cells[i];
+    rows.push_back(
+        {loads[i], static_cast<double>(cell.analyzer.transient_length(0.1)),
+         static_cast<double>(cell.analyzer.transient_length(0.01))});
     table.add_row(rows.back());
   }
   bench::emit(table, args, rows);

@@ -1,12 +1,22 @@
 // google-benchmark microbenchmarks of the library's hot paths: the
-// discrete-event engine, the DCF simulator, the KS statistic, MSER and
-// the trace-driven FIFO queue.  These bound the cost of scaling the
-// figure ensembles up to the paper's 25k-70k repetitions.
+// discrete-event engine, the DCF simulator, the probe-train repetition,
+// the exp:: campaign engine, the KS statistic, MSER and the trace-driven
+// FIFO queue.  These bound the cost of scaling the figure ensembles up
+// to the paper's 25k-70k repetitions.
+//
+// Results are additionally written as google-benchmark JSON to
+// BENCH_microbench.json (override with --benchmark_out=PATH) so CI and
+// future changes have a machine-readable perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "exp/engine.hpp"
 #include "mac/wlan.hpp"
 #include "queueing/fifo_trace.hpp"
 #include "sim/simulator.hpp"
@@ -71,6 +81,30 @@ void BM_ProbeTrainRepetition(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeTrainRepetition)->Arg(100)->Arg(1000);
 
+void BM_CampaignEngine(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  exp::SweepSpec spec;
+  spec.campaign_seed = 11;
+  spec.contender_counts = {1, 2};
+  spec.cross_mbps = {2.0};
+  spec.train_lengths = {60};
+  spec.probe_mbps = {5.0};
+  spec.repetitions = 32;
+  const exp::Campaign campaign(spec);
+  exp::TrainCampaignConfig tcfg;
+  tcfg.shard_size = 8;
+  for (auto _ : state) {
+    exp::RunnerOptions opts;
+    opts.threads = threads;
+    const exp::Runner runner(opts);
+    benchmark::DoNotOptimize(
+        exp::run_train_campaign(campaign, tcfg, runner));
+  }
+  state.SetItemsProcessed(state.iterations() * campaign.total_repetitions());
+}
+// Wall time is the relevant metric: the work runs on pool threads.
+BENCHMARK(BM_CampaignEngine)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_KsStatistic(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   stats::Rng rng(3);
@@ -122,4 +156,36 @@ BENCHMARK(BM_FifoTrace)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: identical to BENCHMARK_MAIN() except that, unless the
+// caller passes their own --benchmark_out, results are also written as
+// google-benchmark JSON to BENCH_microbench.json for machine
+// consumption (the repo's perf-trajectory baseline).
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exactly --benchmark_out or --benchmark_out=... (not _out_format).
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_microbench.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out) {
+    std::cout << "# benchmark json written: BENCH_microbench.json\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,7 +9,8 @@ namespace csmabw::core {
 
 TransientAnalyzer::TransientAnalyzer(const TransientConfig& cfg)
     : cfg_(cfg),
-      series_(cfg.train_length, cfg.ks_prefix, cfg.steady_tail) {
+      series_(cfg.train_length, cfg.ks_prefix, cfg.steady_tail,
+              cfg.extra_raw_indices) {
   CSMABW_REQUIRE(cfg.train_length >= 2, "train too short");
   CSMABW_REQUIRE(cfg.steady_tail >= 1, "steady tail must be non-empty");
 }
@@ -21,6 +22,15 @@ void TransientAnalyzer::add_repetition(
                    "access delays must be finite and non-negative");
   }
   series_.add_repetition(access_delays_s);
+}
+
+void TransientAnalyzer::merge(const TransientAnalyzer& other) {
+  CSMABW_REQUIRE(other.cfg_.train_length == cfg_.train_length &&
+                     other.cfg_.ks_prefix == cfg_.ks_prefix &&
+                     other.cfg_.steady_tail == cfg_.steady_tail &&
+                     other.cfg_.extra_raw_indices == cfg_.extra_raw_indices,
+                 "cannot merge analyzers with different configurations");
+  series_.merge(other.series_);
 }
 
 double TransientAnalyzer::ks_at(int i) const {

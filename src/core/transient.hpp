@@ -17,6 +17,10 @@ struct TransientConfig {
   /// The pooled steady-state reference uses the last `steady_tail`
   /// indices of every repetition (the paper pools the last 500 packets).
   int steady_tail = 500;
+  /// Additional individual indices (>= ks_prefix) retaining raw samples
+  /// — sparse retention for histograms deep into the train (Fig 7's
+  /// 500th packet) without paying for the whole prefix.
+  std::vector<int> extra_raw_indices;
 };
 
 /// Accumulates repeated probing sequences and characterizes the
@@ -38,6 +42,10 @@ class TransientAnalyzer {
   /// before calling).
   void add_repetition(std::span<const double> access_delays_s);
 
+  /// Merges another analyzer accumulated under an identical
+  /// configuration (parallel ensemble shards; see exp::Runner).
+  void merge(const TransientAnalyzer& other);
+
   [[nodiscard]] int repetitions() const { return series_.repetitions(); }
   [[nodiscard]] const TransientConfig& config() const { return cfg_; }
 
@@ -49,7 +57,8 @@ class TransientAnalyzer {
   /// Mean access delay over the pooled steady-state tail.
   [[nodiscard]] double steady_mean() const { return series_.steady_mean(); }
 
-  /// Raw ensemble sample of index i (i < ks_prefix) — for histograms.
+  /// Raw ensemble sample of index i (i < ks_prefix or listed in
+  /// extra_raw_indices) — for histograms.
   [[nodiscard]] std::span<const double> sample_at(int i) const {
     return series_.raw_at(i);
   }

@@ -1,0 +1,69 @@
+#include "exp/collector.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+
+Collector::Collector(std::vector<std::string> columns, CollectorOptions opts)
+    : columns_(std::move(columns)),
+      table_(columns_),
+      column_stats_(columns_.size()) {
+  CSMABW_REQUIRE(!columns_.empty(), "collector needs at least one column");
+  if (!opts.csv_path.empty()) {
+    csv_ = std::make_unique<util::CsvWriter>(opts.csv_path);
+    csv_->row(columns_);
+  }
+  if (!opts.jsonl_path.empty()) {
+    jsonl_ = std::make_unique<util::JsonlWriter>(opts.jsonl_path);
+  }
+}
+
+void Collector::add(const std::vector<Value>& row) {
+  CSMABW_REQUIRE(row.size() == columns_.size(),
+                 "row width does not match the collector columns");
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    cells.push_back(row[i].text());
+    // Non-finite metrics (e.g. a cell with no complete trains) would
+    // poison the campaign-level min/mean/max.
+    if (row[i].is_number() && std::isfinite(row[i].number())) {
+      column_stats_[i].add(row[i].number());
+    }
+  }
+  table_.add_row(cells);
+  if (csv_) {
+    csv_->row(cells);
+  }
+  if (jsonl_) {
+    std::vector<std::pair<std::string, Value>> fields;
+    fields.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      fields.emplace_back(columns_[i], row[i]);
+    }
+    jsonl_->object(fields);
+  }
+  ++rows_;
+}
+
+const stats::RunningStat& Collector::column_stat(int i) const {
+  CSMABW_REQUIRE(i >= 0 && i < static_cast<int>(column_stats_.size()),
+                 "column index out of range");
+  return column_stats_[static_cast<std::size_t>(i)];
+}
+
+std::vector<std::string> Collector::cell_columns() {
+  return {"cell",      "contenders", "cross_mbps", "phy",
+          "train_len", "probe_mbps", "fifo"};
+}
+
+std::vector<Value> Collector::cell_coords(const Cell& cell) {
+  return {Value(cell.index),        Value(cell.contenders),
+          Value(cell.cross_mbps),   Value(cell.phy_preset),
+          Value(cell.train_length), Value(cell.probe_mbps),
+          Value(cell.fifo ? 1 : 0)};
+}
+
+}  // namespace csmabw::exp

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "stats/summary.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace csmabw::exp {
+
+/// A collector cell value: a number or a label (e.g. a PHY preset name).
+using Value = util::Value;
+
+struct CollectorOptions {
+  /// CSV output path; empty disables the CSV sink.
+  std::string csv_path;
+  /// JSON-lines output path; empty disables the JSONL sink.
+  std::string jsonl_path;
+};
+
+/// Row-streaming result sink of a campaign.
+///
+/// Rows must be appended in cell order (the runner hands merged cell
+/// results back index-ordered), which makes every sink's byte output
+/// independent of the worker-thread count.  Alongside the streams the
+/// collector folds each numeric column into a stats::RunningStat, giving
+/// campaign-level summaries (min/mean/max across cells) for free.
+class Collector {
+ public:
+  Collector(std::vector<std::string> columns, CollectorOptions opts = {});
+
+  void add(const std::vector<Value>& row);
+
+  [[nodiscard]] int rows() const { return static_cast<int>(rows_); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  /// Summary of numeric column `i` across all added rows (string and
+  /// non-finite cells are skipped).
+  [[nodiscard]] const stats::RunningStat& column_stat(int i) const;
+
+  /// The rows as an aligned console table.
+  [[nodiscard]] const util::Table& table() const { return table_; }
+
+  /// The standard coordinate prefix for per-cell rows:
+  /// cell, contenders, cross_mbps, phy, train_len, probe_mbps, fifo.
+  [[nodiscard]] static std::vector<std::string> cell_columns();
+  [[nodiscard]] static std::vector<Value> cell_coords(const Cell& cell);
+
+ private:
+  std::vector<std::string> columns_;
+  util::Table table_;
+  std::vector<stats::RunningStat> column_stats_;
+  std::unique_ptr<util::CsvWriter> csv_;
+  std::unique_ptr<util::JsonlWriter> jsonl_;
+  int rows_ = 0;
+};
+
+}  // namespace csmabw::exp

@@ -1,0 +1,118 @@
+#include "exp/engine.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+
+namespace {
+
+struct Shard {
+  int cell_index = 0;
+  int rep_begin = 0;
+  int rep_end = 0;
+};
+
+core::TransientConfig transient_config_for(const Cell& cell,
+                                           const TrainCampaignConfig& cfg) {
+  core::TransientConfig tc;
+  tc.train_length = cell.train.n;
+  tc.ks_prefix = std::min(cfg.ks_prefix, cell.train.n);
+  tc.steady_tail =
+      cfg.steady_tail > 0 ? std::min(cfg.steady_tail, cell.train.n)
+                          : std::max(1, cell.train.n / 2);
+  for (int i : cfg.raw_indices) {
+    if (i < cell.train.n) {
+      tc.extra_raw_indices.push_back(i);
+    }
+  }
+  return tc;
+}
+
+std::vector<Shard> make_shards(const Campaign& campaign,
+                               const TrainCampaignConfig& cfg) {
+  CSMABW_REQUIRE(cfg.shard_size >= 1, "shard_size must be >= 1");
+  std::vector<Shard> shards;
+  for (const Cell& cell : campaign.cells()) {
+    for (int begin = 0; begin < cell.repetitions; begin += cfg.shard_size) {
+      shards.push_back(Shard{cell.index, begin,
+                             std::min(begin + cfg.shard_size,
+                                      cell.repetitions)});
+    }
+  }
+  return shards;
+}
+
+}  // namespace
+
+int count_train_shards(const Campaign& campaign,
+                       const TrainCampaignConfig& cfg) {
+  return static_cast<int>(make_shards(campaign, cfg).size());
+}
+
+std::vector<TrainCellStats> run_train_campaign(const Campaign& campaign,
+                                               const TrainCampaignConfig& cfg,
+                                               const Runner& runner) {
+  const std::vector<Shard> shards = make_shards(campaign, cfg);
+
+  // Each shard accumulates independently; merging in shard order keeps
+  // raw-sample order identical to a serial run and the merged moments
+  // independent of which worker ran which shard.
+  std::vector<std::unique_ptr<TrainCellStats>> shard_stats(shards.size());
+  runner.for_each(static_cast<int>(shards.size()), [&](int s) {
+    const Shard& shard = shards[static_cast<std::size_t>(s)];
+    const Cell& cell =
+        campaign.cells()[static_cast<std::size_t>(shard.cell_index)];
+    auto stats = std::make_unique<TrainCellStats>(
+        transient_config_for(cell, cfg));
+    if (cfg.sample_contender_queue) {
+      stats->queue_at_arrival.resize(static_cast<std::size_t>(
+          std::min(cfg.queue_prefix, cell.train.n)));
+    }
+
+    const core::Scenario scenario(cell.scenario);
+    for (int rep = shard.rep_begin; rep < shard.rep_end; ++rep) {
+      const core::TrainRun run =
+          scenario.run_train(cell.train, static_cast<std::uint64_t>(rep),
+                             cfg.sample_contender_queue);
+      if (run.any_dropped) {
+        ++stats->dropped;
+        continue;
+      }
+      stats->analyzer.add_repetition(run.access_delays_s());
+      stats->output_gap_s.add(run.output_gap_s());
+      for (std::size_t i = 0; i < stats->queue_at_arrival.size(); ++i) {
+        stats->queue_at_arrival[i].add(run.contender_queue_at_arrival[i]);
+      }
+      ++stats->used;
+    }
+    shard_stats[static_cast<std::size_t>(s)] = std::move(stats);
+  });
+
+  std::vector<TrainCellStats> merged;
+  merged.reserve(campaign.cells().size());
+  for (const Cell& cell : campaign.cells()) {
+    merged.emplace_back(transient_config_for(cell, cfg));
+    if (cfg.sample_contender_queue) {
+      merged.back().queue_at_arrival.resize(static_cast<std::size_t>(
+          std::min(cfg.queue_prefix, cell.train.n)));
+    }
+  }
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const Shard& shard = shards[s];
+    TrainCellStats& dst =
+        merged[static_cast<std::size_t>(shard.cell_index)];
+    const TrainCellStats& src = *shard_stats[s];
+    dst.analyzer.merge(src.analyzer);
+    dst.output_gap_s.merge(src.output_gap_s);
+    for (std::size_t i = 0; i < dst.queue_at_arrival.size(); ++i) {
+      dst.queue_at_arrival[i].merge(src.queue_at_arrival[i]);
+    }
+    dst.used += src.used;
+    dst.dropped += src.dropped;
+  }
+  return merged;
+}
+
+}  // namespace csmabw::exp

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/transient.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "stats/summary.hpp"
+
+namespace csmabw::exp {
+
+/// How a train campaign analyzes each cell's repetitions.
+struct TrainCampaignConfig {
+  /// Raw-sample prefix per cell (KS tests, histograms); clamped to the
+  /// cell's train length.
+  int ks_prefix = 1;
+  /// Additional individual raw-sample indices beyond the prefix
+  /// (indices >= the cell's train length are dropped).
+  std::vector<int> raw_indices;
+  /// Steady-state pool size; 0 means half the cell's train length.
+  int steady_tail = 0;
+  /// Additionally sample contender 0's queue at probe arrivals and keep
+  /// per-index stats for the first `queue_prefix` packets.
+  bool sample_contender_queue = false;
+  int queue_prefix = 0;
+  /// Repetitions per work shard.  The shard decomposition is part of the
+  /// campaign's deterministic contract: results are merged in shard
+  /// order, so output is bit-identical for any thread count (and any
+  /// shard size, up to floating-point association in merged moments).
+  int shard_size = 64;
+};
+
+/// Merged per-cell result of a train campaign.
+struct TrainCellStats {
+  explicit TrainCellStats(const core::TransientConfig& tc) : analyzer(tc) {}
+
+  core::TransientAnalyzer analyzer;
+  /// Per-train output gap (Eq. 16) across complete trains.
+  stats::RunningStat output_gap_s;
+  /// Contender-0 queue length at probe arrival, per packet index
+  /// (non-empty only with sample_contender_queue).
+  std::vector<stats::RunningStat> queue_at_arrival;
+  int used = 0;
+  int dropped = 0;
+
+  /// Measured probe rate implied by the mean output gap.
+  [[nodiscard]] double measured_rate_mbps(int size_bytes) const {
+    const double gap = output_gap_s.mean();
+    return gap > 0.0 ? size_bytes * 8.0 / gap / 1e6 : 0.0;
+  }
+};
+
+/// Runs every cell's repetition ensemble across the runner's worker
+/// pool and returns merged per-cell statistics, indexed like
+/// `campaign.cells()`.
+///
+/// Repetition r of cell c is always `Scenario(cell.scenario).run_train(
+/// cell.train, r)` — the same calls the legacy serial benches made — so
+/// results depend only on (campaign_seed, cell index, repetition).
+[[nodiscard]] std::vector<TrainCellStats> run_train_campaign(
+    const Campaign& campaign, const TrainCampaignConfig& cfg,
+    const Runner& runner);
+
+/// Counts the work shards `run_train_campaign` will execute (the job
+/// total to hand a Progress reporter).
+[[nodiscard]] int count_train_shards(const Campaign& campaign,
+                                     const TrainCampaignConfig& cfg);
+
+/// Runs an arbitrary per-cell function across the pool and collects the
+/// results by cell index (for campaigns whose cells are not train
+/// ensembles, e.g. steady-state or packet-pair sweeps).
+template <typename F>
+[[nodiscard]] auto run_cells(const Campaign& campaign, const Runner& runner,
+                             F&& fn) -> std::vector<decltype(fn(
+    std::declval<const Cell&>()))> {
+  return runner.map(campaign.size(), [&](int i) {
+    return fn(campaign.cells()[static_cast<std::size_t>(i)]);
+  });
+}
+
+}  // namespace csmabw::exp

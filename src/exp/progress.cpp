@@ -1,0 +1,81 @@
+#include "exp/progress.hpp"
+
+#include <iostream>
+
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace csmabw::exp {
+
+namespace {
+constexpr std::chrono::milliseconds kPrintInterval{200};
+}  // namespace
+
+Progress::Progress(std::int64_t total, std::string label, bool enabled,
+                   std::ostream* os)
+    : total_(total),
+      label_(std::move(label)),
+      enabled_(enabled),
+      os_(os != nullptr ? os : &std::cerr),
+      start_(Clock::now()),
+      last_print_(start_ - kPrintInterval) {
+  CSMABW_REQUIRE(total >= 0, "progress total must be >= 0");
+}
+
+Progress::~Progress() { finish(); }
+
+void Progress::tick(std::int64_t n) {
+  if (!enabled_) {
+    std::scoped_lock lock(mu_);
+    done_ += n;
+    return;
+  }
+  std::scoped_lock lock(mu_);
+  done_ += n;
+  const auto now = Clock::now();
+  if (now - last_print_ >= kPrintInterval) {
+    last_print_ = now;
+    print_locked(/*final_line=*/false);
+  }
+}
+
+void Progress::finish() {
+  std::scoped_lock lock(mu_);
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (enabled_) {
+    print_locked(/*final_line=*/true);
+  }
+}
+
+std::int64_t Progress::done() const {
+  std::scoped_lock lock(mu_);
+  return done_;
+}
+
+void Progress::print_locked(bool final_line) {
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done_) /
+                       static_cast<double>(total_)
+                 : 100.0;
+  *os_ << '\r' << label_ << ' ' << done_ << '/' << total_ << " ("
+       << util::Table::format(pct, 1) << "%) elapsed "
+       << util::Table::format(elapsed_s, 1) << "s";
+  if (!final_line && done_ > 0 && done_ < total_) {
+    const double eta_s =
+        elapsed_s * static_cast<double>(total_ - done_) /
+        static_cast<double>(done_);
+    *os_ << " eta " << util::Table::format(eta_s, 1) << "s";
+  }
+  *os_ << "   ";
+  if (final_line) {
+    *os_ << '\n';
+  }
+  os_->flush();
+}
+
+}  // namespace csmabw::exp

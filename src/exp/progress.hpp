@@ -1,0 +1,52 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace csmabw::exp {
+
+/// Thread-safe progress/ETA reporter for long campaigns.
+///
+/// Writes carriage-return status lines ("label 42/96 (44%) eta 12s") to
+/// a stream — stderr by default, so that bench stdout (tables, CSV
+/// mirrors) stays machine-parseable and byte-identical whether or not
+/// progress is shown.  Prints are rate-limited; `tick()` is cheap enough
+/// to call once per work shard from every worker thread.
+class Progress {
+ public:
+  /// `total`: number of work units; `enabled == false` makes every call
+  /// a no-op (the default for tests and non-interactive runs).
+  Progress(std::int64_t total, std::string label, bool enabled,
+           std::ostream* os = nullptr);
+  ~Progress();
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  void tick(std::int64_t n = 1);
+  /// Prints the final line (with newline) once; idempotent.
+  void finish();
+
+  [[nodiscard]] std::int64_t done() const;
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+ private:
+  void print_locked(bool final_line);
+
+  using Clock = std::chrono::steady_clock;
+
+  std::int64_t total_;
+  std::string label_;
+  bool enabled_;
+  std::ostream* os_;
+  mutable std::mutex mu_;
+  std::int64_t done_ = 0;
+  bool finished_ = false;
+  Clock::time_point start_;
+  Clock::time_point last_print_;
+};
+
+}  // namespace csmabw::exp

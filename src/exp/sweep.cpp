@@ -1,0 +1,135 @@
+#include "exp/sweep.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+
+void SweepSpec::validate() const {
+  CSMABW_REQUIRE(!contender_counts.empty(), "contender_counts axis is empty");
+  CSMABW_REQUIRE(!cross_mbps.empty(), "cross_mbps axis is empty");
+  CSMABW_REQUIRE(!phy_presets.empty(), "phy_presets axis is empty");
+  CSMABW_REQUIRE(!train_lengths.empty(), "train_lengths axis is empty");
+  CSMABW_REQUIRE(!probe_mbps.empty(), "probe_mbps axis is empty");
+  CSMABW_REQUIRE(!fifo_cross.empty(), "fifo_cross axis is empty");
+  CSMABW_REQUIRE(repetitions >= 1, "repetitions must be >= 1");
+  CSMABW_REQUIRE(probe_size_bytes > 0, "probe_size_bytes must be positive");
+  CSMABW_REQUIRE(cross_size_bytes > 0, "cross_size_bytes must be positive");
+  for (int c : contender_counts) {
+    CSMABW_REQUIRE(c >= 0, "contender counts must be >= 0");
+  }
+  for (double r : cross_mbps) {
+    CSMABW_REQUIRE(r > 0.0, "cross rates must be positive");
+  }
+  for (int n : train_lengths) {
+    CSMABW_REQUIRE(n >= 2, "train lengths must be >= 2");
+  }
+  for (double r : probe_mbps) {
+    CSMABW_REQUIRE(r > 0.0, "probe rates must be positive");
+  }
+  for (const auto& name : phy_presets) {
+    (void)phy_preset(name);  // throws on unknown names
+  }
+}
+
+std::int64_t SweepSpec::grid_size() const {
+  return static_cast<std::int64_t>(contender_counts.size()) *
+         static_cast<std::int64_t>(cross_mbps.size()) *
+         static_cast<std::int64_t>(phy_presets.size()) *
+         static_cast<std::int64_t>(train_lengths.size()) *
+         static_cast<std::int64_t>(probe_mbps.size()) *
+         static_cast<std::int64_t>(fifo_cross.size());
+}
+
+Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  cells_.reserve(static_cast<std::size_t>(spec_.grid_size()));
+  for (const auto& phy_name : spec_.phy_presets) {
+    const mac::PhyParams phy = phy_preset(phy_name);
+    for (int contenders : spec_.contender_counts) {
+      for (double cross : spec_.cross_mbps) {
+        for (int train_length : spec_.train_lengths) {
+          for (double probe : spec_.probe_mbps) {
+            for (bool fifo : spec_.fifo_cross) {
+              Cell cell;
+              cell.index = static_cast<int>(cells_.size());
+              cell.contenders = contenders;
+              cell.cross_mbps = cross;
+              cell.phy_preset = phy_name;
+              cell.train_length = train_length;
+              cell.probe_mbps = probe;
+              cell.fifo = fifo;
+              cell.repetitions = spec_.repetitions;
+
+              cell.scenario.phy = phy;
+              cell.scenario.seed =
+                  cell_seed(spec_.campaign_seed, cell.index);
+              for (int k = 0; k < contenders; ++k) {
+                cell.scenario.contenders.push_back(
+                    {BitRate::mbps(cross), spec_.cross_size_bytes});
+              }
+              if (fifo) {
+                cell.scenario.fifo_cross = core::CrossTrafficSpec{
+                    BitRate::mbps(spec_.fifo_cross_mbps),
+                    spec_.fifo_cross_size_bytes};
+              }
+
+              cell.train.n = train_length;
+              cell.train.size_bytes = spec_.probe_size_bytes;
+              cell.train.gap =
+                  BitRate::mbps(probe).gap_for(spec_.probe_size_bytes);
+              cells_.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+const SweepSpec& Campaign::spec() const {
+  CSMABW_REQUIRE(!custom_cells_,
+                 "campaign was built from explicit cells; the grid spec "
+                 "does not describe it — read cells() instead");
+  return spec_;
+}
+
+Campaign::Campaign(std::vector<Cell> cells, std::uint64_t campaign_seed)
+    : cells_(std::move(cells)), custom_cells_(true) {
+  CSMABW_REQUIRE(!cells_.empty(), "campaign needs at least one cell");
+  spec_.campaign_seed = campaign_seed;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Cell& cell = cells_[i];
+    cell.index = static_cast<int>(i);
+    cell.scenario.seed = cell_seed(campaign_seed, cell.index);
+    CSMABW_REQUIRE(cell.repetitions >= 1, "cell repetitions must be >= 1");
+  }
+}
+
+std::int64_t Campaign::total_repetitions() const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.repetitions;
+  }
+  return total;
+}
+
+mac::PhyParams phy_preset(const std::string& name) {
+  if (name == "dot11b_short") {
+    return mac::PhyParams::dot11b_short();
+  }
+  if (name == "dot11b_long") {
+    return mac::PhyParams::dot11b_long();
+  }
+  if (name == "dot11g") {
+    return mac::PhyParams::dot11g();
+  }
+  throw util::PreconditionError("unknown PHY preset: " + name);
+}
+
+const std::vector<std::string>& phy_preset_names() {
+  static const std::vector<std::string> names{"dot11b_short", "dot11b_long",
+                                              "dot11g"};
+  return names;
+}
+
+}  // namespace csmabw::exp

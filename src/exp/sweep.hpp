@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "traffic/probe_train.hpp"
+
+namespace csmabw::exp {
+
+/// Declarative parameter grid over the paper's experimental knobs.
+///
+/// Every axis is a list of values; the campaign is the full cartesian
+/// product, expanded in a fixed documented order so that cell indices —
+/// and therefore per-cell seeds and collector output — are stable across
+/// runs, machines and thread counts.
+struct SweepSpec {
+  /// Number of contending stations (each carries one Poisson flow).
+  std::vector<int> contender_counts{1};
+  /// Per-contender Poisson rate in Mb/s.
+  std::vector<double> cross_mbps{2.0};
+  /// PHY presets by name; see `phy_preset_names()`.
+  std::vector<std::string> phy_presets{"dot11b_short"};
+  /// Probe-train length in packets.
+  std::vector<int> train_lengths{600};
+  /// Probe input rate in Mb/s (sets the train's input gap g_I).
+  std::vector<double> probe_mbps{5.0};
+  /// FIFO cross-traffic on the probing station's own queue (Fig 3).
+  std::vector<bool> fifo_cross{false};
+
+  double fifo_cross_mbps = 1.0;
+  int fifo_cross_size_bytes = 1500;
+  int cross_size_bytes = 1500;
+  int probe_size_bytes = 1500;
+
+  /// Independent probing-train repetitions per cell.
+  int repetitions = 100;
+  std::uint64_t campaign_seed = 1;
+
+  /// Throws util::PreconditionError on an empty or inconsistent grid.
+  void validate() const;
+  [[nodiscard]] std::int64_t grid_size() const;
+};
+
+/// One expanded grid point: the coordinates it came from plus the fully
+/// built scenario and train spec ready to run.
+struct Cell {
+  int index = 0;
+  int contenders = 0;
+  double cross_mbps = 0.0;
+  std::string phy_preset;
+  int train_length = 0;
+  double probe_mbps = 0.0;
+  bool fifo = false;
+  int repetitions = 0;
+  core::ScenarioConfig scenario;
+  traffic::TrainSpec train;
+};
+
+/// An expanded sweep: a flat, immutable work list of cells.
+///
+/// Cell i's scenario seed is `campaign_seed + i`; per-repetition
+/// independence comes from `Rng::fork(repetition)` inside
+/// core::Scenario, so the stream of any (cell, repetition) pair depends
+/// only on (campaign_seed, cell index, repetition) — never on worker
+/// scheduling.  A single-cell campaign reproduces the legacy serial
+/// bench binaries' streams exactly.
+class Campaign {
+ public:
+  /// Expands the grid; order: phy preset (outermost) > contenders >
+  /// cross rate > train length > probe rate > fifo (innermost).
+  explicit Campaign(SweepSpec spec);
+
+  /// Builds a campaign from explicitly constructed cells (for sweeps
+  /// that do not fit a cartesian grid, e.g. load-indexed sweeps).
+  /// Re-indexes the cells and derives each cell's scenario seed.
+  Campaign(std::vector<Cell> cells, std::uint64_t campaign_seed);
+
+  /// The grid this campaign was expanded from.  Only meaningful for
+  /// grid campaigns; throws for campaigns built from explicit cells
+  /// (whose cells are the sole source of truth).
+  [[nodiscard]] const SweepSpec& spec() const;
+  [[nodiscard]] std::uint64_t campaign_seed() const {
+    return spec_.campaign_seed;
+  }
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] int size() const { return static_cast<int>(cells_.size()); }
+  [[nodiscard]] std::int64_t total_repetitions() const;
+
+  [[nodiscard]] static std::uint64_t cell_seed(std::uint64_t campaign_seed,
+                                               int cell_index) {
+    return campaign_seed + static_cast<std::uint64_t>(cell_index);
+  }
+
+ private:
+  SweepSpec spec_;
+  std::vector<Cell> cells_;
+  bool custom_cells_ = false;
+};
+
+/// Resolves a PHY preset by name ("dot11b_short", "dot11b_long",
+/// "dot11g"); throws util::PreconditionError on unknown names.
+[[nodiscard]] mac::PhyParams phy_preset(const std::string& name);
+[[nodiscard]] const std::vector<std::string>& phy_preset_names();
+
+}  // namespace csmabw::exp

@@ -23,9 +23,20 @@ class EnsembleSeries {
   /// `raw_prefix`: indices [0, raw_prefix) keep raw samples.
   /// `steady_tail`: the last `steady_tail` indices feed the pooled
   /// steady-state reference sample (0 disables pooling).
-  EnsembleSeries(int length, int raw_prefix, int steady_tail);
+  /// `extra_raw`: additional individual indices (>= raw_prefix) that
+  /// keep raw samples — sparse retention for histograms deep into the
+  /// train without paying for the whole prefix (Fig 7's 500th packet).
+  EnsembleSeries(int length, int raw_prefix, int steady_tail,
+                 std::vector<int> extra_raw = {});
 
   void add_repetition(std::span<const double> values);
+
+  /// Merges a shard accumulated over the same (length, raw_prefix,
+  /// steady_tail) configuration.  Raw samples and the steady pool are
+  /// appended in call order, so merging shards of repetitions
+  /// [0,k), [k,2k), ... in order reproduces the sample order of a serial
+  /// accumulation — the parallel campaign runner relies on this.
+  void merge(const EnsembleSeries& other);
 
   [[nodiscard]] int length() const { return length_; }
   [[nodiscard]] int raw_prefix() const { return raw_prefix_; }
@@ -36,7 +47,8 @@ class EnsembleSeries {
   [[nodiscard]] const RunningStat& stat_at(int i) const;
   [[nodiscard]] std::vector<double> means() const;
 
-  /// Raw samples of index `i` (< raw_prefix) across repetitions.
+  /// Raw samples of index `i` (< raw_prefix, or listed in `extra_raw`)
+  /// across repetitions.
   [[nodiscard]] std::span<const double> raw_at(int i) const;
 
   /// Pooled sample of the last `steady_tail` indices of all repetitions.
@@ -51,6 +63,9 @@ class EnsembleSeries {
   int reps_ = 0;
   std::vector<RunningStat> per_index_;
   std::vector<std::vector<double>> raw_;
+  /// Sorted, deduplicated extra indices and their samples (parallel).
+  std::vector<int> extra_raw_indices_;
+  std::vector<std::vector<double>> extra_raw_;
   std::vector<double> steady_pool_;
   RunningStat steady_stat_;
 };

@@ -76,6 +76,71 @@ bool Args::get(std::string_view name, bool def) const {
                           " expects a boolean, got '" + v + "'");
 }
 
+namespace {
+
+std::vector<std::string> split_list(std::string_view name,
+                                    const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end == begin) {
+      throw PreconditionError("option --" + std::string(name) +
+                              " has an empty list element in '" + value + "'");
+    }
+    out.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Args::get_doubles(std::string_view name,
+                                      std::vector<double> def) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return def;
+  }
+  std::vector<double> out;
+  for (const std::string& item : split_list(name, it->second)) {
+    try {
+      out.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw PreconditionError("option --" + std::string(name) +
+                              " expects numbers, got '" + item + "'");
+    }
+  }
+  return out;
+}
+
+std::vector<int> Args::get_ints(std::string_view name,
+                                std::vector<int> def) const {
+  std::vector<double> fallback;
+  fallback.reserve(def.size());
+  for (int v : def) {
+    fallback.push_back(v);
+  }
+  std::vector<int> out;
+  for (double v : get_doubles(name, fallback)) {
+    out.push_back(static_cast<int>(std::llround(v)));
+  }
+  return out;
+}
+
+std::vector<std::string> Args::get_strings(
+    std::string_view name, std::vector<std::string> def) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return def;
+  }
+  return split_list(name, it->second);
+}
+
 double bench_scale() {
   const char* env = std::getenv("CSMABW_BENCH_SCALE");
   if (env == nullptr) {

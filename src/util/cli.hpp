@@ -27,6 +27,15 @@ class Args {
   [[nodiscard]] int get(std::string_view name, int def) const;
   [[nodiscard]] bool get(std::string_view name, bool def) const;
 
+  /// Comma-separated list forms ("--cross-mbps=1,2,4") for sweep axes.
+  /// Returns `def` when the option is absent; rejects empty elements.
+  [[nodiscard]] std::vector<double> get_doubles(
+      std::string_view name, std::vector<double> def) const;
+  [[nodiscard]] std::vector<int> get_ints(std::string_view name,
+                                          std::vector<int> def) const;
+  [[nodiscard]] std::vector<std::string> get_strings(
+      std::string_view name, std::vector<std::string> def) const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

@@ -1,0 +1,95 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace csmabw::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) {
+    return "null";
+  }
+  return std::string(buf, ptr);
+}
+
+std::string Value::text() const {
+  if (is_string_) {
+    return str_;
+  }
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number_);
+  if (ec != std::errc{}) {
+    return "nan";
+  }
+  return std::string(buf, end);
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("JsonlWriter: cannot open " + path);
+  }
+}
+
+void JsonlWriter::object(
+    const std::vector<std::pair<std::string, Value>>& fields) {
+  out_ << '{';
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) {
+      out_ << ',';
+    }
+    first = false;
+    out_ << '"' << json_escape(key) << "\":";
+    if (value.is_number()) {
+      out_ << json_number(value.number());
+    } else {
+      out_ << '"' << json_escape(value.str()) << '"';
+    }
+  }
+  out_ << "}\n";
+  ++rows_;
+}
+
+}  // namespace csmabw::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace csmabw::util {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number with round-trip precision; NaN and
+/// infinities (not representable in JSON) become `null`.
+[[nodiscard]] std::string json_number(double v);
+
+/// A number-or-label cell value, shared by the campaign collector's
+/// table/CSV rows and the JSONL writer (strings stay quoted in JSON,
+/// numbers stay numbers).
+class Value {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(double v) : number_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(int v) : number_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(std::string s) : str_(std::move(s)), is_string_(true) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(const char* s) : str_(s), is_string_(true) {}
+
+  [[nodiscard]] bool is_number() const { return !is_string_; }
+  [[nodiscard]] double number() const { return number_; }
+  [[nodiscard]] const std::string& str() const { return str_; }
+  /// The value as a plain table/CSV cell (numbers round-trip formatted).
+  [[nodiscard]] std::string text() const;
+
+ private:
+  double number_ = 0.0;
+  std::string str_;
+  bool is_string_ = false;
+};
+
+/// Minimal JSON Lines writer: one flat object per line.
+///
+/// The collector streams one object per campaign cell so downstream
+/// tooling (jq, pandas) can consume partial campaigns while they run.
+class JsonlWriter {
+ public:
+  /// Opens `path` for writing (truncates).  Throws std::runtime_error on
+  /// failure.
+  explicit JsonlWriter(const std::string& path);
+
+  void object(const std::vector<std::pair<std::string, Value>>& fields);
+
+  [[nodiscard]] int rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  int rows_ = 0;
+};
+
+}  // namespace csmabw::util

@@ -1,0 +1,96 @@
+#include "exp/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct TempPath {
+  explicit TempPath(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Collector, StreamsCsvAndJsonlRows) {
+  TempPath csv("collector_test.csv");
+  TempPath jsonl("collector_test.jsonl");
+  CollectorOptions opts;
+  opts.csv_path = csv.path;
+  opts.jsonl_path = jsonl.path;
+  {
+    Collector collector({"cell", "phy", "rate"}, opts);
+    collector.add({Value(0), Value("dot11b_short"), Value(4.5)});
+    collector.add({Value(1), Value("dot11g"), Value(2.0)});
+    EXPECT_EQ(collector.rows(), 2);
+  }
+  EXPECT_EQ(slurp(csv.path),
+            "cell,phy,rate\n0,dot11b_short,4.5\n1,dot11g,2\n");
+  EXPECT_EQ(slurp(jsonl.path),
+            "{\"cell\":0,\"phy\":\"dot11b_short\",\"rate\":4.5}\n"
+            "{\"cell\":1,\"phy\":\"dot11g\",\"rate\":2}\n");
+}
+
+TEST(Collector, AggregatesNumericColumnsSkippingStrings) {
+  Collector collector({"label", "x"});
+  collector.add({Value("a"), Value(1.0)});
+  collector.add({Value("b"), Value(3.0)});
+  EXPECT_EQ(collector.column_stat(0).count(), 0);
+  EXPECT_EQ(collector.column_stat(1).count(), 2);
+  EXPECT_DOUBLE_EQ(collector.column_stat(1).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(collector.column_stat(1).min(), 1.0);
+  EXPECT_DOUBLE_EQ(collector.column_stat(1).max(), 3.0);
+}
+
+TEST(Collector, NonFiniteMetricsBecomeJsonNullAndSkipSummaries) {
+  TempPath jsonl("collector_nan.jsonl");
+  CollectorOptions opts;
+  opts.jsonl_path = jsonl.path;
+  {
+    Collector collector({"x"}, opts);
+    collector.add({Value(std::numeric_limits<double>::quiet_NaN())});
+    collector.add({Value(2.0)});
+    EXPECT_EQ(collector.column_stat(0).count(), 1);
+    EXPECT_DOUBLE_EQ(collector.column_stat(0).mean(), 2.0);
+  }
+  EXPECT_EQ(slurp(jsonl.path), "{\"x\":null}\n{\"x\":2}\n");
+}
+
+TEST(Collector, RejectsWidthMismatch) {
+  Collector collector({"a", "b"});
+  EXPECT_THROW(collector.add({Value(1.0)}), util::PreconditionError);
+}
+
+TEST(Collector, CellCoordsMatchCellColumns) {
+  Cell cell;
+  cell.index = 3;
+  cell.contenders = 2;
+  cell.cross_mbps = 4.0;
+  cell.phy_preset = "dot11b_long";
+  cell.train_length = 600;
+  cell.probe_mbps = 5.0;
+  cell.fifo = true;
+  const auto columns = Collector::cell_columns();
+  const auto coords = Collector::cell_coords(cell);
+  ASSERT_EQ(columns.size(), coords.size());
+  EXPECT_EQ(coords[0].number(), 3.0);
+  EXPECT_EQ(coords[3].str(), "dot11b_long");
+  EXPECT_EQ(coords[6].number(), 1.0);
+}
+
+}  // namespace
+}  // namespace csmabw::exp

@@ -1,0 +1,214 @@
+#include "exp/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "stats/ensemble.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.campaign_seed = 21;
+  spec.contender_counts = {1};
+  spec.cross_mbps = {2.0, 4.0};
+  spec.train_lengths = {40};
+  spec.probe_mbps = {5.0};
+  spec.repetitions = 24;
+  return spec;
+}
+
+std::vector<TrainCellStats> run_with_threads(const Campaign& campaign,
+                                             const TrainCampaignConfig& cfg,
+                                             int threads) {
+  RunnerOptions opts;
+  opts.threads = threads;
+  return run_train_campaign(campaign, cfg, Runner(opts));
+}
+
+TEST(TrainCampaign, ThreadCountDoesNotChangeResults) {
+  const Campaign campaign(small_spec());
+  TrainCampaignConfig cfg;
+  cfg.ks_prefix = 4;
+  cfg.shard_size = 8;
+  const auto serial = run_with_threads(campaign, cfg, 1);
+  const auto parallel = run_with_threads(campaign, cfg, 4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(serial[c].used, parallel[c].used);
+    EXPECT_EQ(serial[c].dropped, parallel[c].dropped);
+    // Bit-identical: the shard decomposition and merge order are fixed,
+    // only the worker that runs each shard varies.
+    EXPECT_EQ(serial[c].output_gap_s.mean(), parallel[c].output_gap_s.mean());
+    EXPECT_EQ(serial[c].analyzer.steady_mean(),
+              parallel[c].analyzer.steady_mean());
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(serial[c].analyzer.mean_at(i),
+                parallel[c].analyzer.mean_at(i));
+    }
+    for (int i = 0; i < cfg.ks_prefix; ++i) {
+      const auto a = serial[c].analyzer.sample_at(i);
+      const auto b = parallel[c].analyzer.sample_at(i);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k], b[k]);
+      }
+    }
+  }
+}
+
+TEST(TrainCampaign, ShardMergeMatchesSerialAccumulation) {
+  const Campaign campaign(small_spec());
+  TrainCampaignConfig cfg;
+  cfg.ks_prefix = 3;
+  cfg.shard_size = 7;  // deliberately does not divide the 24 repetitions
+  const auto engine = run_with_threads(campaign, cfg, 2);
+
+  for (const Cell& cell : campaign.cells()) {
+    // Reference: the legacy hand-rolled serial loop.
+    core::TransientConfig tc;
+    tc.train_length = cell.train.n;
+    tc.ks_prefix = 3;
+    tc.steady_tail = cell.train.n / 2;
+    core::TransientAnalyzer reference(tc);
+    const core::Scenario scenario(cell.scenario);
+    int used = 0;
+    int dropped = 0;
+    for (int rep = 0; rep < cell.repetitions; ++rep) {
+      const core::TrainRun run =
+          scenario.run_train(cell.train, static_cast<std::uint64_t>(rep));
+      if (run.any_dropped) {
+        ++dropped;
+        continue;
+      }
+      reference.add_repetition(run.access_delays_s());
+      ++used;
+    }
+
+    const TrainCellStats& merged =
+        engine[static_cast<std::size_t>(cell.index)];
+    EXPECT_EQ(merged.used, used);
+    EXPECT_EQ(merged.dropped, dropped);
+    ASSERT_GT(used, 0);
+    // Raw samples are order-identical; merged moments agree to
+    // floating-point association error.
+    for (int i = 0; i < 3; ++i) {
+      const auto a = reference.sample_at(i);
+      const auto b = merged.analyzer.sample_at(i);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k], b[k]);
+      }
+      EXPECT_EQ(merged.analyzer.ks_at(i), reference.ks_at(i));
+    }
+    for (int i = 0; i < cell.train.n; ++i) {
+      EXPECT_NEAR(merged.analyzer.mean_at(i), reference.mean_at(i),
+                  1e-12 * std::abs(reference.mean_at(i)));
+    }
+    EXPECT_NEAR(merged.analyzer.steady_mean(), reference.steady_mean(),
+                1e-12 * reference.steady_mean());
+  }
+}
+
+TEST(TrainCampaign, QueueSamplingStatsPerIndex) {
+  SweepSpec spec = small_spec();
+  spec.cross_mbps = {4.0};
+  spec.repetitions = 8;
+  const Campaign campaign(spec);
+  TrainCampaignConfig cfg;
+  cfg.sample_contender_queue = true;
+  cfg.queue_prefix = 10;
+  cfg.shard_size = 3;
+  const auto results = run_with_threads(campaign, cfg, 2);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].queue_at_arrival.size(), 10u);
+  EXPECT_EQ(results[0].queue_at_arrival[0].count(), results[0].used);
+}
+
+TEST(TrainCampaign, CountTrainShardsCoversAllRepetitions) {
+  const Campaign campaign(small_spec());  // 2 cells x 24 reps
+  TrainCampaignConfig cfg;
+  cfg.shard_size = 7;
+  EXPECT_EQ(count_train_shards(campaign, cfg), 2 * 4);
+  cfg.shard_size = 64;
+  EXPECT_EQ(count_train_shards(campaign, cfg), 2);
+}
+
+TEST(RunCells, MapsArbitraryPerCellWork) {
+  const Campaign campaign(small_spec());
+  RunnerOptions opts;
+  opts.threads = 2;
+  const Runner runner(opts);
+  const auto rates = run_cells(campaign, runner, [](const Cell& cell) {
+    return cell.cross_mbps * 2.0;
+  });
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(EnsembleSeries, MergeAppendsShardsInOrder) {
+  stats::EnsembleSeries a(3, 2, 1);
+  stats::EnsembleSeries b(3, 2, 1);
+  a.add_repetition(std::vector<double>{1.0, 2.0, 3.0});
+  b.add_repetition(std::vector<double>{4.0, 5.0, 6.0});
+  b.add_repetition(std::vector<double>{7.0, 8.0, 9.0});
+  a.merge(b);
+  EXPECT_EQ(a.repetitions(), 3);
+  EXPECT_DOUBLE_EQ(a.mean_at(0), 4.0);
+  ASSERT_EQ(a.raw_at(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(a.raw_at(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.raw_at(0)[1], 4.0);
+  EXPECT_DOUBLE_EQ(a.raw_at(0)[2], 7.0);
+  ASSERT_EQ(a.steady_pool().size(), 3u);
+  EXPECT_DOUBLE_EQ(a.steady_pool()[2], 9.0);
+
+  stats::EnsembleSeries mismatched(3, 1, 1);
+  EXPECT_THROW(a.merge(mismatched), util::PreconditionError);
+}
+
+TEST(EnsembleSeries, SparseExtraRawIndices) {
+  stats::EnsembleSeries a(5, 1, 1, {3});
+  stats::EnsembleSeries b(5, 1, 1, {3});
+  a.add_repetition(std::vector<double>{1, 2, 3, 4, 5});
+  b.add_repetition(std::vector<double>{6, 7, 8, 9, 10});
+  a.merge(b);
+  ASSERT_EQ(a.raw_at(3).size(), 2u);
+  EXPECT_DOUBLE_EQ(a.raw_at(3)[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.raw_at(3)[1], 9.0);
+  EXPECT_THROW((void)a.raw_at(2), util::PreconditionError);
+
+  stats::EnsembleSeries mismatched(5, 1, 1, {4});
+  EXPECT_THROW(a.merge(mismatched), util::PreconditionError);
+  // Extra indices inside the prefix are redundant and dropped.
+  stats::EnsembleSeries redundant(5, 2, 1, {0, 3});
+  redundant.add_repetition(std::vector<double>{1, 2, 3, 4, 5});
+  EXPECT_EQ(redundant.raw_at(0).size(), 1u);
+  EXPECT_EQ(redundant.raw_at(3).size(), 1u);
+}
+
+TEST(TrainCampaign, SparseRawIndicesRetainLateSamples) {
+  SweepSpec spec = small_spec();
+  spec.cross_mbps = {2.0};
+  spec.repetitions = 6;
+  const Campaign campaign(spec);
+  TrainCampaignConfig cfg;
+  cfg.ks_prefix = 1;
+  cfg.raw_indices = {30, 99};  // 99 exceeds the 40-packet train: dropped
+  cfg.shard_size = 4;
+  const auto results = run_with_threads(campaign, cfg, 2);
+  ASSERT_EQ(results.size(), 1u);
+  const auto& analyzer = results[0].analyzer;
+  EXPECT_EQ(analyzer.sample_at(30).size(),
+            static_cast<std::size_t>(results[0].used));
+  EXPECT_THROW((void)analyzer.sample_at(20), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::exp

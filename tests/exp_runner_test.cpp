@@ -1,0 +1,82 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/progress.hpp"
+
+namespace csmabw::exp {
+namespace {
+
+Runner make_runner(int threads, Progress* progress = nullptr) {
+  RunnerOptions opts;
+  opts.threads = threads;
+  opts.progress = progress;
+  return Runner(opts);
+}
+
+TEST(Runner, ExecutesEveryJobExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(37);
+    make_runner(threads).for_each(
+        37, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(Runner, ZeroJobsIsANoop) {
+  make_runner(4).for_each(0, [](int) { FAIL() << "must not be called"; });
+}
+
+TEST(Runner, MapCollectsResultsByIndexRegardlessOfThreads) {
+  const auto square = [](int i) { return i * i; };
+  const auto serial = make_runner(1).map(25, square);
+  const auto parallel = make_runner(8).map(25, square);
+  EXPECT_EQ(serial, parallel);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(serial[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(Runner, PropagatesTheFirstJobException) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        make_runner(threads).for_each(16,
+                                      [](int i) {
+                                        if (i == 5) {
+                                          throw std::runtime_error("boom");
+                                        }
+                                      }),
+        std::runtime_error);
+  }
+}
+
+TEST(Runner, TicksProgressOncePerJob) {
+  Progress progress(12, "test", /*enabled=*/false);
+  make_runner(3, &progress).for_each(12, [](int) {});
+  EXPECT_EQ(progress.done(), 12);
+}
+
+TEST(Runner, ResolveThreadsPrefersExplicitRequest) {
+  EXPECT_EQ(resolve_threads(5), 5);
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-3), 1);
+}
+
+TEST(Progress, CountsAndFinishIsIdempotent) {
+  Progress progress(3, "p", /*enabled=*/false);
+  progress.tick();
+  progress.tick(2);
+  EXPECT_EQ(progress.done(), 3);
+  progress.finish();
+  progress.finish();
+}
+
+}  // namespace
+}  // namespace csmabw::exp

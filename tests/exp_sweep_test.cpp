@@ -1,0 +1,124 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+namespace {
+
+TEST(SweepSpec, GridSizeIsAxisProduct) {
+  SweepSpec spec;
+  spec.contender_counts = {1, 2, 3};
+  spec.cross_mbps = {1.0, 2.0};
+  spec.phy_presets = {"dot11b_short", "dot11b_long"};
+  spec.train_lengths = {100};
+  spec.probe_mbps = {4.0, 5.0};
+  spec.fifo_cross = {false, true};
+  EXPECT_EQ(spec.grid_size(), 3 * 2 * 2 * 1 * 2 * 2);
+}
+
+TEST(SweepSpec, ValidateRejectsEmptyAndBadAxes) {
+  SweepSpec spec;
+  spec.cross_mbps.clear();
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.cross_mbps = {-1.0};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.phy_presets = {"no_such_phy"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.repetitions = 0;
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.train_lengths = {1};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+}
+
+TEST(Campaign, ExpandsFullCartesianProductInDocumentedOrder) {
+  SweepSpec spec;
+  spec.contender_counts = {1, 2};
+  spec.cross_mbps = {1.0, 4.0};
+  spec.phy_presets = {"dot11b_short"};
+  spec.train_lengths = {50};
+  spec.probe_mbps = {5.0};
+  spec.fifo_cross = {false, true};
+  spec.repetitions = 7;
+  const Campaign campaign(spec);
+
+  ASSERT_EQ(campaign.size(), 8);
+  EXPECT_EQ(campaign.total_repetitions(), 8 * 7);
+  // phy > contenders > cross > train > probe > fifo, fifo innermost.
+  EXPECT_EQ(campaign.cells()[0].contenders, 1);
+  EXPECT_DOUBLE_EQ(campaign.cells()[0].cross_mbps, 1.0);
+  EXPECT_FALSE(campaign.cells()[0].fifo);
+  EXPECT_TRUE(campaign.cells()[1].fifo);
+  EXPECT_DOUBLE_EQ(campaign.cells()[2].cross_mbps, 4.0);
+  EXPECT_EQ(campaign.cells()[4].contenders, 2);
+  for (int i = 0; i < campaign.size(); ++i) {
+    const Cell& cell = campaign.cells()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(cell.index, i);
+    EXPECT_EQ(cell.repetitions, 7);
+    EXPECT_EQ(cell.scenario.seed,
+              Campaign::cell_seed(spec.campaign_seed, i));
+    EXPECT_EQ(cell.scenario.contenders.size(),
+              static_cast<std::size_t>(cell.contenders));
+    EXPECT_EQ(cell.scenario.fifo_cross.has_value(), cell.fifo);
+    EXPECT_EQ(cell.train.n, 50);
+  }
+}
+
+TEST(Campaign, CellScenarioReflectsCoordinates) {
+  SweepSpec spec;
+  spec.contender_counts = {2};
+  spec.cross_mbps = {3.0};
+  spec.phy_presets = {"dot11g"};
+  spec.fifo_cross = {true};
+  spec.fifo_cross_mbps = 1.5;
+  const Campaign campaign(spec);
+  ASSERT_EQ(campaign.size(), 1);
+  const Cell& cell = campaign.cells()[0];
+  EXPECT_DOUBLE_EQ(cell.scenario.contenders[0].rate.to_mbps(), 3.0);
+  EXPECT_DOUBLE_EQ(cell.scenario.contenders[1].rate.to_mbps(), 3.0);
+  ASSERT_TRUE(cell.scenario.fifo_cross.has_value());
+  EXPECT_DOUBLE_EQ(cell.scenario.fifo_cross->rate.to_mbps(), 1.5);
+  // dot11g slot time distinguishes the preset.
+  EXPECT_EQ(cell.scenario.phy.slot_time, mac::PhyParams::dot11g().slot_time);
+}
+
+TEST(Campaign, SingleCellCampaignPreservesCampaignSeed) {
+  // Cell 0's scenario seed equals the campaign seed, so single-cell
+  // campaigns reproduce the legacy serial benches' streams exactly.
+  SweepSpec spec;
+  spec.campaign_seed = 42;
+  const Campaign campaign(spec);
+  EXPECT_EQ(campaign.cells()[0].scenario.seed, 42u);
+}
+
+TEST(Campaign, CustomCellListIsReindexedAndSeeded) {
+  std::vector<Cell> cells(3);
+  for (auto& cell : cells) {
+    cell.repetitions = 1;
+    cell.index = 99;  // deliberately wrong; constructor must fix it
+  }
+  const Campaign campaign(std::move(cells), 7);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(campaign.cells()[static_cast<std::size_t>(i)].index, i);
+    EXPECT_EQ(campaign.cells()[static_cast<std::size_t>(i)].scenario.seed,
+              7u + static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(campaign.campaign_seed(), 7u);
+  // The grid spec does not describe a custom-cell campaign.
+  EXPECT_THROW((void)campaign.spec(), util::PreconditionError);
+}
+
+TEST(PhyPreset, ResolvesAllNamesAndRejectsUnknown) {
+  for (const auto& name : phy_preset_names()) {
+    EXPECT_NO_THROW((void)phy_preset(name));
+  }
+  EXPECT_THROW((void)phy_preset("dot11n"), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::exp
