@@ -1,28 +1,95 @@
 // Engine-only campaign: one command sweeping contending stations ×
 // cross-traffic rate × PHY preset (optionally × train length, probe
-// rate, FIFO cross-traffic), running every (cell, repetition) across a
-// worker pool and streaming one summary row per cell to the console,
-// --csv=PATH and --jsonl=PATH.
+// rate, FIFO cross-traffic, measurement method), running every
+// (cell, repetition) across a worker pool and streaming results to the
+// console, --csv=PATH and --jsonl=PATH.
+//
+// Without --methods each cell is a probe-train ensemble and the output
+// is one summary row per cell.  With --methods the method list becomes
+// an extra (innermost) grid axis: every repetition runs one measurement
+// tool through core::MethodRegistry and emits one row per repetition
+// (see exp::Collector::method_columns).
+//
+// --format=json replaces the stdout table with the same rows as JSON
+// lines (pure JSONL: the announce header and digests are suppressed).
 //
 // The output is byte-identical for any --threads value: cells and
-// repetition shards are seeded from (campaign seed, cell index,
-// repetition) alone and merged in a fixed order.
+// repetitions are seeded from (campaign seed, cell index, repetition)
+// alone and merged in a fixed order.
 //
-// Example:
+// Examples:
 //   campaign_sweep --contenders=1,2,3 --cross-mbps=1,2,4
 //     --phy=dot11b_short,dot11b_long --reps=200 --threads=8
 //     --csv=sweep.csv --jsonl=sweep.jsonl
+//   campaign_sweep --contenders=1 --cross-mbps=2,4 --reps=3
+//     --methods='bisection;slops:train_length=30;packet_pair:pairs=50'
+//     --format=json
 #include <iostream>
 #include <limits>
 
 #include "bench_common.hpp"
+#include "core/method.hpp"
 #include "exp/collector.hpp"
 #include "exp/engine.hpp"
+#include "util/require.hpp"
 
 using namespace csmabw;
 
+namespace {
+
+int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
+                     bool json) {
+  exp::Progress progress(exp::count_method_runs(campaign), "methods",
+                         bench::progress_enabled(args));
+  const exp::Runner runner = bench::runner_from(args, &progress);
+  // stderr, not stdout: stdout must stay byte-identical across --threads.
+  std::cerr << "# threads: " << runner.threads() << "\n";
+  const std::vector<exp::MethodRun> runs =
+      exp::run_method_campaign(campaign, exp::MethodCampaignConfig{}, runner);
+  progress.finish();
+
+  exp::CollectorOptions copts;
+  copts.csv_path = args.get("csv", "");
+  copts.jsonl_path = args.get("jsonl", "");
+  if (json) {
+    copts.jsonl_stream = &std::cout;
+  }
+  exp::Collector collector(exp::Collector::method_columns(), copts);
+  for (const exp::MethodRun& run : runs) {
+    collector.add(exp::Collector::method_row(
+        campaign.cells()[static_cast<std::size_t>(run.cell_index)],
+        run.repetition, run.report));
+  }
+
+  if (!json) {
+    collector.table().print(std::cout);
+    if (!copts.csv_path.empty()) {
+      std::cout << "# csv written: " << copts.csv_path << "\n";
+    }
+    if (!copts.jsonl_path.empty()) {
+      std::cout << "# jsonl written: " << copts.jsonl_path << "\n";
+    }
+    const int est_col = 9;  // estimate_mbps, after the 7 coords + method/rep
+    std::cout << "# estimate across runs: min "
+              << util::Table::format(collector.column_stat(est_col).min(), 3)
+              << " / mean "
+              << util::Table::format(collector.column_stat(est_col).mean(), 3)
+              << " / max "
+              << util::Table::format(collector.column_stat(est_col).max(), 3)
+              << " Mb/s\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+
+  const std::string format = args.get("format", "table");
+  CSMABW_REQUIRE(format == "table" || format == "json",
+                 "--format must be table or json");
+  const bool json = format == "json";
 
   exp::SweepSpec spec;
   spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 1));
@@ -37,16 +104,28 @@ int main(int argc, char** argv) {
     spec.fifo_cross = {false, true};
     spec.fifo_cross_mbps = args.get("fifo-mbps", 1.0);
   }
+  const std::string methods = args.get("methods", "");
+  if (!methods.empty()) {
+    spec.methods = core::split_method_list(methods);
+  }
   spec.repetitions = args.get("reps", util::scaled_reps(100));
   const exp::Campaign campaign(spec);
 
-  bench::announce(
-      "Campaign sweep",
-      "transient + throughput metrics over the full scenario grid",
-      std::to_string(campaign.size()) + " cells x " +
-          std::to_string(spec.repetitions) + " repetitions = " +
-          std::to_string(campaign.total_repetitions()) +
-          " probing trains");
+  if (!json) {
+    bench::announce(
+        "Campaign sweep",
+        spec.methods.empty()
+            ? "transient + throughput metrics over the full scenario grid"
+            : "measurement methods over the full scenario grid",
+        std::to_string(campaign.size()) + " cells x " +
+            std::to_string(spec.repetitions) + " repetitions = " +
+            std::to_string(campaign.total_repetitions()) +
+            (spec.methods.empty() ? " probing trains" : " tool runs"));
+  }
+
+  if (!spec.methods.empty()) {
+    return run_method_sweep(campaign, args, json);
+  }
 
   exp::TrainCampaignConfig tcfg;
   tcfg.ks_prefix = 1;  // KS of the first packet vs the steady pool
@@ -68,6 +147,9 @@ int main(int argc, char** argv) {
   exp::CollectorOptions copts;
   copts.csv_path = args.get("csv", "");
   copts.jsonl_path = args.get("jsonl", "");
+  if (json) {
+    copts.jsonl_stream = &std::cout;
+  }
   exp::Collector collector(columns, copts);
 
   for (const exp::Cell& cell : campaign.cells()) {
@@ -96,6 +178,9 @@ int main(int argc, char** argv) {
     collector.add(row);
   }
 
+  if (json) {
+    return 0;
+  }
   collector.table().print(std::cout);
   if (!copts.csv_path.empty()) {
     std::cout << "# csv written: " << copts.csv_path << "\n";

@@ -6,17 +6,21 @@
 
 namespace csmabw::core {
 
+void EstimatorOptions::validate() const {
+  CSMABW_REQUIRE(train_length >= 3, "trains must have >= 3 packets");
+  CSMABW_REQUIRE(size_bytes > 0, "probe size must be positive");
+  CSMABW_REQUIRE(trains_per_rate >= 1, "need >= 1 train per rate");
+  CSMABW_REQUIRE(min_rate_bps > 0.0 && max_rate_bps > min_rate_bps,
+                 "invalid rate range");
+  CSMABW_REQUIRE(max_iterations >= 1, "need >= 1 bisection iteration");
+  CSMABW_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0, "rel_tol must be in (0, 1)");
+  CSMABW_REQUIRE(mser_m >= 1, "mser_m must be >= 1");
+}
+
 BandwidthEstimator::BandwidthEstimator(ProbeTransport& transport,
                                        EstimatorOptions options)
     : transport_(transport), opt_(options) {
-  CSMABW_REQUIRE(opt_.train_length >= 3, "trains must have >= 3 packets");
-  CSMABW_REQUIRE(opt_.size_bytes > 0, "probe size must be positive");
-  CSMABW_REQUIRE(opt_.trains_per_rate >= 1, "need >= 1 train per rate");
-  CSMABW_REQUIRE(opt_.min_rate_bps > 0.0 &&
-                     opt_.max_rate_bps > opt_.min_rate_bps,
-                 "invalid rate range");
-  CSMABW_REQUIRE(opt_.rel_tol > 0.0 && opt_.rel_tol < 1.0,
-                 "rel_tol must be in (0, 1)");
+  opt_.validate();
 }
 
 RateResponsePoint BandwidthEstimator::measure_rate(double input_bps) {
@@ -34,6 +38,7 @@ RateResponsePoint BandwidthEstimator::measure_rate(double input_bps) {
   int used = 0;
   for (int t = 0; t < opt_.trains_per_rate; ++t) {
     const TrainResult train = transport_.send_train(spec);
+    ++trains_sent_;
     if (!train.complete()) {
       ++trains_lost_;
       continue;
@@ -68,7 +73,7 @@ SweepResult BandwidthEstimator::sweep(const std::vector<double>& rates_bps) {
   return result;
 }
 
-double BandwidthEstimator::estimate_achievable_bps() {
+RateBracket BandwidthEstimator::bisect_achievable() {
   double lo = opt_.min_rate_bps;
   double hi = opt_.max_rate_bps;
   // Invariant: rates <= lo follow ro ~= ri; rates >= hi are distorted.
@@ -81,7 +86,11 @@ double BandwidthEstimator::estimate_achievable_bps() {
       hi = mid;
     }
   }
-  return 0.5 * (lo + hi);
+  return RateBracket{lo, hi};
+}
+
+double BandwidthEstimator::estimate_achievable_bps() {
+  return bisect_achievable().midpoint_bps();
 }
 
 }  // namespace csmabw::core

@@ -23,6 +23,19 @@ struct EstimatorOptions {
   int max_iterations = 12;
   /// ro/ri >= 1 - rel_tol counts as "output follows input".
   double rel_tol = 0.05;
+
+  /// Throws util::PreconditionError on inconsistent options.
+  void validate() const;
+};
+
+/// Final bisection bracket of the adaptive search.
+struct RateBracket {
+  double low_bps = 0.0;
+  double high_bps = 0.0;
+
+  [[nodiscard]] double midpoint_bps() const {
+    return 0.5 * (low_bps + high_bps);
+  }
 };
 
 /// Result of a rate sweep.
@@ -53,14 +66,20 @@ class BandwidthEstimator {
   [[nodiscard]] SweepResult sweep(const std::vector<double>& rates_bps);
 
   /// Adaptive bisection for the achievable throughput: the largest rate
-  /// still forwarded undistorted (Eq. 2).
+  /// still forwarded undistorted (Eq. 2).  Returns the final bracket;
+  /// its midpoint is the point estimate.
+  [[nodiscard]] RateBracket bisect_achievable();
+
+  /// Convenience: `bisect_achievable().midpoint_bps()`.
   [[nodiscard]] double estimate_achievable_bps();
 
+  [[nodiscard]] int trains_sent() const { return trains_sent_; }
   [[nodiscard]] int trains_lost() const { return trains_lost_; }
 
  private:
   ProbeTransport& transport_;
   EstimatorOptions opt_;
+  int trains_sent_ = 0;
   int trains_lost_ = 0;
 };
 

@@ -1,0 +1,415 @@
+#include "core/method.hpp"
+
+#include <utility>
+
+#include "core/scenario.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::core {
+
+bool MeasurementReport::has_metric(std::string_view name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double MeasurementReport::metric(std::string_view name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) {
+      return value;
+    }
+  }
+  throw util::PreconditionError("report of method `" + method +
+                                "` has no metric `" + std::string(name) +
+                                "`");
+}
+
+// ------------------------------------------------------------ train_sweep
+
+TrainSweepMethod::TrainSweepMethod(EstimatorOptions options, int grid_points)
+    : opt_(options), grid_points_(grid_points) {
+  opt_.validate();
+  CSMABW_REQUIRE(grid_points_ >= 2, "train_sweep needs a grid of >= 2 rates");
+}
+
+MeasurementReport TrainSweepMethod::run(ProbeTransport& transport,
+                                        std::uint64_t seed) {
+  (void)seed;  // no method-internal randomness
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(grid_points_));
+  const double step = (opt_.max_rate_bps - opt_.min_rate_bps) /
+                      static_cast<double>(grid_points_ - 1);
+  for (int i = 0; i < grid_points_; ++i) {
+    rates.push_back(opt_.min_rate_bps + step * i);
+  }
+
+  BandwidthEstimator estimator(transport, opt_);
+  const SweepResult sweep = estimator.sweep(rates);
+
+  MeasurementReport report;
+  report.method = name();
+  report.estimate_bps = sweep.fitted_achievable_bps;
+  report.trains_sent = estimator.trains_sent();
+  report.trains_lost = estimator.trains_lost();
+  report.probes_sent = estimator.trains_sent() * opt_.train_length;
+  report.curve = sweep.curve;
+  report.metrics = {{"grid_points", static_cast<double>(grid_points_)}};
+  return report;
+}
+
+// -------------------------------------------------------------- bisection
+
+BisectionMethod::BisectionMethod(EstimatorOptions options) : opt_(options) {
+  opt_.validate();
+}
+
+MeasurementReport BisectionMethod::run(ProbeTransport& transport,
+                                       std::uint64_t seed) {
+  (void)seed;
+  BandwidthEstimator estimator(transport, opt_);
+  const RateBracket bracket = estimator.bisect_achievable();
+
+  MeasurementReport report;
+  report.method = name();
+  report.estimate_bps = bracket.midpoint_bps();
+  report.trains_sent = estimator.trains_sent();
+  report.trains_lost = estimator.trains_lost();
+  report.probes_sent = estimator.trains_sent() * opt_.train_length;
+  report.metrics = {{"low_bps", bracket.low_bps},
+                    {"high_bps", bracket.high_bps}};
+  return report;
+}
+
+// ------------------------------------------------------------------ slops
+
+SlopsMethod::SlopsMethod(SlopsOptions options) : opt_(options) {
+  opt_.validate();
+}
+
+MeasurementReport SlopsMethod::run(ProbeTransport& transport,
+                                   std::uint64_t seed) {
+  (void)seed;
+  MeasurementReport report;
+  report.method = name();
+
+  int ambiguous = 0;
+  double lo = opt_.min_rate_bps;
+  double hi = opt_.max_rate_bps;
+  for (int it = 0; it < opt_.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    traffic::TrainSpec spec;
+    spec.n = opt_.train_length;
+    spec.size_bytes = opt_.size_bytes;
+    spec.gap = BitRate::bps(mid).gap_for(opt_.size_bytes);
+
+    int increasing = 0;
+    int votes = 0;
+    for (int t = 0; t < opt_.trains_per_rate; ++t) {
+      const TrainResult train = transport.send_train(spec);
+      ++report.trains_sent;
+      if (!train.complete()) {
+        ++report.trains_lost;
+        continue;
+      }
+      const auto owd = one_way_delays_s(train);
+      const std::span<const double> tail(owd.data() + opt_.skip_head,
+                                         owd.size() -
+                                             static_cast<std::size_t>(
+                                                 opt_.skip_head));
+      switch (classify_trend(owd_trend(tail))) {
+        case TrendVerdict::kIncreasing:
+          ++increasing;
+          ++votes;
+          break;
+        case TrendVerdict::kNonIncreasing:
+          ++votes;
+          break;
+        case TrendVerdict::kAmbiguous:
+          ++ambiguous;
+          break;
+      }
+    }
+    if (votes > 0 && 2 * increasing > votes) {
+      hi = mid;  // rate stresses the path
+    } else {
+      lo = mid;
+    }
+  }
+  report.estimate_bps = 0.5 * (lo + hi);
+  report.probes_sent = report.trains_sent * opt_.train_length;
+  report.metrics = {{"low_bps", lo},
+                    {"high_bps", hi},
+                    {"ambiguous_trains", static_cast<double>(ambiguous)}};
+  return report;
+}
+
+// ------------------------------------------------------------ packet_pair
+
+void PacketPairMethodOptions::validate() const {
+  CSMABW_REQUIRE(size_bytes > 0, "size must be positive");
+  CSMABW_REQUIRE(pairs >= 1, "need at least one pair");
+}
+
+PacketPairMethod::PacketPairMethod(PacketPairMethodOptions options)
+    : opt_(options) {
+  opt_.validate();
+}
+
+MeasurementReport PacketPairMethod::run(ProbeTransport& transport,
+                                        std::uint64_t seed) {
+  (void)seed;
+  traffic::TrainSpec spec;
+  spec.n = 2;
+  spec.size_bytes = opt_.size_bytes;
+  spec.gap = TimeNs::zero();  // back-to-back: probes of infinite rate
+
+  MeasurementReport report;
+  report.method = name();
+  double total_gap = 0.0;
+  int used = 0;
+  for (int i = 0; i < opt_.pairs; ++i) {
+    const TrainResult train = transport.send_train(spec);
+    ++report.trains_sent;
+    if (!train.complete()) {
+      ++report.trains_lost;
+      continue;
+    }
+    total_gap += train.output_gap_s();
+    ++used;
+  }
+  CSMABW_REQUIRE(used > 0, "all pairs were lost");
+  const double mean_gap_s = total_gap / used;
+  report.estimate_bps = opt_.size_bytes * 8.0 / mean_gap_s;
+  report.probes_sent = 2 * opt_.pairs;
+  report.metrics = {{"mean_gap_s", mean_gap_s},
+                    {"pairs_used", static_cast<double>(used)}};
+  return report;
+}
+
+// ----------------------------------------------------------- steady_state
+
+void SteadyStateMethodOptions::validate() const {
+  CSMABW_REQUIRE(probe_mbps > 0.0, "probe rate must be positive");
+  CSMABW_REQUIRE(size_bytes > 0, "size must be positive");
+  CSMABW_REQUIRE(measure_from_s > 0.0 && duration_s > measure_from_s,
+                 "need 0 < measure_from_s < duration_s");
+  CSMABW_REQUIRE(train_length >= 3, "fallback train needs >= 3 packets");
+  CSMABW_REQUIRE(skip_head >= 0 && skip_head <= train_length - 2,
+                 "skip_head must leave >= 2 tail packets");
+  CSMABW_REQUIRE(max_trains >= 1, "need >= 1 fallback train attempt");
+}
+
+SteadyStateMethod::SteadyStateMethod(SteadyStateMethodOptions options)
+    : opt_(options) {
+  opt_.validate();
+}
+
+MeasurementReport SteadyStateMethod::run(ProbeTransport& transport,
+                                         std::uint64_t seed) {
+  (void)seed;
+  MeasurementReport report;
+  report.method = name();
+
+  if (auto* sim = dynamic_cast<SimTransport*>(&transport)) {
+    const SteadyStateResult r = sim->scenario().run_steady_state(
+        BitRate::mbps(opt_.probe_mbps), opt_.size_bytes,
+        TimeNs::from_seconds(opt_.duration_s),
+        TimeNs::from_seconds(opt_.measure_from_s));
+    report.estimate_bps = r.probe.to_bps();
+    report.metrics = {{"exact", 1.0},
+                      {"contenders_total_bps", r.contenders_total.to_bps()},
+                      {"fifo_cross_bps", r.fifo_cross.to_bps()}};
+    return report;
+  }
+
+  // Generic transport: one long saturating train; the head rides the
+  // transient, so the rate is read from the tail dispersion only.
+  // Lossy trains are retried so a single dropped packet does not abort
+  // a whole campaign repetition.
+  traffic::TrainSpec spec;
+  spec.n = opt_.train_length;
+  spec.size_bytes = opt_.size_bytes;
+  spec.gap = BitRate::mbps(opt_.probe_mbps).gap_for(opt_.size_bytes);
+  for (int t = 0; t < opt_.max_trains; ++t) {
+    const TrainResult train = transport.send_train(spec);
+    ++report.trains_sent;
+    report.probes_sent += opt_.train_length;
+    if (!train.complete()) {
+      ++report.trains_lost;
+      continue;
+    }
+    const std::vector<double> recv = train.receive_times_s();
+    const std::size_t skip = static_cast<std::size_t>(opt_.skip_head);
+    const double gap = (recv.back() - recv[skip]) /
+                       static_cast<double>(recv.size() - 1 - skip);
+    report.estimate_bps = opt_.size_bytes * 8.0 / gap;
+    report.metrics = {{"exact", 0.0},
+                      {"tail_packets",
+                       static_cast<double>(recv.size() - skip)}};
+    return report;
+  }
+  throw util::PreconditionError("every steady-state train was lost");
+}
+
+// --------------------------------------------------------------- registry
+
+void MethodRegistry::add(std::string name, Factory factory) {
+  CSMABW_REQUIRE(!name.empty(), "method name must be non-empty");
+  CSMABW_REQUIRE(static_cast<bool>(factory), "method factory must be set");
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  CSMABW_REQUIRE(inserted,
+                 "method `" + it->first + "` is already registered");
+}
+
+bool MethodRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> MethodRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    out.push_back(name);  // std::map iterates in sorted key order
+  }
+  return out;
+}
+
+std::unique_ptr<MeasurementMethod> MethodRegistry::create(
+    std::string_view spec) const {
+  const std::size_t colon = spec.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  CSMABW_REQUIRE(!name.empty(),
+                 "method spec `" + std::string(spec) + "` has no name");
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) {
+        known += ", ";
+      }
+      known += n;
+    }
+    throw util::PreconditionError("unknown measurement method `" +
+                                  std::string(name) + "`; registered: " +
+                                  known);
+  }
+  const util::Options options = util::Options::parse(
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1));
+  std::unique_ptr<MeasurementMethod> method = it->second(options);
+  CSMABW_REQUIRE(method != nullptr,
+                 "factory of method `" + std::string(name) +
+                     "` returned null");
+  options.require_consumed("method `" + std::string(name) + "`");
+  return method;
+}
+
+namespace {
+
+EstimatorOptions estimator_options_from(const util::Options& o) {
+  EstimatorOptions eo;
+  eo.train_length = o.get("train_length", eo.train_length);
+  eo.size_bytes = o.get("size_bytes", eo.size_bytes);
+  eo.trains_per_rate = o.get("trains_per_rate", eo.trains_per_rate);
+  eo.mser_correction = o.get("mser", eo.mser_correction);
+  eo.mser_m = o.get("mser_m", eo.mser_m);
+  eo.min_rate_bps = o.get("min_rate_mbps", eo.min_rate_bps / 1e6) * 1e6;
+  eo.max_rate_bps = o.get("max_rate_mbps", eo.max_rate_bps / 1e6) * 1e6;
+  eo.max_iterations = o.get("max_iterations", eo.max_iterations);
+  eo.rel_tol = o.get("rel_tol", eo.rel_tol);
+  return eo;
+}
+
+}  // namespace
+
+void MethodRegistry::register_builtins(MethodRegistry& registry) {
+  registry.add("train_sweep", [](const util::Options& o) {
+    const EstimatorOptions eo = estimator_options_from(o);
+    const int grid = o.get("grid", 8);
+    return std::make_unique<TrainSweepMethod>(eo, grid);
+  });
+  registry.add("bisection", [](const util::Options& o) {
+    return std::make_unique<BisectionMethod>(estimator_options_from(o));
+  });
+  registry.add("slops", [](const util::Options& o) {
+    SlopsOptions so;
+    so.train_length = o.get("train_length", so.train_length);
+    so.size_bytes = o.get("size_bytes", so.size_bytes);
+    so.trains_per_rate = o.get("trains_per_rate", so.trains_per_rate);
+    so.min_rate_bps = o.get("min_rate_mbps", so.min_rate_bps / 1e6) * 1e6;
+    so.max_rate_bps = o.get("max_rate_mbps", so.max_rate_bps / 1e6) * 1e6;
+    so.max_iterations = o.get("max_iterations", so.max_iterations);
+    so.skip_head = o.get("skip_head", so.skip_head);
+    return std::make_unique<SlopsMethod>(so);
+  });
+  registry.add("packet_pair", [](const util::Options& o) {
+    PacketPairMethodOptions po;
+    po.size_bytes = o.get("size_bytes", po.size_bytes);
+    po.pairs = o.get("pairs", po.pairs);
+    return std::make_unique<PacketPairMethod>(po);
+  });
+  registry.add("steady_state", [](const util::Options& o) {
+    SteadyStateMethodOptions so;
+    so.probe_mbps = o.get("probe_mbps", so.probe_mbps);
+    so.size_bytes = o.get("size_bytes", so.size_bytes);
+    so.duration_s = o.get("duration_s", so.duration_s);
+    so.measure_from_s = o.get("measure_from_s", so.measure_from_s);
+    so.train_length = o.get("train_length", so.train_length);
+    so.skip_head = o.get("skip_head", so.skip_head);
+    so.max_trains = o.get("max_trains", so.max_trains);
+    return std::make_unique<SteadyStateMethod>(so);
+  });
+}
+
+MethodRegistry& MethodRegistry::global() {
+  static MethodRegistry* registry = [] {
+    auto* r = new MethodRegistry;
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::vector<std::string> split_method_list(std::string_view text) {
+  std::vector<std::string> specs;
+  std::size_t pos = 0;
+  CSMABW_REQUIRE(!text.empty(), "method list is empty");
+  while (true) {
+    const std::size_t semi = text.find(';', pos);
+    const std::size_t end =
+        semi == std::string_view::npos ? text.size() : semi;
+    const std::string_view segment = text.substr(pos, end - pos);
+    CSMABW_REQUIRE(!segment.empty(), "empty element in method list `" +
+                                         std::string(text) + "`");
+    if (segment.find(':') == std::string_view::npos) {
+      // No options in this segment: commas separate bare method names.
+      std::size_t p = 0;
+      while (true) {
+        const std::size_t comma = segment.find(',', p);
+        const std::size_t e =
+            comma == std::string_view::npos ? segment.size() : comma;
+        CSMABW_REQUIRE(e > p, "empty element in method list `" +
+                                  std::string(text) + "`");
+        specs.emplace_back(segment.substr(p, e - p));
+        if (comma == std::string_view::npos) {
+          break;
+        }
+        p = comma + 1;
+      }
+    } else {
+      specs.emplace_back(segment);
+    }
+    if (semi == std::string_view::npos) {
+      break;
+    }
+    pos = semi + 1;
+  }
+  return specs;
+}
+
+}  // namespace csmabw::core

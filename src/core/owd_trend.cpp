@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/method.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::core {
@@ -51,59 +52,30 @@ TrendVerdict classify_trend(const OwdTrend& t) {
   return TrendVerdict::kAmbiguous;
 }
 
+void SlopsOptions::validate() const {
+  CSMABW_REQUIRE(skip_head >= 0, "skip_head must be >= 0");
+  CSMABW_REQUIRE(train_length >= 3 + skip_head,
+                 "train too short for the trend test");
+  CSMABW_REQUIRE(size_bytes > 0, "probe size must be positive");
+  CSMABW_REQUIRE(trains_per_rate >= 1, "need >= 1 train per rate");
+  CSMABW_REQUIRE(min_rate_bps > 0.0 && max_rate_bps > min_rate_bps,
+                 "invalid rate range");
+  CSMABW_REQUIRE(max_iterations >= 1, "need >= 1 bisection iteration");
+}
+
 SlopsResult slops_estimate(ProbeTransport& transport,
                            const SlopsOptions& options) {
-  CSMABW_REQUIRE(options.train_length >= 3 + options.skip_head,
-                 "train too short for the trend test");
-  CSMABW_REQUIRE(options.trains_per_rate >= 1, "need >= 1 train per rate");
-  CSMABW_REQUIRE(options.min_rate_bps > 0.0 &&
-                     options.max_rate_bps > options.min_rate_bps,
-                 "invalid rate range");
-  CSMABW_REQUIRE(options.skip_head >= 0, "skip_head must be >= 0");
-
+  SlopsMethod method(options);
+  const MeasurementReport report = method.run(transport, /*seed=*/0);
   SlopsResult result;
-  double lo = options.min_rate_bps;
-  double hi = options.max_rate_bps;
-  for (int it = 0; it < options.max_iterations; ++it) {
-    const double mid = 0.5 * (lo + hi);
-    traffic::TrainSpec spec;
-    spec.n = options.train_length;
-    spec.size_bytes = options.size_bytes;
-    spec.gap = BitRate::bps(mid).gap_for(options.size_bytes);
-
-    int increasing = 0;
-    int votes = 0;
-    for (int t = 0; t < options.trains_per_rate; ++t) {
-      const TrainResult train = transport.send_train(spec);
-      if (!train.complete()) {
-        continue;
-      }
-      ++result.trains_sent;
-      const auto owd = one_way_delays_s(train);
-      const std::span<const double> tail(
-          owd.data() + options.skip_head, owd.size() - options.skip_head);
-      switch (classify_trend(owd_trend(tail))) {
-        case TrendVerdict::kIncreasing:
-          ++increasing;
-          ++votes;
-          break;
-        case TrendVerdict::kNonIncreasing:
-          ++votes;
-          break;
-        case TrendVerdict::kAmbiguous:
-          ++result.ambiguous_trains;
-          break;
-      }
-    }
-    if (votes > 0 && 2 * increasing > votes) {
-      hi = mid;  // rate stresses the path
-    } else {
-      lo = mid;
-    }
-  }
-  result.low_bps = lo;
-  result.high_bps = hi;
-  result.estimate_bps = 0.5 * (lo + hi);
+  result.low_bps = report.metric("low_bps");
+  result.high_bps = report.metric("high_bps");
+  result.estimate_bps = report.estimate_bps;
+  // SlopsResult historically counted only complete trains; the report's
+  // uniform cost counters include lost attempts.
+  result.trains_sent = report.trains_sent - report.trains_lost;
+  result.ambiguous_trains =
+      static_cast<int>(report.metric("ambiguous_trains"));
   return result;
 }
 

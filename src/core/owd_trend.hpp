@@ -52,6 +52,9 @@ struct SlopsOptions {
   /// Leading packets to skip before the trend test — transient
   /// truncation per Section 7.4 (0 = none).
   int skip_head = 0;
+
+  /// Throws util::PreconditionError on inconsistent options.
+  void validate() const;
 };
 
 /// Result of a SLoPS run.
@@ -68,6 +71,10 @@ struct SlopsResult {
 /// on "does the OWD trend increase at this rate".  On a FIFO path this
 /// estimates the available bandwidth; on a CSMA/CA link it converges to
 /// the achievable throughput (the paper's Section 7.2 consequence).
+///
+/// Back-compat facade: the algorithm lives in core::SlopsMethod
+/// (core/method.hpp); this wrapper runs the method and repackages its
+/// MeasurementReport as a SlopsResult.
 [[nodiscard]] SlopsResult slops_estimate(ProbeTransport& transport,
                                          const SlopsOptions& options);
 

@@ -1,33 +1,22 @@
 #include "core/packet_pair.hpp"
 
-#include "util/require.hpp"
+#include "core/method.hpp"
 
 namespace csmabw::core {
 
 PacketPairResult packet_pair_estimate(ProbeTransport& transport,
                                       int size_bytes, int pairs) {
-  CSMABW_REQUIRE(size_bytes > 0, "size must be positive");
-  CSMABW_REQUIRE(pairs >= 1, "need at least one pair");
-
-  traffic::TrainSpec spec;
-  spec.n = 2;
-  spec.size_bytes = size_bytes;
-  spec.gap = TimeNs::zero();  // back-to-back: probes of infinite rate
+  PacketPairMethodOptions options;
+  options.size_bytes = size_bytes;
+  options.pairs = pairs;
+  PacketPairMethod method(options);
+  const MeasurementReport report = method.run(transport, /*seed=*/0);
 
   PacketPairResult result;
-  double total_gap = 0.0;
-  for (int i = 0; i < pairs; ++i) {
-    const TrainResult train = transport.send_train(spec);
-    if (!train.complete()) {
-      ++result.pairs_lost;
-      continue;
-    }
-    total_gap += train.output_gap_s();
-    ++result.pairs_used;
-  }
-  CSMABW_REQUIRE(result.pairs_used > 0, "all pairs were lost");
-  result.mean_gap_s = total_gap / result.pairs_used;
-  result.estimate_bps = size_bytes * 8.0 / result.mean_gap_s;
+  result.estimate_bps = report.estimate_bps;
+  result.mean_gap_s = report.metric("mean_gap_s");
+  result.pairs_used = static_cast<int>(report.metric("pairs_used"));
+  result.pairs_lost = report.trains_lost;
   return result;
 }
 

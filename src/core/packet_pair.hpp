@@ -22,6 +22,10 @@ struct PacketPairResult {
 /// On a CSMA/CA link this estimator targets the *achievable throughput*,
 /// not the capacity, and — because the first packets of every pair ride
 /// the transient — overestimates even that (Fig 16).
+///
+/// Back-compat facade: the algorithm lives in core::PacketPairMethod
+/// (core/method.hpp); this wrapper runs the method and repackages its
+/// MeasurementReport as a PacketPairResult.
 [[nodiscard]] PacketPairResult packet_pair_estimate(ProbeTransport& transport,
                                                     int size_bytes, int pairs);
 

@@ -16,7 +16,10 @@ Collector::Collector(std::vector<std::string> columns, CollectorOptions opts)
     csv_->row(columns_);
   }
   if (!opts.jsonl_path.empty()) {
-    jsonl_ = std::make_unique<util::JsonlWriter>(opts.jsonl_path);
+    jsonl_.push_back(std::make_unique<util::JsonlWriter>(opts.jsonl_path));
+  }
+  if (opts.jsonl_stream != nullptr) {
+    jsonl_.push_back(std::make_unique<util::JsonlWriter>(*opts.jsonl_stream));
   }
 }
 
@@ -37,13 +40,15 @@ void Collector::add(const std::vector<Value>& row) {
   if (csv_) {
     csv_->row(cells);
   }
-  if (jsonl_) {
+  if (!jsonl_.empty()) {
     std::vector<std::pair<std::string, Value>> fields;
     fields.reserve(row.size());
     for (std::size_t i = 0; i < row.size(); ++i) {
       fields.emplace_back(columns_[i], row[i]);
     }
-    jsonl_->object(fields);
+    for (const auto& sink : jsonl_) {
+      sink->object(fields);
+    }
   }
   ++rows_;
 }
@@ -64,6 +69,39 @@ std::vector<Value> Collector::cell_coords(const Cell& cell) {
           Value(cell.cross_mbps),   Value(cell.phy_preset),
           Value(cell.train_length), Value(cell.probe_mbps),
           Value(cell.fifo ? 1 : 0)};
+}
+
+std::vector<std::string> Collector::method_columns() {
+  std::vector<std::string> columns = cell_columns();
+  for (const char* name : {"method", "rep", "estimate_mbps", "trains_sent",
+                           "probes_sent", "trains_lost", "curve_points",
+                           "details"}) {
+    columns.emplace_back(name);
+  }
+  return columns;
+}
+
+std::vector<Value> Collector::method_row(
+    const Cell& cell, int repetition, const core::MeasurementReport& report) {
+  std::string details;
+  for (const auto& [key, value] : report.metrics) {
+    if (!details.empty()) {
+      details += ';';
+    }
+    details += key;
+    details += '=';
+    details += util::json_number(value);
+  }
+  std::vector<Value> row = cell_coords(cell);
+  row.emplace_back(cell.method);
+  row.emplace_back(repetition);
+  row.emplace_back(report.estimate_bps / 1e6);
+  row.emplace_back(report.trains_sent);
+  row.emplace_back(report.probes_sent);
+  row.emplace_back(report.trains_lost);
+  row.emplace_back(static_cast<int>(report.curve.points.size()));
+  row.emplace_back(details);
+  return row;
 }
 
 }  // namespace csmabw::exp

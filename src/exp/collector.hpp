@@ -1,9 +1,11 @@
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/method.hpp"
 #include "exp/sweep.hpp"
 #include "stats/summary.hpp"
 #include "util/csv.hpp"
@@ -20,6 +22,9 @@ struct CollectorOptions {
   std::string csv_path;
   /// JSON-lines output path; empty disables the JSONL sink.
   std::string jsonl_path;
+  /// Additional JSONL sink to an existing stream (not owned), e.g.
+  /// std::cout for --format=json; nullptr disables it.
+  std::ostream* jsonl_stream = nullptr;
 };
 
 /// Row-streaming result sink of a campaign.
@@ -51,12 +56,23 @@ class Collector {
   [[nodiscard]] static std::vector<std::string> cell_columns();
   [[nodiscard]] static std::vector<Value> cell_coords(const Cell& cell);
 
+  /// The standard schema for per-repetition MeasurementReport rows:
+  /// cell_columns() + method, rep, estimate_mbps, trains_sent,
+  /// probes_sent, trains_lost, curve_points, details.  `details` packs
+  /// the report's method-specific metrics as "key=value;..." with
+  /// round-trip number formatting, so heterogeneous methods share one
+  /// flat row.
+  [[nodiscard]] static std::vector<std::string> method_columns();
+  [[nodiscard]] static std::vector<Value> method_row(
+      const Cell& cell, int repetition,
+      const core::MeasurementReport& report);
+
  private:
   std::vector<std::string> columns_;
   util::Table table_;
   std::vector<stats::RunningStat> column_stats_;
   std::unique_ptr<util::CsvWriter> csv_;
-  std::unique_ptr<util::JsonlWriter> jsonl_;
+  std::vector<std::unique_ptr<util::JsonlWriter>> jsonl_;
   int rows_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/scenario.hpp"
+#include "stats/rng.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::exp {
@@ -45,6 +47,68 @@ std::vector<Shard> make_shards(const Campaign& campaign,
 }
 
 }  // namespace
+
+std::uint64_t method_rep_seed(std::uint64_t campaign_seed, int cell_index,
+                              int repetition) {
+  return stats::Rng(Campaign::cell_seed(campaign_seed, cell_index))
+      .fork("method-rep")
+      .fork(static_cast<std::uint64_t>(repetition))
+      .seed();
+}
+
+int count_method_runs(const Campaign& campaign) {
+  return static_cast<int>(campaign.total_repetitions());
+}
+
+std::vector<MethodRun> run_method_campaign(const Campaign& campaign,
+                                           const MethodCampaignConfig& cfg,
+                                           const Runner& runner) {
+  const core::MethodRegistry& registry =
+      cfg.registry != nullptr ? *cfg.registry : core::MethodRegistry::global();
+
+  struct Job {
+    int cell_index = 0;
+    int repetition = 0;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(campaign.total_repetitions()));
+  for (const Cell& cell : campaign.cells()) {
+    CSMABW_REQUIRE(!cell.method.empty(),
+                   "method campaign needs a method spec on every cell "
+                   "(set the SweepSpec methods axis)");
+    (void)registry.create(cell.method);  // fail fast, before any work runs
+    for (int rep = 0; rep < cell.repetitions; ++rep) {
+      jobs.push_back(Job{cell.index, rep});
+    }
+  }
+
+  // One job per repetition; runner.map places results by job index, so
+  // the returned order is (cell, repetition) for any thread count.
+  return runner.map(static_cast<int>(jobs.size()), [&](int j) {
+    const Job& job = jobs[static_cast<std::size_t>(j)];
+    const Cell& cell =
+        campaign.cells()[static_cast<std::size_t>(job.cell_index)];
+    const std::uint64_t seed = method_rep_seed(campaign.campaign_seed(),
+                                               job.cell_index,
+                                               job.repetition);
+    std::unique_ptr<core::ProbeTransport> transport;
+    if (cfg.make_transport) {
+      transport = cfg.make_transport(cell, seed);
+    } else {
+      core::ScenarioConfig scenario = cell.scenario;
+      scenario.seed = seed;
+      transport = std::make_unique<core::SimTransport>(scenario);
+    }
+    CSMABW_REQUIRE(transport != nullptr, "make_transport returned null");
+    const std::unique_ptr<core::MeasurementMethod> method =
+        registry.create(cell.method);
+    MethodRun run;
+    run.cell_index = job.cell_index;
+    run.repetition = job.repetition;
+    run.report = method->run(*transport, seed);
+    return run;
+  });
+}
 
 int count_train_shards(const Campaign& campaign,
                        const TrainCampaignConfig& cfg) {

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/method.hpp"
 #include "core/transient.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
@@ -67,6 +70,48 @@ struct TrainCellStats {
 /// total to hand a Progress reporter).
 [[nodiscard]] int count_train_shards(const Campaign& campaign,
                                      const TrainCampaignConfig& cfg);
+
+/// One measurement-method repetition's outcome, tagged with the campaign
+/// coordinates it ran at.
+struct MethodRun {
+  int cell_index = 0;
+  int repetition = 0;
+  core::MeasurementReport report;
+};
+
+/// How a method campaign builds its tools and transports.
+struct MethodCampaignConfig {
+  /// Method registry; nullptr means core::MethodRegistry::global().
+  const core::MethodRegistry* registry = nullptr;
+  /// Builds the transport one repetition probes.  `seed` is the
+  /// repetition's deterministic stream seed (method_rep_seed); the
+  /// default builds a fresh core::SimTransport from the cell's scenario
+  /// reseeded with it.
+  std::function<std::unique_ptr<core::ProbeTransport>(const Cell&,
+                                                      std::uint64_t seed)>
+      make_transport;
+};
+
+/// The random-stream seed of method repetition `repetition` in cell
+/// `cell_index`: a fork of the cell seed, disjoint from the train
+/// campaign's per-repetition streams.  Depends only on
+/// (campaign_seed, cell index, repetition) — never on worker scheduling.
+[[nodiscard]] std::uint64_t method_rep_seed(std::uint64_t campaign_seed,
+                                            int cell_index, int repetition);
+
+/// The job total of run_method_campaign (one job per repetition) — the
+/// number to hand a Progress reporter.
+[[nodiscard]] int count_method_runs(const Campaign& campaign);
+
+/// Runs every cell's method repetitions across the worker pool: each
+/// repetition creates the cell's method from the registry, builds a
+/// fresh transport seeded by method_rep_seed, and runs the tool.
+/// Results are returned in (cell, repetition) order regardless of the
+/// thread count.  Every cell must carry a method spec (a `methods` axis
+/// on the SweepSpec); throws util::PreconditionError otherwise.
+[[nodiscard]] std::vector<MethodRun> run_method_campaign(
+    const Campaign& campaign, const MethodCampaignConfig& cfg,
+    const Runner& runner);
 
 /// Runs an arbitrary per-cell function across the pool and collects the
 /// results by cell index (for campaigns whose cells are not train

@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include "core/method.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::exp {
@@ -29,6 +30,14 @@ void SweepSpec::validate() const {
   for (const auto& name : phy_presets) {
     (void)phy_preset(name);  // throws on unknown names
   }
+  const core::MethodRegistry& registry =
+      method_registry != nullptr ? *method_registry
+                                 : core::MethodRegistry::global();
+  for (const auto& spec : methods) {
+    // Throws on unknown names, unknown option keys and malformed values
+    // — bad method specs fail before any campaign work starts.
+    (void)registry.create(spec);
+  }
 }
 
 std::int64_t SweepSpec::grid_size() const {
@@ -37,11 +46,17 @@ std::int64_t SweepSpec::grid_size() const {
          static_cast<std::int64_t>(phy_presets.size()) *
          static_cast<std::int64_t>(train_lengths.size()) *
          static_cast<std::int64_t>(probe_mbps.size()) *
-         static_cast<std::int64_t>(fifo_cross.size());
+         static_cast<std::int64_t>(fifo_cross.size()) *
+         static_cast<std::int64_t>(methods.empty() ? 1 : methods.size());
 }
 
 Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
+  // A campaign without a methods axis expands exactly as before the axis
+  // existed (cells carry an empty method spec).
+  const std::vector<std::string> method_axis =
+      spec_.methods.empty() ? std::vector<std::string>{std::string()}
+                            : spec_.methods;
   cells_.reserve(static_cast<std::size_t>(spec_.grid_size()));
   for (const auto& phy_name : spec_.phy_presets) {
     const mac::PhyParams phy = phy_preset(phy_name);
@@ -50,34 +65,37 @@ Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
         for (int train_length : spec_.train_lengths) {
           for (double probe : spec_.probe_mbps) {
             for (bool fifo : spec_.fifo_cross) {
-              Cell cell;
-              cell.index = static_cast<int>(cells_.size());
-              cell.contenders = contenders;
-              cell.cross_mbps = cross;
-              cell.phy_preset = phy_name;
-              cell.train_length = train_length;
-              cell.probe_mbps = probe;
-              cell.fifo = fifo;
-              cell.repetitions = spec_.repetitions;
+              for (const std::string& method : method_axis) {
+                Cell cell;
+                cell.index = static_cast<int>(cells_.size());
+                cell.contenders = contenders;
+                cell.cross_mbps = cross;
+                cell.phy_preset = phy_name;
+                cell.train_length = train_length;
+                cell.probe_mbps = probe;
+                cell.fifo = fifo;
+                cell.method = method;
+                cell.repetitions = spec_.repetitions;
 
-              cell.scenario.phy = phy;
-              cell.scenario.seed =
-                  cell_seed(spec_.campaign_seed, cell.index);
-              for (int k = 0; k < contenders; ++k) {
-                cell.scenario.contenders.push_back(
-                    {BitRate::mbps(cross), spec_.cross_size_bytes});
-              }
-              if (fifo) {
-                cell.scenario.fifo_cross = core::CrossTrafficSpec{
-                    BitRate::mbps(spec_.fifo_cross_mbps),
-                    spec_.fifo_cross_size_bytes};
-              }
+                cell.scenario.phy = phy;
+                cell.scenario.seed =
+                    cell_seed(spec_.campaign_seed, cell.index);
+                for (int k = 0; k < contenders; ++k) {
+                  cell.scenario.contenders.push_back(
+                      {BitRate::mbps(cross), spec_.cross_size_bytes});
+                }
+                if (fifo) {
+                  cell.scenario.fifo_cross = core::CrossTrafficSpec{
+                      BitRate::mbps(spec_.fifo_cross_mbps),
+                      spec_.fifo_cross_size_bytes};
+                }
 
-              cell.train.n = train_length;
-              cell.train.size_bytes = spec_.probe_size_bytes;
-              cell.train.gap =
-                  BitRate::mbps(probe).gap_for(spec_.probe_size_bytes);
-              cells_.push_back(std::move(cell));
+                cell.train.n = train_length;
+                cell.train.size_bytes = spec_.probe_size_bytes;
+                cell.train.gap =
+                    BitRate::mbps(probe).gap_for(spec_.probe_size_bytes);
+                cells_.push_back(std::move(cell));
+              }
             }
           }
         }

@@ -7,6 +7,10 @@
 #include "core/scenario.hpp"
 #include "traffic/probe_train.hpp"
 
+namespace csmabw::core {
+class MethodRegistry;
+}  // namespace csmabw::core
+
 namespace csmabw::exp {
 
 /// Declarative parameter grid over the paper's experimental knobs.
@@ -28,6 +32,16 @@ struct SweepSpec {
   std::vector<double> probe_mbps{5.0};
   /// FIFO cross-traffic on the probing station's own queue (Fig 3).
   std::vector<bool> fifo_cross{false};
+  /// Measurement-method specs ("slops:train_length=50", see
+  /// core::MethodRegistry), making tool-vs-tool comparison a sweep
+  /// dimension.  Empty (the default) means the campaign has no method
+  /// axis — the classic probe-train ensemble of run_train_campaign.
+  std::vector<std::string> methods{};
+  /// Registry the method specs are validated against (must outlive the
+  /// spec); nullptr means core::MethodRegistry::global().  Point it at
+  /// the same custom registry as MethodCampaignConfig::registry when
+  /// sweeping methods that are not globally registered.
+  const core::MethodRegistry* method_registry = nullptr;
 
   double fifo_cross_mbps = 1.0;
   int fifo_cross_size_bytes = 1500;
@@ -53,6 +67,8 @@ struct Cell {
   int train_length = 0;
   double probe_mbps = 0.0;
   bool fifo = false;
+  /// Measurement-method spec; empty when the campaign has no method axis.
+  std::string method;
   int repetitions = 0;
   core::ScenarioConfig scenario;
   traffic::TrainSpec train;
@@ -69,7 +85,8 @@ struct Cell {
 class Campaign {
  public:
   /// Expands the grid; order: phy preset (outermost) > contenders >
-  /// cross rate > train length > probe rate > fifo (innermost).
+  /// cross rate > train length > probe rate > fifo > method (innermost;
+  /// only present when the methods axis is non-empty).
   explicit Campaign(SweepSpec spec);
 
   /// Builds a campaign from explicitly constructed cells (for sweeps

@@ -66,29 +66,33 @@ std::string Value::text() const {
   return std::string(buf, end);
 }
 
-JsonlWriter::JsonlWriter(const std::string& path) : out_(path) {
-  if (!out_) {
+JsonlWriter::JsonlWriter(const std::string& path)
+    : file_(path), out_(&file_) {
+  if (!file_) {
     throw std::runtime_error("JsonlWriter: cannot open " + path);
   }
 }
 
+JsonlWriter::JsonlWriter(std::ostream& out) : out_(&out) {}
+
 void JsonlWriter::object(
     const std::vector<std::pair<std::string, Value>>& fields) {
-  out_ << '{';
+  std::ostream& out = *out_;
+  out << '{';
   bool first = true;
   for (const auto& [key, value] : fields) {
     if (!first) {
-      out_ << ',';
+      out << ',';
     }
     first = false;
-    out_ << '"' << json_escape(key) << "\":";
+    out << '"' << json_escape(key) << "\":";
     if (value.is_number()) {
-      out_ << json_number(value.number());
+      out << json_number(value.number());
     } else {
-      out_ << '"' << json_escape(value.str()) << '"';
+      out << '"' << json_escape(value.str()) << '"';
     }
   }
-  out_ << "}\n";
+  out << "}\n";
   ++rows_;
 }
 

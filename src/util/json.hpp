@@ -52,12 +52,22 @@ class JsonlWriter {
   /// failure.
   explicit JsonlWriter(const std::string& path);
 
+  /// Streams to an existing stream (not owned) — e.g. std::cout for
+  /// benches running with --format=json.
+  explicit JsonlWriter(std::ostream& out);
+
+  // Not movable: in file mode out_ points at the writer's own file_
+  // member, which a defaulted move would leave dangling.
+  JsonlWriter(JsonlWriter&&) = delete;
+  JsonlWriter& operator=(JsonlWriter&&) = delete;
+
   void object(const std::vector<std::pair<std::string, Value>>& fields);
 
   [[nodiscard]] int rows_written() const { return rows_; }
 
  private:
-  std::ofstream out_;
+  std::ofstream file_;
+  std::ostream* out_;  // &file_, or the borrowed stream
   int rows_ = 0;
 };
 

@@ -1,0 +1,133 @@
+#include "util/options.hpp"
+
+#include <charconv>
+
+#include "util/require.hpp"
+
+namespace csmabw::util {
+
+namespace {
+
+[[noreturn]] void bad_option(std::string_view key, std::string_view value,
+                             std::string_view expected) {
+  throw PreconditionError("option `" + std::string(key) + "=" +
+                          std::string(value) + "`: expected " +
+                          std::string(expected));
+}
+
+}  // namespace
+
+Options Options::parse(std::string_view text) {
+  Options out;
+  if (text.empty()) {
+    return out;
+  }
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? text.size()
+                                                            : comma;
+    const std::string_view element = text.substr(pos, end - pos);
+    CSMABW_REQUIRE(!element.empty(), "empty element in option string `" +
+                                         std::string(text) + "`");
+    const std::size_t eq = element.find('=');
+    CSMABW_REQUIRE(eq != std::string_view::npos,
+                   "option `" + std::string(element) +
+                       "` is not of the form key=value");
+    const std::string_view key = element.substr(0, eq);
+    CSMABW_REQUIRE(!key.empty(), "option `" + std::string(element) +
+                                     "` has an empty key");
+    CSMABW_REQUIRE(out.find(key) == nullptr,
+                   "duplicate option key `" + std::string(key) + "`");
+    out.entries_.push_back(
+        Entry{std::string(key), std::string(element.substr(eq + 1)), false});
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const Options::Entry* Options::find(std::string_view key) const {
+  for (const Entry& e : entries_) {
+    if (e.key == key) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool Options::has(std::string_view key) const { return find(key) != nullptr; }
+
+int Options::get(std::string_view key, int def) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    return def;
+  }
+  e->consumed = true;
+  int v = 0;
+  const char* first = e->value.data();
+  const char* last = first + e->value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) {
+    bad_option(key, e->value, "an integer");
+  }
+  return v;
+}
+
+double Options::get(std::string_view key, double def) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    return def;
+  }
+  e->consumed = true;
+  double v = 0.0;
+  const char* first = e->value.data();
+  const char* last = first + e->value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) {
+    bad_option(key, e->value, "a number");
+  }
+  return v;
+}
+
+bool Options::get(std::string_view key, bool def) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    return def;
+  }
+  e->consumed = true;
+  if (e->value == "1" || e->value == "true") {
+    return true;
+  }
+  if (e->value == "0" || e->value == "false") {
+    return false;
+  }
+  bad_option(key, e->value, "a boolean (1/0/true/false)");
+}
+
+std::string Options::get(std::string_view key, std::string_view def) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    return std::string(def);
+  }
+  e->consumed = true;
+  return e->value;
+}
+
+void Options::require_consumed(std::string_view context) const {
+  std::string unknown;
+  for (const Entry& e : entries_) {
+    if (!e.consumed) {
+      if (!unknown.empty()) {
+        unknown += ", ";
+      }
+      unknown += e.key;
+    }
+  }
+  CSMABW_REQUIRE(unknown.empty(), std::string(context) +
+                                      ": unknown option key(s): " + unknown);
+}
+
+}  // namespace csmabw::util

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csmabw::util {
+
+/// A parsed `key=value[,key=value...]` option string — the grammar of
+/// measurement-method specs ("slops:train_length=50,trains_per_rate=3")
+/// and any other string-configured component.
+///
+/// Parsing and every getter validate eagerly and report violations via
+/// util::PreconditionError: missing '=', empty keys/elements, duplicate
+/// keys, and values that do not fully parse as the requested type.  Keys
+/// are marked consumed as they are read so `require_consumed()` can
+/// reject misspelled options instead of silently ignoring them.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses `text`; an empty string yields an empty option set.
+  [[nodiscard]] static Options parse(std::string_view text);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Typed getters: return `def` when the key is absent; throw
+  /// util::PreconditionError when the value is present but malformed
+  /// (partial parses like "12x" are malformed, not truncated).
+  [[nodiscard]] int get(std::string_view key, int def) const;
+  [[nodiscard]] double get(std::string_view key, double def) const;
+  /// Accepts 1/0/true/false.
+  [[nodiscard]] bool get(std::string_view key, bool def) const;
+  [[nodiscard]] std::string get(std::string_view key,
+                                std::string_view def) const;
+  /// String-literal defaults would otherwise decay to the bool overload.
+  [[nodiscard]] std::string get(std::string_view key, const char* def) const {
+    return get(key, std::string_view(def));
+  }
+
+  /// Throws util::PreconditionError listing every key no getter has read
+  /// — `context` names the consumer (e.g. "method `slops`").
+  void require_consumed(std::string_view context) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    mutable bool consumed = false;
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view key) const;
+
+  std::vector<Entry> entries_;  // declaration order = parse order
+};
+
+}  // namespace csmabw::util

@@ -1,0 +1,86 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace csmabw::util {
+namespace {
+
+TEST(Options, ParsesEmptyString) {
+  const Options o = Options::parse("");
+  EXPECT_EQ(o.size(), 0u);
+}
+
+TEST(Options, ParsesKeyValueList) {
+  const Options o = Options::parse("train_length=50,rate=2.5,mser=true,phy=b");
+  EXPECT_EQ(o.size(), 4u);
+  EXPECT_TRUE(o.has("train_length"));
+  EXPECT_EQ(o.get("train_length", 0), 50);
+  EXPECT_DOUBLE_EQ(o.get("rate", 0.0), 2.5);
+  EXPECT_TRUE(o.get("mser", false));
+  EXPECT_EQ(o.get("phy", "x"), "b");
+}
+
+TEST(Options, AbsentKeysReturnDefaults) {
+  const Options o = Options::parse("a=1");
+  EXPECT_FALSE(o.has("b"));
+  EXPECT_EQ(o.get("b", 7), 7);
+  EXPECT_DOUBLE_EQ(o.get("b", 1.5), 1.5);
+  EXPECT_TRUE(o.get("b", true));
+  EXPECT_EQ(o.get("b", "def"), "def");
+}
+
+TEST(Options, BooleanForms) {
+  const Options o = Options::parse("a=1,b=0,c=true,d=false");
+  EXPECT_TRUE(o.get("a", false));
+  EXPECT_FALSE(o.get("b", true));
+  EXPECT_TRUE(o.get("c", false));
+  EXPECT_FALSE(o.get("d", true));
+}
+
+TEST(Options, RejectsMalformedStrings) {
+  EXPECT_THROW((void)Options::parse("noequals"), PreconditionError);
+  EXPECT_THROW((void)Options::parse("=1"), PreconditionError);
+  EXPECT_THROW((void)Options::parse("a=1,,b=2"), PreconditionError);
+  EXPECT_THROW((void)Options::parse("a=1,"), PreconditionError);
+  EXPECT_THROW((void)Options::parse(",a=1"), PreconditionError);
+  EXPECT_THROW((void)Options::parse("a=1,a=2"), PreconditionError);
+}
+
+TEST(Options, RejectsMalformedValues) {
+  const Options o = Options::parse("i=12x,d=1.5y,b=yes,e=");
+  EXPECT_THROW((void)o.get("i", 0), PreconditionError);
+  EXPECT_THROW((void)o.get("d", 0.0), PreconditionError);
+  EXPECT_THROW((void)o.get("b", false), PreconditionError);
+  EXPECT_THROW((void)o.get("e", 0), PreconditionError);
+  // Empty values are fine as strings, and an int value reads as double.
+  EXPECT_EQ(o.get("e", "def"), "");
+  const Options n = Options::parse("d=3");
+  EXPECT_DOUBLE_EQ(n.get("d", 0.0), 3.0);
+}
+
+TEST(Options, RequireConsumedListsUnreadKeys) {
+  const Options o = Options::parse("known=1,typo_a=2,typo_b=3");
+  (void)o.get("known", 0);
+  try {
+    o.require_consumed("method `demo`");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("typo_a"), std::string::npos);
+    EXPECT_NE(msg.find("typo_b"), std::string::npos);
+    EXPECT_NE(msg.find("method `demo`"), std::string::npos);
+    EXPECT_EQ(msg.find("known,"), std::string::npos);
+  }
+}
+
+TEST(Options, RequireConsumedPassesWhenAllRead) {
+  const Options o = Options::parse("a=1,b=2");
+  (void)o.get("a", 0);
+  (void)o.get("b", 0);
+  EXPECT_NO_THROW(o.require_consumed("test"));
+}
+
+}  // namespace
+}  // namespace csmabw::util
