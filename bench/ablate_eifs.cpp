@@ -7,9 +7,6 @@
 #include "bench_common.hpp"
 #include "core/scenario.hpp"
 #include "mac/bianchi.hpp"
-#include "mac/wlan.hpp"
-#include "traffic/flow_meter.hpp"
-#include "traffic/source.hpp"
 
 using namespace csmabw;
 
@@ -22,31 +19,18 @@ struct SatResult {
 
 SatResult saturate(int stations, bool use_eifs, double seconds,
                    std::uint64_t seed) {
-  mac::PhyParams phy = mac::PhyParams::dot11b_short();
-  phy.use_eifs = use_eifs;
-  mac::WlanNetwork net(phy, seed);
-  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
-  std::vector<std::unique_ptr<traffic::FlowMeter>> meters;
-  std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatch;
-  const TimeNs end = TimeNs::from_seconds(seconds);
+  core::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.phy.use_eifs = use_eifs;
   for (int i = 0; i < stations; ++i) {
-    auto& st = net.add_station();
-    sources.push_back(std::make_unique<traffic::CbrSource>(
-        net.simulator(), st, i, 1500, BitRate::mbps(20).gap_for(1500)));
-    sources.back()->start(TimeNs::zero());
-    meters.push_back(
-        std::make_unique<traffic::FlowMeter>(TimeNs::sec(1), end));
-    dispatch.push_back(std::make_unique<traffic::FlowDispatcher>(st));
-    traffic::FlowMeter* m = meters.back().get();
-    dispatch.back()->on_any(
-        [m](const mac::Packet& p) { m->on_packet(p); });
+    cfg.contenders.push_back(core::StationSpec::saturated(1500));
   }
-  net.simulator().run_until(end);
-  double total = 0.0;
-  for (auto& m : meters) {
-    total += m->rate().to_mbps();
-  }
-  return SatResult{total, net.medium().stats().collisions / (seconds - 1.0)};
+  const core::ContentionResult r =
+      core::Scenario(cfg).run_contention(TimeNs::from_seconds(seconds),
+                                         TimeNs::sec(1));
+  return SatResult{r.aggregate.to_mbps(),
+                   static_cast<double>(r.medium.collisions) /
+                       (seconds - 1.0)};
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ std::vector<double> mean_curve(bool immediate, bool post_backoff, int reps,
   cfg.seed = seed;
   cfg.phy.immediate_access = immediate;
   cfg.phy.post_backoff = post_backoff;
-  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0), 1500));
   core::Scenario sc(cfg);
 
   traffic::TrainSpec spec;

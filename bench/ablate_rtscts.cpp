@@ -6,10 +6,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "mac/wlan.hpp"
-#include "traffic/flow_meter.hpp"
-#include "traffic/probe_train.hpp"
-#include "traffic/source.hpp"
+#include "core/scenario.hpp"
 
 using namespace csmabw;
 
@@ -22,35 +19,22 @@ struct SatResult {
 
 SatResult saturate(int stations, bool rts, double seconds,
                    std::uint64_t seed) {
-  mac::PhyParams phy = mac::PhyParams::dot11b_short();
-  phy.rts_threshold_bytes = rts ? 0 : -1;
-  mac::WlanNetwork net(phy, seed);
-  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
-  std::vector<std::unique_ptr<traffic::FlowMeter>> meters;
-  std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatch;
-  const TimeNs end = TimeNs::from_seconds(seconds);
+  core::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.phy.rts_threshold_bytes = rts ? 0 : -1;
   for (int i = 0; i < stations; ++i) {
-    auto& st = net.add_station();
-    sources.push_back(std::make_unique<traffic::CbrSource>(
-        net.simulator(), st, i, 1500, BitRate::mbps(20).gap_for(1500)));
-    sources.back()->start(TimeNs::zero());
-    meters.push_back(
-        std::make_unique<traffic::FlowMeter>(TimeNs::sec(1), end));
-    dispatch.push_back(std::make_unique<traffic::FlowDispatcher>(st));
-    traffic::FlowMeter* m = meters.back().get();
-    dispatch.back()->on_any([m](const mac::Packet& p) { m->on_packet(p); });
+    cfg.contenders.push_back(core::StationSpec::saturated(1500));
   }
-  net.simulator().run_until(end);
+  const core::ContentionResult cr =
+      core::Scenario(cfg).run_contention(TimeNs::from_seconds(seconds),
+                                         TimeNs::sec(1));
 
   SatResult r;
-  for (auto& m : meters) {
-    r.aggregate_mbps += m->rate().to_mbps();
-  }
-  const auto& ms = net.medium().stats();
+  r.aggregate_mbps = cr.aggregate.to_mbps();
   const double collision_time =
-      static_cast<double>(ms.collisions) *
-      (rts ? phy.rts_tx_time() : phy.data_tx_time(1500)).to_seconds();
-  r.collision_share = collision_time / ms.busy_time.to_seconds();
+      static_cast<double>(cr.medium.collisions) *
+      (rts ? cfg.phy.rts_tx_time() : cfg.phy.data_tx_time(1500)).to_seconds();
+  r.collision_share = collision_time / cr.medium.busy_time.to_seconds();
   return r;
 }
 

@@ -6,11 +6,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/scenario.hpp"
 #include "mac/bianchi.hpp"
-#include "mac/wlan.hpp"
-#include "traffic/flow_meter.hpp"
-#include "traffic/probe_train.hpp"
-#include "traffic/source.hpp"
 
 using namespace csmabw;
 
@@ -18,29 +15,15 @@ namespace {
 
 double saturated_aggregate_mbps(int stations, int size_bytes, double seconds,
                                 std::uint64_t seed) {
-  mac::WlanNetwork net(mac::PhyParams::dot11b_short(), seed);
-  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
-  std::vector<std::unique_ptr<traffic::FlowMeter>> meters;
-  std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatch;
-  const TimeNs end = TimeNs::from_seconds(seconds);
+  core::ScenarioConfig cfg;
+  cfg.seed = seed;
   for (int i = 0; i < stations; ++i) {
-    auto& st = net.add_station();
-    sources.push_back(std::make_unique<traffic::CbrSource>(
-        net.simulator(), st, i, size_bytes,
-        BitRate::mbps(30).gap_for(size_bytes)));
-    sources.back()->start(TimeNs::zero());
-    meters.push_back(
-        std::make_unique<traffic::FlowMeter>(TimeNs::sec(1), end));
-    dispatch.push_back(std::make_unique<traffic::FlowDispatcher>(st));
-    traffic::FlowMeter* m = meters.back().get();
-    dispatch.back()->on_any([m](const mac::Packet& p) { m->on_packet(p); });
+    cfg.contenders.push_back(core::StationSpec::saturated(size_bytes));
   }
-  net.simulator().run_until(end);
-  double total = 0.0;
-  for (auto& m : meters) {
-    total += m->rate().to_mbps();
-  }
-  return total;
+  const core::Scenario sc(cfg);
+  return sc
+      .run_contention(TimeNs::from_seconds(seconds), TimeNs::sec(1))
+      .aggregate.to_mbps();
 }
 
 }  // namespace

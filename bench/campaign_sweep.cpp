@@ -17,6 +17,13 @@
 // repetitions are seeded from (campaign seed, cell index, repetition)
 // alone and merged in a fixed order.
 //
+// With --scenarios the '|'-separated list of registered scenario names
+// and/or inline scenario grammars (core::ScenarioSpec) becomes the
+// OUTERMOST axis, replacing --contenders/--cross-mbps/--phy/--fifo:
+// heterogeneous-rate and non-Poisson cells sweep like any other
+// coordinate.  --list-scenarios and --list-methods print the registries
+// (names + option keys) and exit.
+//
 // Examples:
 //   campaign_sweep --contenders=1,2,3 --cross-mbps=1,2,4
 //     --phy=dot11b_short,dot11b_long --reps=200 --threads=8
@@ -24,18 +31,59 @@
 //   campaign_sweep --contenders=1 --cross-mbps=2,4 --reps=3
 //     --methods='bisection;slops:train_length=30;packet_pair:pairs=50'
 //     --format=json
+//   campaign_sweep --reps=50 --train=60
+//     --scenarios='paper_fig2|rate_anomaly|contenders=2x onoff:rate=3M,duty=0.3'
 #include <iostream>
 #include <limits>
 
 #include "bench_common.hpp"
 #include "core/method.hpp"
+#include "core/scenario.hpp"
 #include "exp/collector.hpp"
 #include "exp/engine.hpp"
+#include "traffic/model.hpp"
 #include "util/require.hpp"
 
 using namespace csmabw;
 
 namespace {
+
+int list_methods() {
+  const core::MethodRegistry& registry = core::MethodRegistry::global();
+  std::cout << "# measurement methods (spec: name[:key=value,...])\n";
+  for (const std::string& name : registry.names()) {
+    std::cout << name;
+    const std::string& help = registry.help(name);
+    if (!help.empty()) {
+      std::cout << "  [" << help << "]";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int list_scenarios() {
+  const core::ScenarioRegistry& registry = core::ScenarioRegistry::global();
+  std::cout << "# registered scenarios (--scenarios also accepts inline "
+               "grammar: [name=<label>;][phy=<preset>;]"
+               "contenders=<group> + ...[;fifo=<spec>]; "
+               "phy defaults to dot11b_short)\n";
+  for (const std::string& name : registry.names()) {
+    std::cout << name << "  =  " << registry.get(name).describe() << "\n";
+  }
+  const traffic::TrafficModelRegistry& models =
+      traffic::TrafficModelRegistry::global();
+  std::cout << "# traffic models (contender/fifo specs)\n";
+  for (const std::string& name : models.names()) {
+    std::cout << name;
+    const std::string& help = models.help(name);
+    if (!help.empty()) {
+      std::cout << "  [" << help << "]";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
 
 int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
                      bool json) {
@@ -69,7 +117,7 @@ int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
     if (!copts.jsonl_path.empty()) {
       std::cout << "# jsonl written: " << copts.jsonl_path << "\n";
     }
-    const int est_col = 9;  // estimate_mbps, after the 7 coords + method/rep
+    const int est_col = 10;  // estimate_mbps, after the 8 coords + method/rep
     std::cout << "# estimate across runs: min "
               << util::Table::format(collector.column_stat(est_col).min(), 3)
               << " / mean "
@@ -86,6 +134,13 @@ int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
 
+  if (args.get("list-methods", false)) {
+    return list_methods();
+  }
+  if (args.get("list-scenarios", false)) {
+    return list_scenarios();
+  }
+
   const std::string format = args.get("format", "table");
   CSMABW_REQUIRE(format == "table" || format == "json",
                  "--format must be table or json");
@@ -93,17 +148,31 @@ int main(int argc, char** argv) {
 
   exp::SweepSpec spec;
   spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 1));
-  spec.contender_counts = args.get_ints("contenders", {1, 2, 3});
-  spec.cross_mbps = args.get_doubles("cross-mbps", {1.0, 2.0, 4.0});
-  spec.phy_presets =
-      args.get_strings("phy", {"dot11b_short", "dot11b_long"});
+  const std::string scenarios = args.get("scenarios", "");
+  if (!scenarios.empty()) {
+    // Scenario axis: each entry fixes phy/contenders/cross/fifo, so the
+    // per-knob flags would be silently ignored — reject them loudly.
+    for (const char* flag :
+         {"contenders", "cross-mbps", "phy", "fifo", "fifo-mbps"}) {
+      std::string message = "--scenarios replaces --";
+      message += flag;
+      message += "; drop the flag or encode it in the scenario";
+      CSMABW_REQUIRE(!args.has(flag), message);
+    }
+    spec.scenarios = exp::split_scenario_list(scenarios);
+  } else {
+    spec.contender_counts = args.get_ints("contenders", {1, 2, 3});
+    spec.cross_mbps = args.get_doubles("cross-mbps", {1.0, 2.0, 4.0});
+    spec.phy_presets =
+        args.get_strings("phy", {"dot11b_short", "dot11b_long"});
+    spec.fifo_cross = {false};
+    if (args.get("fifo", false)) {
+      spec.fifo_cross = {false, true};
+      spec.fifo_cross_mbps = args.get("fifo-mbps", 1.0);
+    }
+  }
   spec.train_lengths = args.get_ints("train", {400});
   spec.probe_mbps = args.get_doubles("probe-mbps", {5.0});
-  spec.fifo_cross = {false};
-  if (args.get("fifo", false)) {
-    spec.fifo_cross = {false, true};
-    spec.fifo_cross_mbps = args.get("fifo-mbps", 1.0);
-  }
   const std::string methods = args.get("methods", "");
   if (!methods.empty()) {
     spec.methods = core::split_method_list(methods);

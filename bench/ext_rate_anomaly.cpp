@@ -3,77 +3,85 @@
 // contending with fast (11 Mb/s) ones drags everyone to roughly equal
 // per-station throughput; a probing flow measuring the cell sees its
 // achievable throughput collapse accordingly.
+//
+// Each (fast-station count) x (with/without laggard) cell is one
+// heterogeneous-rate scenario spec ("Nx saturated + 1x saturated@2M")
+// run through the campaign engine: cells execute across --threads
+// workers, each seeded from (campaign seed, cell index) alone, so the
+// table is byte-identical for any thread count.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/scenario.hpp"
-#include "mac/wlan.hpp"
-#include "traffic/flow_meter.hpp"
-#include "traffic/source.hpp"
+#include "exp/engine.hpp"
 
 using namespace csmabw;
-
-namespace {
-
-struct CellResult {
-  double fast_mbps = 0.0;
-  double slow_mbps = 0.0;
-};
-
-CellResult run_cell(int fast_stations, bool with_slow, double slow_rate_bps,
-                    double seconds, std::uint64_t seed) {
-  mac::WlanNetwork net(mac::PhyParams::dot11b_short(), seed);
-  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
-  std::vector<std::unique_ptr<traffic::FlowMeter>> meters;
-  std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatch;
-  const TimeNs end = TimeNs::from_seconds(seconds);
-  const int total = fast_stations + (with_slow ? 1 : 0);
-  for (int i = 0; i < total; ++i) {
-    auto& st = net.add_station();
-    if (with_slow && i == total - 1) {
-      st.set_data_rate_bps(slow_rate_bps);
-    }
-    sources.push_back(std::make_unique<traffic::CbrSource>(
-        net.simulator(), st, i, 1500, BitRate::mbps(20).gap_for(1500)));
-    sources.back()->start(TimeNs::zero());
-    meters.push_back(
-        std::make_unique<traffic::FlowMeter>(TimeNs::sec(1), end));
-    dispatch.push_back(std::make_unique<traffic::FlowDispatcher>(st));
-    traffic::FlowMeter* m = meters.back().get();
-    dispatch.back()->on_any([m](const mac::Packet& p) { m->on_packet(p); });
-  }
-  net.simulator().run_until(end);
-
-  CellResult r;
-  for (int i = 0; i < fast_stations; ++i) {
-    r.fast_mbps += meters[static_cast<std::size_t>(i)]->rate().to_mbps();
-  }
-  r.fast_mbps /= fast_stations;
-  if (with_slow) {
-    r.slow_mbps = meters.back()->rate().to_mbps();
-  }
-  return r;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const double seconds = args.get("duration", 8.0) * util::bench_scale() + 1.0;
+  const std::vector<int> fast_counts = args.get_ints("fast", {1, 2, 3, 5});
 
   bench::announce("Extension: 802.11 rate anomaly",
                   "per-station saturation throughput with one 2 Mb/s "
                   "laggard in an 11 Mb/s cell",
-                  "all stations saturated, 1500 B frames");
+                  "all stations saturated, 1500 B frames, one scenario "
+                  "spec per cell");
+
+  // Two cells per fast-station count: the homogeneous baseline and the
+  // same cell plus one laggard at a 2 Mb/s PHY rate.
+  std::vector<exp::Cell> cells;
+  for (int n : fast_counts) {
+    for (const bool with_slow : {false, true}) {
+      const std::string grammar =
+          "phy=dot11b_short;contenders=" + std::to_string(n) +
+          "x saturated" + (with_slow ? " + 1x saturated@2M" : "");
+      exp::Cell cell;
+      const core::ScenarioSpec spec = core::ScenarioSpec::parse(grammar);
+      cell.scenario_name = spec.describe();
+      cell.contenders = static_cast<int>(spec.contenders.size());
+      cell.phy_preset = spec.phy_preset;
+      cell.scenario = spec.to_config(/*seed set by Campaign*/ 0);
+      cell.repetitions = 1;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const exp::Campaign campaign(
+      std::move(cells),
+      static_cast<std::uint64_t>(args.get("seed", 401)));
+
+  exp::Progress progress(campaign.size(), "cells",
+                         bench::progress_enabled(args));
+  const exp::Runner runner = bench::runner_from(args, &progress);
+  // stderr, not stdout: stdout must stay byte-identical across --threads.
+  std::cerr << "# threads: " << runner.threads() << "\n";
+  const auto results =
+      exp::run_cells(campaign, runner, [&](const exp::Cell& cell) {
+        const core::Scenario sc(cell.scenario);
+        return sc.run_contention(TimeNs::from_seconds(seconds),
+                                 TimeNs::sec(1));
+      });
+  progress.finish();
 
   util::Table table({"fast_stations", "fast_alone_mbps",
                      "fast_with_laggard_mbps", "laggard_mbps"});
   std::vector<std::vector<double>> rows;
-  for (int n : {1, 2, 3, 5}) {
-    const CellResult alone = run_cell(n, false, 0.0, seconds, 401);
-    const CellResult mixed = run_cell(n, true, 2e6, seconds, 402);
-    rows.push_back({static_cast<double>(n), alone.fast_mbps,
-                    mixed.fast_mbps, mixed.slow_mbps});
+  for (std::size_t i = 0; i < fast_counts.size(); ++i) {
+    const int n = fast_counts[i];
+    const core::ContentionResult& alone = results[2 * i];
+    const core::ContentionResult& mixed = results[2 * i + 1];
+    const auto mean_fast = [n](const core::ContentionResult& r) {
+      double total = 0.0;
+      for (int k = 0; k < n; ++k) {
+        total += r.per_contender[static_cast<std::size_t>(k)].to_mbps();
+      }
+      return total / n;
+    };
+    rows.push_back({static_cast<double>(n), mean_fast(alone),
+                    mean_fast(mixed),
+                    mixed.per_contender.back().to_mbps()});
     table.add_row(rows.back());
   }
   bench::emit(table, args, rows);

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
 
   core::ScenarioConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1));
-  cfg.contenders.push_back({BitRate::mbps(cross_mbps), 1500});
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(cross_mbps), 1500));
   core::Scenario sc(cfg);
 
   const double capacity = cfg.phy.saturation_rate(1500).to_mbps();

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
 
   core::ScenarioConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1));
-  cfg.contenders.push_back({BitRate::mbps(contender_mbps), 1500});
-  cfg.fifo_cross = core::CrossTrafficSpec{BitRate::mbps(fifo_mbps), 1500};
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(contender_mbps), 1500));
+  cfg.fifo_cross = core::StationSpec::poisson(BitRate::mbps(fifo_mbps), 1500);
   core::Scenario sc(cfg);
 
   bench::announce(

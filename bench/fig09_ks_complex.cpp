@@ -33,10 +33,10 @@ int main(int argc, char** argv) {
   // MAC details NS2 and we model slightly differently; 1.05-1.10
   // reproduces the paper's tens-of-packets transient.
   const double load = args.get("load-scale", 1.0);
-  cfg.contenders.push_back({BitRate::mbps(0.1 * load), 40});
-  cfg.contenders.push_back({BitRate::mbps(0.5 * load), 576});
-  cfg.contenders.push_back({BitRate::mbps(0.75 * load), 1000});
-  cfg.contenders.push_back({BitRate::mbps(2.0 * load), 1500});
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(0.1 * load), 40));
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(0.5 * load), 576));
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(0.75 * load), 1000));
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(2.0 * load), 1500));
   core::Scenario sc(cfg);
 
   traffic::TrainSpec spec;

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
 
   core::ScenarioConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.get("seed", 13));
-  cfg.contenders.push_back({BitRate::mbps(cross_mbps), 1500});
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(cross_mbps), 1500));
   core::Scenario sc(cfg);
 
   bench::announce("Figure 13",

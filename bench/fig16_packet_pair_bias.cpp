@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     cell.repetitions = pairs;
     cell.scenario.phy = phy;
     if (cross > 0.0) {
-      cell.scenario.contenders.push_back({BitRate::mbps(cross), 1500});
+      cell.scenario.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(cross), 1500));
     }
     cells.push_back(std::move(cell));
   }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   core::ScenarioConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.get("seed", 17));
-  cfg.contenders.push_back({BitRate::mbps(cross_mbps), 1500});
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(cross_mbps), 1500));
   core::Scenario sc(cfg);
 
   bench::announce("Figure 17", "MSER-2 corrected dispersion measurements",

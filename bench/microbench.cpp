@@ -17,7 +17,6 @@
 
 #include "core/scenario.hpp"
 #include "exp/engine.hpp"
-#include "mac/wlan.hpp"
 #include "queueing/fifo_trace.hpp"
 #include "sim/simulator.hpp"
 #include "stats/ks_test.hpp"
@@ -47,17 +46,16 @@ BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
 
 void BM_DcfSaturatedStation(benchmark::State& state) {
   const int stations = static_cast<int>(state.range(0));
+  core::ScenarioConfig cfg;
+  cfg.seed = 1;
+  for (int i = 0; i < stations; ++i) {
+    cfg.contenders.push_back(core::StationSpec::saturated(1500));
+  }
+  const core::Scenario sc(cfg);
   for (auto _ : state) {
-    mac::WlanNetwork net(mac::PhyParams::dot11b_short(), 1);
-    std::vector<std::unique_ptr<traffic::CbrSource>> sources;
-    for (int i = 0; i < stations; ++i) {
-      auto& st = net.add_station();
-      sources.push_back(std::make_unique<traffic::CbrSource>(
-          net.simulator(), st, i, 1500, BitRate::mbps(20).gap_for(1500)));
-      sources.back()->start(TimeNs::zero());
-    }
-    net.simulator().run_until(TimeNs::sec(1));
-    benchmark::DoNotOptimize(net.medium().stats().successes);
+    const core::ContentionResult r =
+        sc.run_contention(TimeNs::sec(1), TimeNs::zero());
+    benchmark::DoNotOptimize(r.medium.successes);
   }
   // Roughly 570 deliveries per simulated second at saturation.
   state.SetItemsProcessed(state.iterations() * 570);
@@ -67,7 +65,7 @@ BENCHMARK(BM_DcfSaturatedStation)->Arg(1)->Arg(2)->Arg(5);
 void BM_ProbeTrainRepetition(benchmark::State& state) {
   core::ScenarioConfig cfg;
   cfg.seed = 2;
-  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0)));
   const core::Scenario sc(cfg);
   traffic::TrainSpec spec;
   spec.n = static_cast<int>(state.range(0));

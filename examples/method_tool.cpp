@@ -33,11 +33,11 @@ int main(int argc, char** argv) {
   cell.seed = static_cast<std::uint64_t>(args.get("seed", 1));
   const double cross = args.get("cross-mbps", 4.0);
   for (int k = 0; k < args.get("contenders", 1); ++k) {
-    cell.contenders.push_back({BitRate::mbps(cross), 1500});
+    cell.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(cross), 1500));
   }
   const double fifo = args.get("fifo-mbps", 0.0);
   if (fifo > 0.0) {
-    cell.fifo_cross = core::CrossTrafficSpec{BitRate::mbps(fifo), 1500};
+    cell.fifo_cross = core::StationSpec::poisson(BitRate::mbps(fifo), 1500);
   }
 
   const std::string spec = args.get("method", "bisection");

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   // measures Bf.
   core::ScenarioConfig base;
   base.seed = static_cast<std::uint64_t>(args.get("seed", 11));
-  base.contenders.push_back({BitRate::mbps(contender), 1500});
+  base.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(contender), 1500));
   const double bf = core::Scenario(base)
                         .run_steady_state(BitRate::mbps(16.0), 1500,
                                           horizon, warm)
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   // u_fifo = its throughput share of Bf (it uses the station's capacity
   // that fraction of the time).
   core::ScenarioConfig with_fifo = base;
-  with_fifo.fifo_cross = core::CrossTrafficSpec{BitRate::mbps(fifo), 1500};
+  with_fifo.fifo_cross = core::StationSpec::poisson(BitRate::mbps(fifo), 1500);
   const double u_fifo = fifo / bf;
 
   const core::CompleteCurve model{bf * 1e6, u_fifo};

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   {
     core::ScenarioConfig cell;
     cell.seed = 2;
-    cell.contenders.push_back({BitRate::mbps(4.0), 1500});
+    cell.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0), 1500));
     core::SimTransport link(cell);
     const auto r = core::packet_pair_estimate(link, 1500, pairs);
     table.add_row({std::string("wlan + 4 Mb/s contender"),

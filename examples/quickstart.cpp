@@ -20,7 +20,7 @@ int main() {
   // 4 Mb/s of Poisson cross-traffic with 1500-byte packets.
   core::ScenarioConfig cell;
   cell.seed = 42;
-  cell.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cell.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0), 1500));
 
   // The estimator drives any ProbeTransport; here the DCF simulator.
   core::SimTransport link(cell);

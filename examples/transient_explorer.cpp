@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
 
   core::ScenarioConfig cell;
   cell.seed = static_cast<std::uint64_t>(args.get("seed", 5));
-  cell.contenders.push_back(
-      {BitRate::mbps(args.get("cross-mbps", 4.0)), 1500});
+  cell.contenders.push_back(core::StationSpec::poisson(
+      BitRate::mbps(args.get("cross-mbps", 4.0)), 1500));
 
   const int train = args.get("train", 400);
   const int reps = args.get("reps", 800);

@@ -22,11 +22,11 @@ int main(int argc, char** argv) {
 
   core::ScenarioConfig cell;
   cell.seed = static_cast<std::uint64_t>(args.get("seed", 1));
-  cell.contenders.push_back(
-      {BitRate::mbps(args.get("cross-mbps", 4.5)), 1500});
+  cell.contenders.push_back(core::StationSpec::poisson(
+      BitRate::mbps(args.get("cross-mbps", 4.5)), 1500));
   const double fifo = args.get("fifo-mbps", 0.0);
   if (fifo > 0.0) {
-    cell.fifo_cross = core::CrossTrafficSpec{BitRate::mbps(fifo), 1500};
+    cell.fifo_cross = core::StationSpec::poisson(BitRate::mbps(fifo), 1500);
   }
 
   core::SimTransport link(cell);

@@ -256,59 +256,6 @@ MeasurementReport SteadyStateMethod::run(ProbeTransport& transport,
 
 // --------------------------------------------------------------- registry
 
-void MethodRegistry::add(std::string name, Factory factory) {
-  CSMABW_REQUIRE(!name.empty(), "method name must be non-empty");
-  CSMABW_REQUIRE(static_cast<bool>(factory), "method factory must be set");
-  const auto [it, inserted] =
-      factories_.emplace(std::move(name), std::move(factory));
-  CSMABW_REQUIRE(inserted,
-                 "method `" + it->first + "` is already registered");
-}
-
-bool MethodRegistry::contains(std::string_view name) const {
-  return factories_.find(name) != factories_.end();
-}
-
-std::vector<std::string> MethodRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) {
-    out.push_back(name);  // std::map iterates in sorted key order
-  }
-  return out;
-}
-
-std::unique_ptr<MeasurementMethod> MethodRegistry::create(
-    std::string_view spec) const {
-  const std::size_t colon = spec.find(':');
-  const std::string_view name =
-      colon == std::string_view::npos ? spec : spec.substr(0, colon);
-  CSMABW_REQUIRE(!name.empty(),
-                 "method spec `" + std::string(spec) + "` has no name");
-  const auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    std::string known;
-    for (const std::string& n : names()) {
-      if (!known.empty()) {
-        known += ", ";
-      }
-      known += n;
-    }
-    throw util::PreconditionError("unknown measurement method `" +
-                                  std::string(name) + "`; registered: " +
-                                  known);
-  }
-  const util::Options options = util::Options::parse(
-      colon == std::string_view::npos ? std::string_view{}
-                                      : spec.substr(colon + 1));
-  std::unique_ptr<MeasurementMethod> method = it->second(options);
-  CSMABW_REQUIRE(method != nullptr,
-                 "factory of method `" + std::string(name) +
-                     "` returned null");
-  options.require_consumed("method `" + std::string(name) + "`");
-  return method;
-}
-
 namespace {
 
 EstimatorOptions estimator_options_from(const util::Options& o) {
@@ -327,43 +274,68 @@ EstimatorOptions estimator_options_from(const util::Options& o) {
 
 }  // namespace
 
+namespace {
+
+constexpr const char* kEstimatorOptionsHelp =
+    "train_length, size_bytes, trains_per_rate, mser, mser_m, "
+    "min_rate_mbps, max_rate_mbps, max_iterations, rel_tol";
+
+}  // namespace
+
 void MethodRegistry::register_builtins(MethodRegistry& registry) {
-  registry.add("train_sweep", [](const util::Options& o) {
-    const EstimatorOptions eo = estimator_options_from(o);
-    const int grid = o.get("grid", 8);
-    return std::make_unique<TrainSweepMethod>(eo, grid);
-  });
-  registry.add("bisection", [](const util::Options& o) {
-    return std::make_unique<BisectionMethod>(estimator_options_from(o));
-  });
-  registry.add("slops", [](const util::Options& o) {
-    SlopsOptions so;
-    so.train_length = o.get("train_length", so.train_length);
-    so.size_bytes = o.get("size_bytes", so.size_bytes);
-    so.trains_per_rate = o.get("trains_per_rate", so.trains_per_rate);
-    so.min_rate_bps = o.get("min_rate_mbps", so.min_rate_bps / 1e6) * 1e6;
-    so.max_rate_bps = o.get("max_rate_mbps", so.max_rate_bps / 1e6) * 1e6;
-    so.max_iterations = o.get("max_iterations", so.max_iterations);
-    so.skip_head = o.get("skip_head", so.skip_head);
-    return std::make_unique<SlopsMethod>(so);
-  });
-  registry.add("packet_pair", [](const util::Options& o) {
-    PacketPairMethodOptions po;
-    po.size_bytes = o.get("size_bytes", po.size_bytes);
-    po.pairs = o.get("pairs", po.pairs);
-    return std::make_unique<PacketPairMethod>(po);
-  });
-  registry.add("steady_state", [](const util::Options& o) {
-    SteadyStateMethodOptions so;
-    so.probe_mbps = o.get("probe_mbps", so.probe_mbps);
-    so.size_bytes = o.get("size_bytes", so.size_bytes);
-    so.duration_s = o.get("duration_s", so.duration_s);
-    so.measure_from_s = o.get("measure_from_s", so.measure_from_s);
-    so.train_length = o.get("train_length", so.train_length);
-    so.skip_head = o.get("skip_head", so.skip_head);
-    so.max_trains = o.get("max_trains", so.max_trains);
-    return std::make_unique<SteadyStateMethod>(so);
-  });
+  registry.add(
+      "train_sweep",
+      [](const util::Options& o) {
+        const EstimatorOptions eo = estimator_options_from(o);
+        const int grid = o.get("grid", 8);
+        return std::make_unique<TrainSweepMethod>(eo, grid);
+      },
+      std::string(kEstimatorOptionsHelp) + ", grid");
+  registry.add(
+      "bisection",
+      [](const util::Options& o) {
+        return std::make_unique<BisectionMethod>(estimator_options_from(o));
+      },
+      kEstimatorOptionsHelp);
+  registry.add(
+      "slops",
+      [](const util::Options& o) {
+        SlopsOptions so;
+        so.train_length = o.get("train_length", so.train_length);
+        so.size_bytes = o.get("size_bytes", so.size_bytes);
+        so.trains_per_rate = o.get("trains_per_rate", so.trains_per_rate);
+        so.min_rate_bps = o.get("min_rate_mbps", so.min_rate_bps / 1e6) * 1e6;
+        so.max_rate_bps = o.get("max_rate_mbps", so.max_rate_bps / 1e6) * 1e6;
+        so.max_iterations = o.get("max_iterations", so.max_iterations);
+        so.skip_head = o.get("skip_head", so.skip_head);
+        return std::make_unique<SlopsMethod>(so);
+      },
+      "train_length, size_bytes, trains_per_rate, min_rate_mbps, "
+      "max_rate_mbps, max_iterations, skip_head");
+  registry.add(
+      "packet_pair",
+      [](const util::Options& o) {
+        PacketPairMethodOptions po;
+        po.size_bytes = o.get("size_bytes", po.size_bytes);
+        po.pairs = o.get("pairs", po.pairs);
+        return std::make_unique<PacketPairMethod>(po);
+      },
+      "size_bytes, pairs");
+  registry.add(
+      "steady_state",
+      [](const util::Options& o) {
+        SteadyStateMethodOptions so;
+        so.probe_mbps = o.get("probe_mbps", so.probe_mbps);
+        so.size_bytes = o.get("size_bytes", so.size_bytes);
+        so.duration_s = o.get("duration_s", so.duration_s);
+        so.measure_from_s = o.get("measure_from_s", so.measure_from_s);
+        so.train_length = o.get("train_length", so.train_length);
+        so.skip_head = o.get("skip_head", so.skip_head);
+        so.max_trains = o.get("max_trains", so.max_trains);
+        return std::make_unique<SteadyStateMethod>(so);
+      },
+      "probe_mbps, size_bytes, duration_s, measure_from_s, train_length, "
+      "skip_head, max_trains");
 }
 
 MethodRegistry& MethodRegistry::global() {

@@ -14,6 +14,7 @@
 #include "core/rate_response.hpp"
 #include "core/transport.hpp"
 #include "util/options.hpp"
+#include "util/registry.hpp"
 
 namespace csmabw::core {
 
@@ -176,31 +177,41 @@ class SteadyStateMethod : public MeasurementMethod {
   SteadyStateMethodOptions opt_;
 };
 
-/// String-keyed factory registry for measurement methods.
-///
-/// A method spec is `name` or `name:key=value,key=value` (the
-/// util::Options grammar after the colon); factories parse and validate
-/// their options eagerly, and unknown names, unknown option keys and
-/// malformed values all throw util::PreconditionError at create() time —
-/// before any campaign work starts.
+/// String-keyed factory registry for measurement methods — a
+/// util::SpecRegistry (`name` or `name:key=value,...` specs, eager
+/// validation: unknown names, unknown option keys and malformed values
+/// all throw util::PreconditionError at create() time, before any
+/// campaign work starts).
 class MethodRegistry {
  public:
   /// Receives the parsed options; keys the factory does not consume are
   /// rejected by the registry after it returns.
-  using Factory =
-      std::function<std::unique_ptr<MeasurementMethod>(const util::Options&)>;
+  using Factory = util::SpecRegistry<MeasurementMethod>::Factory;
 
-  /// Registers a factory; throws util::PreconditionError on an empty or
-  /// duplicate name.
-  void add(std::string name, Factory factory);
+  /// Registers a factory; `options_help` documents the accepted option
+  /// keys for discoverability listings (--list-methods).  Throws
+  /// util::PreconditionError on an empty or duplicate name.
+  void add(std::string name, Factory factory, std::string options_help = "") {
+    impl_.add(std::move(name), std::move(factory), std::move(options_help));
+  }
 
-  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return impl_.contains(name);
+  }
   /// Registered names in sorted order.
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const {
+    return impl_.names();
+  }
+  /// The option-key documentation string registered for `name`.
+  [[nodiscard]] const std::string& help(std::string_view name) const {
+    return impl_.help(name);
+  }
 
   /// Creates a method from a spec string ("slops:train_length=50").
   [[nodiscard]] std::unique_ptr<MeasurementMethod> create(
-      std::string_view spec) const;
+      std::string_view spec) const {
+    return impl_.create(spec);
+  }
 
   /// Registers the five built-in tools: train_sweep, bisection, slops,
   /// packet_pair, steady_state.
@@ -212,7 +223,7 @@ class MethodRegistry {
   static MethodRegistry& global();
 
  private:
-  std::map<std::string, Factory, std::less<>> factories_;
+  util::SpecRegistry<MeasurementMethod> impl_{"measurement method"};
 };
 
 /// Splits a method-list string into individual specs.  Specs are

@@ -1,36 +1,57 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/transport.hpp"
+#include "mac/medium.hpp"
 #include "mac/packet.hpp"
 #include "mac/phy.hpp"
+#include "mac/wlan.hpp"
+#include "traffic/model.hpp"
 #include "traffic/probe_train.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
 namespace csmabw::core {
 
-/// A cross-traffic flow: Poisson arrivals at `rate` with `size_bytes`
-/// packets (the paper's cross-traffic model).
-struct CrossTrafficSpec {
-  BitRate rate;
+/// One contending station of a scenario: the traffic it carries (a
+/// traffic::TrafficModelRegistry spec such as "poisson:rate=2M",
+/// "onoff:rate=6M,duty=0.3,burst=50ms" or "saturated"), the packet size
+/// used when the spec has no `size=` override, and an optional
+/// per-station PHY data-rate override (a far station that fell back to
+/// 2 Mb/s — the 802.11 rate-anomaly ingredient).
+struct StationSpec {
+  std::string traffic = "poisson:rate=2M";
   int size_bytes = 1500;
+  std::optional<double> data_rate_bps;
+
+  /// The classic paper workload: one Poisson flow at `rate`.
+  [[nodiscard]] static StationSpec poisson(BitRate rate,
+                                           int size_bytes = 1500);
+  /// An always-backlogged station (Bianchi's saturation workload).
+  [[nodiscard]] static StationSpec saturated(int size_bytes = 1500);
+
+  friend bool operator==(const StationSpec&, const StationSpec&) = default;
 };
 
-/// The experimental scenario of the paper's Fig 2/Fig 3: one probing
-/// station, zero or more contending stations each carrying one Poisson
-/// flow, and optionally Poisson FIFO cross-traffic sharing the probing
-/// station's queue.
+/// The experimental scenario generalizing the paper's Fig 2/Fig 3: one
+/// probing station, zero or more contending stations each carrying one
+/// configurable traffic flow, and optionally cross-traffic sharing the
+/// probing station's FIFO queue.
 struct ScenarioConfig {
   mac::PhyParams phy = mac::PhyParams::dot11b_short();
   /// One entry per contending station.
-  std::vector<CrossTrafficSpec> contenders;
+  std::vector<StationSpec> contenders;
   /// FIFO cross-traffic on the probing station (Fig 3); disabled when
-  /// absent (Fig 5).
-  std::optional<CrossTrafficSpec> fifo_cross;
+  /// absent (Fig 5).  The flow rides the probe station, so any
+  /// data_rate_bps override here is rejected at build time.
+  std::optional<StationSpec> fifo_cross;
   std::uint64_t seed = 1;
   /// Cross-traffic warm-up before the probe enters the system.
   TimeNs warmup = TimeNs::ms(500);
@@ -41,10 +62,145 @@ struct ScenarioConfig {
   TimeNs probe_phase_mean = TimeNs::ms(20);
 };
 
+/// Resolves a PHY preset by name ("dot11b_short", "dot11b_long",
+/// "dot11g"); throws util::PreconditionError on unknown names.
+[[nodiscard]] mac::PhyParams phy_preset(const std::string& name);
+[[nodiscard]] const std::vector<std::string>& phy_preset_names();
+
+/// A whole WLAN scenario as a parsable value — the scenario grammar.
+///
+/// Text form: `;`-separated `key=value` fields, each optional (`phy`
+/// defaults to dot11b_short, `contenders` to none)
+///
+///   [name=<label>;][phy=<preset>;]contenders=<group>[ + <group>...]
+///   [;fifo=<traffic-spec>[/<size>]]
+///
+/// where a contender group is `[<count>x ]<traffic-spec>[/<size>][@<rate>]`:
+/// `count` repeats the station spec, `/<size>` sets StationSpec::
+/// size_bytes (default 1500) and `@<rate>` sets the station's PHY
+/// data-rate override.  Examples:
+///
+///   phy=dot11b_short;contenders=3x onoff:rate=6M,duty=0.3,burst=50ms
+///   contenders=2x saturated + 1x saturated@2M          (rate anomaly)
+///   name=fig3;phy=dot11b_short;contenders=1x poisson:rate=2M;fifo=poisson:rate=1M
+///
+/// parse() canonicalizes every traffic spec through the global
+/// TrafficModelRegistry, so `parse(describe(s)) == s` for any spec
+/// produced by parse() or describe() — the round-trip contract campaigns
+/// and CI build on.
+struct ScenarioSpec {
+  /// Optional label (the `name=` field); used as the campaign coordinate
+  /// when set.
+  std::string name;
+  std::string phy_preset = "dot11b_short";
+  std::vector<StationSpec> contenders;
+  std::optional<StationSpec> fifo;
+
+  /// Parses the grammar above; throws util::PreconditionError on unknown
+  /// keys, unknown PHY presets, malformed groups or invalid traffic
+  /// specs.
+  [[nodiscard]] static ScenarioSpec parse(std::string_view text);
+
+  /// The canonical text form (adjacent equal stations grouped as `Nx`).
+  [[nodiscard]] std::string describe() const;
+
+  /// `name` when set, else describe() — the campaign coordinate value.
+  [[nodiscard]] std::string label() const;
+
+  /// Materializes the spec into a runnable configuration.
+  [[nodiscard]] ScenarioConfig to_config(std::uint64_t seed = 1) const;
+
+  /// Total mean offered cross-traffic load of the contenders, when every
+  /// contender's model declares one (nullopt if any is saturated).
+  [[nodiscard]] std::optional<BitRate> offered_load() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// String-keyed registry of named scenario presets — the scenario twin
+/// of core::MethodRegistry.  resolve() accepts either a registered name
+/// or an inline grammar string, so campaign axes can mix both.
+class ScenarioRegistry {
+ public:
+  /// Registers `spec` under `name` (the spec's own name field is set to
+  /// `name`).  Throws util::PreconditionError on an empty or duplicate
+  /// name.
+  void add(std::string name, ScenarioSpec spec);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] const ScenarioSpec& get(std::string_view name) const;
+
+  /// The registered spec when `name_or_grammar` is a registered name,
+  /// else ScenarioSpec::parse(name_or_grammar).
+  [[nodiscard]] ScenarioSpec resolve(std::string_view name_or_grammar) const;
+
+  /// Registers the built-in presets: paper_fig2, paper_fig3,
+  /// rate_anomaly, bursty, hetero_rates.
+  static void register_builtins(ScenarioRegistry& registry);
+
+  /// The process-wide registry, pre-populated with the builtins.
+  /// Register custom scenarios at startup, before campaigns run:
+  /// resolve() is safe to call concurrently, add() is not.
+  static ScenarioRegistry& global();
+
+ private:
+  std::map<std::string, ScenarioSpec, std::less<>> specs_;
+};
+
 /// Flow-id convention inside scenarios.
 inline constexpr int kProbeFlow = 1000;
 inline constexpr int kFifoCrossFlow = 1001;
 /// Contender station i carries flow i (0-based).
+
+/// One fully wired WLAN cell built from a ScenarioConfig — the single
+/// place in the repository that assembles a mac::WlanNetwork with
+/// stations, per-station flow dispatchers and traffic sources.  Station
+/// 0 is the probing station; stations 1..k carry the contending flows
+/// 0..k-1.  Every bench and example constructs its network through this
+/// builder (directly or via Scenario); direct WlanNetwork wiring stays
+/// confined to core/scenario and the mac tests.
+/// Immutable, shareable handle to a parsed traffic model.
+using TrafficModelPtr = std::shared_ptr<const traffic::TrafficModel>;
+
+class ScenarioCell {
+ public:
+  /// Builds and starts the cell; repetition r of seed s reproduces the
+  /// exact random streams of every other build with (s, r).  Parses the
+  /// config's traffic specs; per-repetition hot loops should prefer the
+  /// prebuilt-model overload (Scenario does).
+  ScenarioCell(const ScenarioConfig& cfg, std::uint64_t repetition);
+
+  /// Prebuilt-model fast path: `contender_models[i]` drives contender i
+  /// and `fifo_model` (nullable) the fifo flow, so repeated builds skip
+  /// re-parsing the spec strings.  The models must match the config.
+  ScenarioCell(const ScenarioConfig& cfg, std::uint64_t repetition,
+               const std::vector<TrafficModelPtr>& contender_models,
+               const TrafficModelPtr& fifo_model);
+
+  [[nodiscard]] mac::WlanNetwork& net() { return net_; }
+  [[nodiscard]] sim::Simulator& simulator() { return net_.simulator(); }
+  [[nodiscard]] mac::DcfStation& probe_station() { return net_.station(0); }
+  /// Contending station i (0-based; station index i + 1).
+  [[nodiscard]] mac::DcfStation& contender_station(int i) {
+    return net_.station(i + 1);
+  }
+  /// The station's shared flow dispatcher (probe = station 0).  All
+  /// delivery routing goes through these — a station has one delivery
+  /// callback, owned by its dispatcher.
+  [[nodiscard]] traffic::FlowDispatcher& dispatcher(int station_index) {
+    return *dispatchers_.at(static_cast<std::size_t>(station_index));
+  }
+  [[nodiscard]] int contender_count() const {
+    return net_.num_stations() - 1;
+  }
+
+ private:
+  mac::WlanNetwork net_;
+  std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<traffic::Source>> sources_;
+};
 
 /// Result of one probing-sequence repetition.
 struct TrainRun {
@@ -55,7 +211,7 @@ struct TrainRun {
   /// (only when requested) — Fig 8 bottom.
   std::vector<double> contender_queue_at_arrival;
 
-  /// Access delays mu_i in seconds; requires !any_dropped.
+  /// Access delays mu_i in seconds; requires !any_dropped (enforced).
   [[nodiscard]] std::vector<double> access_delays_s() const;
   /// Output gap (Eq. 16) over the departure timestamps.
   [[nodiscard]] double output_gap_s() const;
@@ -69,6 +225,16 @@ struct SteadyStateResult {
   BitRate fifo_cross;
 };
 
+/// Cross-traffic-only long run (no probe flow): per-contender delivered
+/// throughputs plus the medium's counters — the saturation,
+/// calibration and ablation experiments' workhorse.
+struct ContentionResult {
+  std::vector<BitRate> per_contender;
+  BitRate aggregate;
+  /// Medium counters over the WHOLE run (including [0, measure_from)).
+  mac::MediumStats medium;
+};
+
 /// Result of a sequence of m trains in one long run (Section 5.1.2: m
 /// probing sequences with Poisson spacing).
 struct TrainSequenceResult {
@@ -80,11 +246,14 @@ struct TrainSequenceResult {
 
 /// Builds and runs WLAN experiments for one scenario configuration.
 ///
-/// Each run constructs a fresh simulator seeded from (seed, repetition),
-/// warms the cross-traffic up, injects probe traffic and harvests the
-/// records — exactly the ensemble methodology of Section 4.
+/// Each run constructs a fresh ScenarioCell seeded from (seed,
+/// repetition), warms the cross-traffic up, injects probe traffic and
+/// harvests the records — exactly the ensemble methodology of Section 4.
 class Scenario {
  public:
+  /// Validates the PHY and parses every traffic spec eagerly (throws
+  /// before any run starts); the parsed models are cached and shared
+  /// with every per-repetition cell.
   explicit Scenario(ScenarioConfig cfg);
 
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
@@ -103,6 +272,12 @@ class Scenario {
                                                    TimeNs duration,
                                                    TimeNs measure_from) const;
 
+  /// Cross-traffic only, no probe: per-contender throughput over
+  /// [measure_from, duration) and the medium counters of the whole run.
+  [[nodiscard]] ContentionResult run_contention(
+      TimeNs duration, TimeNs measure_from,
+      std::uint64_t repetition = 0) const;
+
   /// m trains of `spec` in one long run, consecutive trains separated by
   /// an exponential gap with mean `mean_spacing`.
   [[nodiscard]] TrainSequenceResult run_train_sequence(
@@ -111,6 +286,9 @@ class Scenario {
 
  private:
   ScenarioConfig cfg_;
+  /// Parsed once at construction; shared with every repetition's cell.
+  std::vector<TrafficModelPtr> contender_models_;
+  TrafficModelPtr fifo_model_;
 };
 
 /// ProbeTransport implementation backed by a Scenario: every train runs

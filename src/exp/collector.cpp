@@ -60,14 +60,18 @@ const stats::RunningStat& Collector::column_stat(int i) const {
 }
 
 std::vector<std::string> Collector::cell_columns() {
-  return {"cell",      "contenders", "cross_mbps", "phy",
-          "train_len", "probe_mbps", "fifo"};
+  return {"cell",       "scenario",  "contenders", "cross_mbps",
+          "phy",        "train_len", "probe_mbps", "fifo"};
 }
 
 std::vector<Value> Collector::cell_coords(const Cell& cell) {
-  return {Value(cell.index),        Value(cell.contenders),
-          Value(cell.cross_mbps),   Value(cell.phy_preset),
-          Value(cell.train_length), Value(cell.probe_mbps),
+  return {Value(cell.index),
+          Value(cell.scenario_name.empty() ? "-" : cell.scenario_name),
+          Value(cell.contenders),
+          Value(cell.cross_mbps),
+          Value(cell.phy_preset),
+          Value(cell.train_length),
+          Value(cell.probe_mbps),
           Value(cell.fifo ? 1 : 0)};
 }
 

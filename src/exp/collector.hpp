@@ -51,8 +51,9 @@ class Collector {
   /// The rows as an aligned console table.
   [[nodiscard]] const util::Table& table() const { return table_; }
 
-  /// The standard coordinate prefix for per-cell rows:
-  /// cell, contenders, cross_mbps, phy, train_len, probe_mbps, fifo.
+  /// The standard coordinate prefix for per-cell rows: cell, scenario
+  /// ("-" for cells from the classic per-knob axes), contenders,
+  /// cross_mbps, phy, train_len, probe_mbps, fifo.
   [[nodiscard]] static std::vector<std::string> cell_columns();
   [[nodiscard]] static std::vector<Value> cell_coords(const Cell& cell);
 

@@ -1,9 +1,22 @@
 #include "exp/sweep.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "core/method.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::exp {
+
+namespace {
+
+const core::ScenarioRegistry& scenario_registry_of(const SweepSpec& spec) {
+  return spec.scenario_registry != nullptr
+             ? *spec.scenario_registry
+             : core::ScenarioRegistry::global();
+}
+
+}  // namespace
 
 void SweepSpec::validate() const {
   CSMABW_REQUIRE(!contender_counts.empty(), "contender_counts axis is empty");
@@ -15,6 +28,28 @@ void SweepSpec::validate() const {
   CSMABW_REQUIRE(repetitions >= 1, "repetitions must be >= 1");
   CSMABW_REQUIRE(probe_size_bytes > 0, "probe_size_bytes must be positive");
   CSMABW_REQUIRE(cross_size_bytes > 0, "cross_size_bytes must be positive");
+  if (!scenarios.empty()) {
+    // The scenario axis defines phy/contenders/cross/fifo per entry;
+    // sweeping both would silently ignore one side, so reject it.
+    const SweepSpec defaults;
+    CSMABW_REQUIRE(contender_counts == defaults.contender_counts &&
+                       cross_mbps == defaults.cross_mbps &&
+                       phy_presets == defaults.phy_presets &&
+                       fifo_cross == defaults.fifo_cross &&
+                       cross_size_bytes == defaults.cross_size_bytes &&
+                       fifo_cross_mbps == defaults.fifo_cross_mbps &&
+                       fifo_cross_size_bytes == defaults.fifo_cross_size_bytes,
+                   "the scenarios axis replaces the contender_counts/"
+                   "cross_mbps/phy_presets/fifo_cross axes and the "
+                   "cross/fifo size and rate knobs; leave them at their "
+                   "defaults");
+    const core::ScenarioRegistry& registry = scenario_registry_of(*this);
+    for (const auto& entry : scenarios) {
+      // Throws on unknown names and malformed grammar — and validates
+      // every traffic spec — before any campaign work starts.
+      (void)registry.resolve(entry);
+    }
+  }
   for (int c : contender_counts) {
     CSMABW_REQUIRE(c >= 0, "contender counts must be >= 0");
   }
@@ -41,12 +76,15 @@ void SweepSpec::validate() const {
 }
 
 std::int64_t SweepSpec::grid_size() const {
-  return static_cast<std::int64_t>(contender_counts.size()) *
-         static_cast<std::int64_t>(cross_mbps.size()) *
-         static_cast<std::int64_t>(phy_presets.size()) *
-         static_cast<std::int64_t>(train_lengths.size()) *
+  const std::int64_t scenario_axes =
+      scenarios.empty()
+          ? static_cast<std::int64_t>(contender_counts.size()) *
+                static_cast<std::int64_t>(cross_mbps.size()) *
+                static_cast<std::int64_t>(phy_presets.size()) *
+                static_cast<std::int64_t>(fifo_cross.size())
+          : static_cast<std::int64_t>(scenarios.size());
+  return scenario_axes * static_cast<std::int64_t>(train_lengths.size()) *
          static_cast<std::int64_t>(probe_mbps.size()) *
-         static_cast<std::int64_t>(fifo_cross.size()) *
          static_cast<std::int64_t>(methods.empty() ? 1 : methods.size());
 }
 
@@ -58,6 +96,50 @@ Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
       spec_.methods.empty() ? std::vector<std::string>{std::string()}
                             : spec_.methods;
   cells_.reserve(static_cast<std::size_t>(spec_.grid_size()));
+
+  // Finishes a cell whose coordinate columns and scenario stations are
+  // already stamped: index, seed and probe train.
+  const auto finish_cell = [&](Cell cell) {
+    cell.index = static_cast<int>(cells_.size());
+    cell.repetitions = spec_.repetitions;
+    cell.scenario.seed = cell_seed(spec_.campaign_seed, cell.index);
+    cell.train.n = cell.train_length;
+    cell.train.size_bytes = spec_.probe_size_bytes;
+    cell.train.gap =
+        BitRate::mbps(cell.probe_mbps).gap_for(spec_.probe_size_bytes);
+    cells_.push_back(std::move(cell));
+  };
+
+  if (!spec_.scenarios.empty()) {
+    // Scenario axis: scenario (outermost) > train length > probe rate >
+    // method; the scenario entry fixes phy/contenders/cross/fifo.
+    const core::ScenarioRegistry& registry = scenario_registry_of(spec_);
+    for (const std::string& entry : spec_.scenarios) {
+      const core::ScenarioSpec scenario = registry.resolve(entry);
+      const std::optional<BitRate> load = scenario.offered_load();
+      for (int train_length : spec_.train_lengths) {
+        for (double probe : spec_.probe_mbps) {
+          for (const std::string& method : method_axis) {
+            Cell cell;
+            cell.scenario_name = scenario.label();
+            cell.contenders = static_cast<int>(scenario.contenders.size());
+            cell.cross_mbps =
+                load.has_value() ? load->to_mbps()
+                                 : std::numeric_limits<double>::quiet_NaN();
+            cell.phy_preset = scenario.phy_preset;
+            cell.train_length = train_length;
+            cell.probe_mbps = probe;
+            cell.fifo = scenario.fifo.has_value();
+            cell.method = method;
+            cell.scenario = scenario.to_config(/*seed=*/0);
+            finish_cell(std::move(cell));
+          }
+        }
+      }
+    }
+    return;
+  }
+
   for (const auto& phy_name : spec_.phy_presets) {
     const mac::PhyParams phy = phy_preset(phy_name);
     for (int contenders : spec_.contender_counts) {
@@ -67,7 +149,6 @@ Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
             for (bool fifo : spec_.fifo_cross) {
               for (const std::string& method : method_axis) {
                 Cell cell;
-                cell.index = static_cast<int>(cells_.size());
                 cell.contenders = contenders;
                 cell.cross_mbps = cross;
                 cell.phy_preset = phy_name;
@@ -75,26 +156,18 @@ Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
                 cell.probe_mbps = probe;
                 cell.fifo = fifo;
                 cell.method = method;
-                cell.repetitions = spec_.repetitions;
-
                 cell.scenario.phy = phy;
-                cell.scenario.seed =
-                    cell_seed(spec_.campaign_seed, cell.index);
                 for (int k = 0; k < contenders; ++k) {
                   cell.scenario.contenders.push_back(
-                      {BitRate::mbps(cross), spec_.cross_size_bytes});
+                      core::StationSpec::poisson(BitRate::mbps(cross),
+                                                 spec_.cross_size_bytes));
                 }
                 if (fifo) {
-                  cell.scenario.fifo_cross = core::CrossTrafficSpec{
+                  cell.scenario.fifo_cross = core::StationSpec::poisson(
                       BitRate::mbps(spec_.fifo_cross_mbps),
-                      spec_.fifo_cross_size_bytes};
+                      spec_.fifo_cross_size_bytes);
                 }
-
-                cell.train.n = train_length;
-                cell.train.size_bytes = spec_.probe_size_bytes;
-                cell.train.gap =
-                    BitRate::mbps(probe).gap_for(spec_.probe_size_bytes);
-                cells_.push_back(std::move(cell));
+                finish_cell(std::move(cell));
               }
             }
           }
@@ -131,23 +204,30 @@ std::int64_t Campaign::total_repetitions() const {
   return total;
 }
 
-mac::PhyParams phy_preset(const std::string& name) {
-  if (name == "dot11b_short") {
-    return mac::PhyParams::dot11b_short();
+std::vector<std::string> split_scenario_list(std::string_view text) {
+  std::vector<std::string> entries;
+  CSMABW_REQUIRE(!text.empty(), "scenario list is empty");
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t bar = text.find('|', pos);
+    const std::size_t end = bar == std::string_view::npos ? text.size()
+                                                          : bar;
+    std::string_view element = text.substr(pos, end - pos);
+    while (!element.empty() && element.front() == ' ') {
+      element.remove_prefix(1);
+    }
+    while (!element.empty() && element.back() == ' ') {
+      element.remove_suffix(1);
+    }
+    CSMABW_REQUIRE(!element.empty(), "empty element in scenario list `" +
+                                         std::string(text) + "`");
+    entries.emplace_back(element);
+    if (bar == std::string_view::npos) {
+      break;
+    }
+    pos = bar + 1;
   }
-  if (name == "dot11b_long") {
-    return mac::PhyParams::dot11b_long();
-  }
-  if (name == "dot11g") {
-    return mac::PhyParams::dot11g();
-  }
-  throw util::PreconditionError("unknown PHY preset: " + name);
-}
-
-const std::vector<std::string>& phy_preset_names() {
-  static const std::vector<std::string> names{"dot11b_short", "dot11b_long",
-                                              "dot11g"};
-  return names;
+  return entries;
 }
 
 }  // namespace csmabw::exp

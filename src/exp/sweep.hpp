@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -20,6 +21,16 @@ namespace csmabw::exp {
 /// and therefore per-cell seeds and collector output — are stable across
 /// runs, machines and thread counts.
 struct SweepSpec {
+  /// Named scenario axis (outermost): each entry is a registered
+  /// scenario name or an inline grammar string (core::ScenarioSpec /
+  /// core::ScenarioRegistry), so heterogeneous-station and non-Poisson
+  /// cells sweep like any other coordinate.  When non-empty this axis
+  /// REPLACES the contender_counts/cross_mbps/phy_presets/fifo_cross
+  /// axes, which must stay at their defaults.
+  std::vector<std::string> scenarios{};
+  /// Registry the scenario entries are resolved against (must outlive
+  /// the spec); nullptr means core::ScenarioRegistry::global().
+  const core::ScenarioRegistry* scenario_registry = nullptr;
   /// Number of contending stations (each carries one Poisson flow).
   std::vector<int> contender_counts{1};
   /// Per-contender Poisson rate in Mb/s.
@@ -61,7 +72,13 @@ struct SweepSpec {
 /// built scenario and train spec ready to run.
 struct Cell {
   int index = 0;
+  /// Scenario-axis label (the spec's name, else its grammar string);
+  /// empty for cells expanded from the classic per-knob axes.
+  std::string scenario_name;
   int contenders = 0;
+  /// Per-contender Poisson rate for classic cells; for scenario-axis
+  /// cells the total mean offered load (NaN when a contender is
+  /// saturated, i.e. offers unbounded load).
   double cross_mbps = 0.0;
   std::string phy_preset;
   int train_length = 0;
@@ -84,9 +101,11 @@ struct Cell {
 /// bench binaries' streams exactly.
 class Campaign {
  public:
-  /// Expands the grid; order: phy preset (outermost) > contenders >
-  /// cross rate > train length > probe rate > fifo > method (innermost;
-  /// only present when the methods axis is non-empty).
+  /// Expands the grid; order: scenario (outermost, when the scenarios
+  /// axis is non-empty) > phy preset > contenders > cross rate > train
+  /// length > probe rate > fifo > method (innermost; only present when
+  /// the methods axis is non-empty).  With a scenarios axis the
+  /// phy/contenders/cross/fifo loops collapse to the scenario's values.
   explicit Campaign(SweepSpec spec);
 
   /// Builds a campaign from explicitly constructed cells (for sweeps
@@ -116,9 +135,15 @@ class Campaign {
   bool custom_cells_ = false;
 };
 
-/// Resolves a PHY preset by name ("dot11b_short", "dot11b_long",
-/// "dot11g"); throws util::PreconditionError on unknown names.
-[[nodiscard]] mac::PhyParams phy_preset(const std::string& name);
-[[nodiscard]] const std::vector<std::string>& phy_preset_names();
+/// PHY preset resolution lives with the scenario layer now; re-exported
+/// here for the existing exp::phy_preset callers.
+using core::phy_preset;
+using core::phy_preset_names;
+
+/// Splits a '|'-separated scenario list ("paper_fig2|name=het;..." —
+/// scenario grammars use ';' and ',' internally, so the axis separator
+/// is '|').  Empty elements throw util::PreconditionError.
+[[nodiscard]] std::vector<std::string> split_scenario_list(
+    std::string_view text);
 
 }  // namespace csmabw::exp

@@ -1,5 +1,6 @@
 #include "traffic/source.hpp"
 
+#include "traffic/probe_train.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::traffic {
@@ -75,6 +76,33 @@ void CbrSource::schedule_next(TimeNs at) {
     emit(static_cast<int>(generated_));
     if (max_packets_ == 0 || generated_ < max_packets_) {
       schedule_next(sim_.now() + gap_);
+    }
+  });
+}
+
+// --- SaturatedSource ---
+
+SaturatedSource::SaturatedSource(sim::Simulator& sim,
+                                 mac::DcfStation& station,
+                                 FlowDispatcher& dispatch, int flow,
+                                 int size_bytes, int backlog)
+    : Source(sim, station, flow, size_bytes), backlog_(backlog) {
+  CSMABW_REQUIRE(backlog >= 1, "backlog must be >= 1");
+  // One refill per completion keeps the queue depth at `backlog`
+  // forever: the station never runs dry.
+  dispatch.on_flow(flow, [this](const mac::Packet&) {
+    if (running_) {
+      emit(static_cast<int>(generated_));
+    }
+  });
+}
+
+void SaturatedSource::start(TimeNs at) {
+  CSMABW_REQUIRE(!running_, "source already started");
+  running_ = true;
+  sim_.schedule_at(at, [this] {
+    for (int k = 0; k < backlog_ && running_; ++k) {
+      emit(static_cast<int>(generated_));
     }
   });
 }

@@ -1,7 +1,9 @@
 #include "util/options.hpp"
 
 #include <charconv>
+#include <cmath>
 
+#include "util/json.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::util {
@@ -13,6 +15,23 @@ namespace {
   throw PreconditionError("option `" + std::string(key) + "=" +
                           std::string(value) + "`: expected " +
                           std::string(expected));
+}
+
+/// Splits `text` into a number and a unit suffix; throws when the
+/// numeric prefix does not parse.
+double number_with_suffix(std::string_view text, std::string_view* suffix,
+                          std::string_view what) {
+  double v = 0.0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  // from_chars accepts "inf"/"nan"; those have no canonical spelling
+  // (json_number maps them to null) and livelock zero-gap sources.
+  CSMABW_REQUIRE(ec == std::errc{} && ptr != first && std::isfinite(v),
+                 "malformed " + std::string(what) + " `" + std::string(text) +
+                     "`");
+  *suffix = text.substr(static_cast<std::size_t>(ptr - first));
+  return v;
 }
 
 }  // namespace
@@ -114,6 +133,114 @@ std::string Options::get(std::string_view key, std::string_view def) const {
   }
   e->consumed = true;
   return e->value;
+}
+
+double Options::get_rate_bps(std::string_view key, double def) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    return def;
+  }
+  e->consumed = true;
+  try {
+    return parse_rate_bps(e->value);
+  } catch (const PreconditionError&) {
+    bad_option(key, e->value, "a rate (e.g. 6M, 500k, 2.5M, 6000000)");
+  }
+}
+
+double Options::get_duration_s(std::string_view key, double def) const {
+  const Entry* e = find(key);
+  if (e == nullptr) {
+    return def;
+  }
+  e->consumed = true;
+  try {
+    return parse_duration_s(e->value);
+  } catch (const PreconditionError&) {
+    bad_option(key, e->value, "a duration (e.g. 50ms, 2s, 200us)");
+  }
+}
+
+double parse_rate_bps(std::string_view text) {
+  std::string_view suffix;
+  double v = number_with_suffix(text, &suffix, "rate");
+  if (suffix == "k") {
+    v *= 1e3;
+  } else if (suffix == "M") {
+    v *= 1e6;
+  } else if (suffix == "G") {
+    v *= 1e9;
+  } else {
+    CSMABW_REQUIRE(suffix.empty(), "malformed rate `" + std::string(text) +
+                                       "` (suffixes: k, M, G)");
+  }
+  CSMABW_REQUIRE(v > 0.0, "rate `" + std::string(text) +
+                              "` must be positive");
+  return v;
+}
+
+namespace {
+
+struct Unit {
+  double scale;
+  const char* suffix;
+};
+
+/// The natural-unit spelling of `v`: the first unit that scales it into
+/// [1, 1000), provided that spelling reparses to exactly `v` (so
+/// canonicalization is idempotent) and is not meaningfully longer than
+/// the plain spelling (binary rounding can turn 2e-4 s into
+/// "200.00000000000003us" — plain wins then).  The plain spelling always
+/// round-trips by json_number's contract and serves as the fallback.
+template <typename Parse>
+std::string natural_unit(double v, std::initializer_list<Unit> units,
+                         const Parse& parse) {
+  const std::string plain = json_number(v);
+  for (const Unit& u : units) {
+    const double scaled = v / u.scale;
+    if (scaled < 1.0 || scaled >= 1000.0) {
+      continue;
+    }
+    const std::string text = json_number(scaled) + u.suffix;
+    if (text.size() <= plain.size() + 1 && parse(text) == v) {
+      return text;
+    }
+  }
+  return plain;
+}
+
+}  // namespace
+
+std::string format_rate(double bps) {
+  CSMABW_REQUIRE(bps > 0.0, "rate must be positive");
+  return natural_unit(bps, {{1e9, "G"}, {1e6, "M"}, {1e3, "k"}},
+                      [](const std::string& t) { return parse_rate_bps(t); });
+}
+
+double parse_duration_s(std::string_view text) {
+  std::string_view suffix;
+  double v = number_with_suffix(text, &suffix, "duration");
+  if (suffix == "ms") {
+    v *= 1e-3;
+  } else if (suffix == "us") {
+    v *= 1e-6;
+  } else if (suffix == "ns") {
+    v *= 1e-9;
+  } else {
+    CSMABW_REQUIRE(suffix.empty() || suffix == "s",
+                   "malformed duration `" + std::string(text) +
+                       "` (suffixes: s, ms, us, ns)");
+  }
+  CSMABW_REQUIRE(v >= 0.0, "duration `" + std::string(text) +
+                               "` must be >= 0");
+  return v;
+}
+
+std::string format_duration(double seconds) {
+  CSMABW_REQUIRE(seconds >= 0.0, "duration must be >= 0");
+  return natural_unit(
+      seconds, {{1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}, {1e-9, "ns"}},
+      [](const std::string& t) { return parse_duration_s(t); });
 }
 
 void Options::require_consumed(std::string_view context) const {

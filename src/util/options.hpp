@@ -39,6 +39,13 @@ class Options {
     return get(key, std::string_view(def));
   }
 
+  /// Rate value with an optional k/M/G suffix ("6M", "500k", "2.5M",
+  /// plain bits per second); returns bits per second.
+  [[nodiscard]] double get_rate_bps(std::string_view key, double def) const;
+  /// Duration value with an optional s/ms/us/ns suffix ("50ms", "2s",
+  /// plain seconds); returns seconds.
+  [[nodiscard]] double get_duration_s(std::string_view key, double def) const;
+
   /// Throws util::PreconditionError listing every key no getter has read
   /// — `context` names the consumer (e.g. "method `slops`").
   void require_consumed(std::string_view context) const;
@@ -56,5 +63,23 @@ class Options {
 
   std::vector<Entry> entries_;  // declaration order = parse order
 };
+
+/// Parses a rate with an optional k/M/G suffix ("6M", "500k", "2.5M",
+/// "6000000") into bits per second; throws PreconditionError on
+/// malformed text or a non-positive value.
+[[nodiscard]] double parse_rate_bps(std::string_view text);
+
+/// Formats `bps` so that `parse_rate_bps(format_rate(bps)) == bps`
+/// exactly, preferring the shortest of the M/k/plain spellings.
+[[nodiscard]] std::string format_rate(double bps);
+
+/// Parses a duration with an optional s/ms/us/ns suffix ("50ms", "2s",
+/// "200us", plain seconds) into seconds; throws PreconditionError on
+/// malformed text or a negative value.
+[[nodiscard]] double parse_duration_s(std::string_view text);
+
+/// Formats `seconds` so that `parse_duration_s(format_duration(s)) == s`
+/// exactly, preferring the natural s/ms/us spelling.
+[[nodiscard]] std::string format_duration(double seconds);
 
 }  // namespace csmabw::util

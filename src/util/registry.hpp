@@ -1,0 +1,110 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/options.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::util {
+
+/// Shared machinery of the string-keyed factory registries (measurement
+/// methods, traffic models): specs are `name` or `name:key=value,...`
+/// (the Options grammar after the colon), factories validate eagerly,
+/// and unknown names, unknown option keys and malformed values all
+/// throw PreconditionError at create() time.
+///
+/// `what` names the registered noun in error messages ("measurement
+/// method", "traffic model").  Wrappers expose the domain-typed API and
+/// their own builtins/global(); this template owns the lookup, listing,
+/// help and spec-parsing behavior so it cannot drift between them.
+template <typename T>
+class SpecRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<T>(const Options&)>;
+
+  explicit SpecRegistry(std::string what) : what_(std::move(what)) {}
+
+  /// Registers a factory; `options_help` documents the accepted option
+  /// keys for discoverability listings.  Throws PreconditionError on an
+  /// empty or duplicate name.
+  void add(std::string name, Factory factory, std::string options_help) {
+    CSMABW_REQUIRE(!name.empty(), what_ + " name must be non-empty");
+    CSMABW_REQUIRE(static_cast<bool>(factory),
+                   what_ + " factory must be set");
+    const auto [it, inserted] = entries_.emplace(
+        std::move(name), Entry{std::move(factory), std::move(options_help)});
+    CSMABW_REQUIRE(inserted,
+                   what_ + " `" + it->first + "` is already registered");
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return entries_.find(name) != entries_.end();
+  }
+
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      out.push_back(name);  // std::map iterates in sorted key order
+    }
+    return out;
+  }
+
+  /// The option-key documentation string registered for `name`.
+  [[nodiscard]] const std::string& help(std::string_view name) const {
+    const auto it = entries_.find(name);
+    CSMABW_REQUIRE(it != entries_.end(),
+                   "unknown " + what_ + " `" + std::string(name) + "`");
+    return it->second.help;
+  }
+
+  /// Creates an instance from a spec string; keys the factory does not
+  /// consume are rejected after it returns.
+  [[nodiscard]] std::unique_ptr<T> create(std::string_view spec) const {
+    const std::size_t colon = spec.find(':');
+    const std::string_view name =
+        colon == std::string_view::npos ? spec : spec.substr(0, colon);
+    CSMABW_REQUIRE(!name.empty(), what_ + " spec `" + std::string(spec) +
+                                      "` has no name");
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string known;
+      for (const std::string& n : names()) {
+        if (!known.empty()) {
+          known += ", ";
+        }
+        known += n;
+      }
+      throw PreconditionError("unknown " + what_ + " `" +
+                              std::string(name) +
+                              "`; registered: " + known);
+    }
+    const Options options = Options::parse(
+        colon == std::string_view::npos ? std::string_view{}
+                                        : spec.substr(colon + 1));
+    std::unique_ptr<T> instance = it->second.factory(options);
+    CSMABW_REQUIRE(instance != nullptr, "factory of " + what_ + " `" +
+                                            std::string(name) +
+                                            "` returned null");
+    options.require_consumed(what_ + " `" + std::string(name) + "`");
+    return instance;
+  }
+
+ private:
+  struct Entry {
+    Factory factory;
+    std::string help;
+  };
+
+  std::string what_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace csmabw::util

@@ -24,7 +24,7 @@ class DcfSweep : public ::testing::TestWithParam<SweepParam> {
     ScenarioConfig cfg;
     cfg.seed = seed;
     for (int i = 0; i < n; ++i) {
-      cfg.contenders.push_back({BitRate::mbps(mbps), 1500});
+      cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(mbps), 1500));
     }
     return cfg;
   }

@@ -76,7 +76,7 @@ TEST(Estimator, MserCorrectionTightensShortTrainEstimate) {
 TEST(Estimator, AdaptiveSearchConvergesOnWlan) {
   ScenarioConfig cfg;
   cfg.seed = 31;
-  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(4.0), 1500));
   SimTransport t(cfg);
   EstimatorOptions opt;
   opt.train_length = 40;
@@ -93,7 +93,7 @@ TEST(Estimator, AdaptiveSearchConvergesOnWlan) {
 TEST(Estimator, SweepOnWlanFlattensAtFairShare) {
   ScenarioConfig cfg;
   cfg.seed = 32;
-  cfg.contenders.push_back({BitRate::mbps(4.5), 1500});
+  cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(4.5), 1500));
   SimTransport t(cfg);
   EstimatorOptions opt;
   opt.train_length = 60;

@@ -88,8 +88,17 @@ TEST(Collector, CellCoordsMatchCellColumns) {
   const auto coords = Collector::cell_coords(cell);
   ASSERT_EQ(columns.size(), coords.size());
   EXPECT_EQ(coords[0].number(), 3.0);
-  EXPECT_EQ(coords[3].str(), "dot11b_long");
-  EXPECT_EQ(coords[6].number(), 1.0);
+  EXPECT_EQ(coords[1].str(), "-");  // no scenario axis on this cell
+  EXPECT_EQ(coords[4].str(), "dot11b_long");
+  EXPECT_EQ(coords[7].number(), 1.0);
+}
+
+TEST(Collector, CellCoordsCarryScenarioLabel) {
+  Cell cell;
+  cell.index = 0;
+  cell.scenario_name = "rate_anomaly";
+  const auto coords = Collector::cell_coords(cell);
+  EXPECT_EQ(coords[1].str(), "rate_anomaly");
 }
 
 }  // namespace

@@ -63,6 +63,34 @@ TEST(TrainCampaign, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(TrainCampaign, ScenarioAxisIsThreadCountInvariant) {
+  // The determinism contract extends to scenario-axis campaigns,
+  // including bursty (onoff) and saturated heterogeneous-rate cells.
+  SweepSpec spec;
+  spec.campaign_seed = 77;
+  spec.scenarios = {"paper_fig2",
+                    "contenders=1x onoff:rate=3M,duty=0.3,burst=20ms",
+                    "rate_anomaly"};
+  spec.train_lengths = {30};
+  spec.repetitions = 12;
+  const Campaign campaign(spec);
+  TrainCampaignConfig cfg;
+  cfg.shard_size = 4;
+  const auto serial = run_with_threads(campaign, cfg, 1);
+  const auto parallel = run_with_threads(campaign, cfg, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(serial[c].used, parallel[c].used);
+    EXPECT_EQ(serial[c].dropped, parallel[c].dropped);
+    if (serial[c].used > 0) {
+      EXPECT_EQ(serial[c].output_gap_s.mean(),
+                parallel[c].output_gap_s.mean());
+      EXPECT_EQ(serial[c].analyzer.mean_at(0),
+                parallel[c].analyzer.mean_at(0));
+    }
+  }
+}
+
 TEST(TrainCampaign, ShardMergeMatchesSerialAccumulation) {
   const Campaign campaign(small_spec());
   TrainCampaignConfig cfg;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/require.hpp"
 
 namespace csmabw::exp {
@@ -79,10 +81,10 @@ TEST(Campaign, CellScenarioReflectsCoordinates) {
   const Campaign campaign(spec);
   ASSERT_EQ(campaign.size(), 1);
   const Cell& cell = campaign.cells()[0];
-  EXPECT_DOUBLE_EQ(cell.scenario.contenders[0].rate.to_mbps(), 3.0);
-  EXPECT_DOUBLE_EQ(cell.scenario.contenders[1].rate.to_mbps(), 3.0);
+  EXPECT_EQ(cell.scenario.contenders[0].traffic, "poisson:rate=3M");
+  EXPECT_EQ(cell.scenario.contenders[1].traffic, "poisson:rate=3M");
   ASSERT_TRUE(cell.scenario.fifo_cross.has_value());
-  EXPECT_DOUBLE_EQ(cell.scenario.fifo_cross->rate.to_mbps(), 1.5);
+  EXPECT_EQ(cell.scenario.fifo_cross->traffic, "poisson:rate=1.5M");
   // dot11g slot time distinguishes the preset.
   EXPECT_EQ(cell.scenario.phy.slot_time, mac::PhyParams::dot11g().slot_time);
 }
@@ -118,6 +120,94 @@ TEST(PhyPreset, ResolvesAllNamesAndRejectsUnknown) {
     EXPECT_NO_THROW((void)phy_preset(name));
   }
   EXPECT_THROW((void)phy_preset("dot11n"), util::PreconditionError);
+}
+
+TEST(Campaign, ScenarioAxisIsOutermost) {
+  SweepSpec spec;
+  spec.scenarios = {"paper_fig2",
+                    "name=het;phy=dot11g;contenders=2x saturated + "
+                    "1x saturated@2M",
+                    "contenders=1x onoff:rate=3M,duty=0.3"};
+  spec.train_lengths = {40, 80};
+  spec.probe_mbps = {5.0};
+  spec.repetitions = 3;
+  EXPECT_EQ(spec.grid_size(), 3 * 2);
+  const Campaign campaign(spec);
+  ASSERT_EQ(campaign.size(), 6);
+
+  // Scenario outermost, train length inner: fig2/40, fig2/80, het/40...
+  EXPECT_EQ(campaign.cells()[0].scenario_name, "paper_fig2");
+  EXPECT_EQ(campaign.cells()[0].train_length, 40);
+  EXPECT_EQ(campaign.cells()[1].scenario_name, "paper_fig2");
+  EXPECT_EQ(campaign.cells()[1].train_length, 80);
+  EXPECT_EQ(campaign.cells()[2].scenario_name, "het");
+
+  // Coordinates reflect the scenario, not the (unused) classic axes.
+  const Cell& fig2 = campaign.cells()[0];
+  EXPECT_EQ(fig2.contenders, 1);
+  EXPECT_DOUBLE_EQ(fig2.cross_mbps, 2.0);
+  EXPECT_EQ(fig2.phy_preset, "dot11b_short");
+  EXPECT_FALSE(fig2.fifo);
+  ASSERT_EQ(fig2.scenario.contenders.size(), 1u);
+  EXPECT_EQ(fig2.scenario.seed, Campaign::cell_seed(spec.campaign_seed, 0));
+
+  const Cell& het = campaign.cells()[2];
+  EXPECT_EQ(het.contenders, 3);
+  EXPECT_TRUE(std::isnan(het.cross_mbps));  // saturated: unbounded load
+  EXPECT_EQ(het.phy_preset, "dot11g");
+  ASSERT_TRUE(het.scenario.contenders[2].data_rate_bps.has_value());
+
+  // An inline grammar without a name labels cells with its canonical
+  // text.
+  EXPECT_EQ(campaign.cells()[4].scenario_name,
+            "phy=dot11b_short;contenders=onoff:rate=3M,duty=0.3,burst=50ms");
+}
+
+TEST(Campaign, ScenarioAxisComposesWithMethods) {
+  SweepSpec spec;
+  spec.scenarios = {"paper_fig2", "bursty"};
+  spec.methods = {"packet_pair:pairs=5", "steady_state"};
+  spec.repetitions = 1;
+  const Campaign campaign(spec);
+  ASSERT_EQ(campaign.size(), 4);
+  EXPECT_EQ(campaign.cells()[0].scenario_name, "paper_fig2");
+  EXPECT_EQ(campaign.cells()[0].method, "packet_pair:pairs=5");
+  EXPECT_EQ(campaign.cells()[1].method, "steady_state");
+  EXPECT_EQ(campaign.cells()[2].scenario_name, "bursty");
+}
+
+TEST(SweepSpec, ScenarioAxisRejectsClassicAxisMix) {
+  SweepSpec spec;
+  spec.scenarios = {"paper_fig2"};
+  spec.contender_counts = {1, 2};  // conflicts with the scenario axis
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.scenarios = {"no_such_scenario"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.scenarios = {"contenders=1x warp:rate=1M"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  // The scalar cross/fifo knobs are part of the replaced axes too.
+  spec = SweepSpec{};
+  spec.scenarios = {"paper_fig3"};
+  spec.fifo_cross_mbps = 4.0;
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  spec = SweepSpec{};
+  spec.scenarios = {"paper_fig2"};
+  spec.cross_size_bytes = 500;
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+}
+
+TEST(SplitScenarioList, SplitsOnBarsAndTrims) {
+  const auto entries =
+      split_scenario_list("paper_fig2 | name=x;phy=dot11g |rate_anomaly");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], "paper_fig2");
+  EXPECT_EQ(entries[1], "name=x;phy=dot11g");
+  EXPECT_EQ(entries[2], "rate_anomaly");
+  EXPECT_THROW((void)split_scenario_list(""), util::PreconditionError);
+  EXPECT_THROW((void)split_scenario_list("a||b"), util::PreconditionError);
+  EXPECT_THROW((void)split_scenario_list("a| |b"), util::PreconditionError);
 }
 
 }  // namespace

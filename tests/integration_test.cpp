@@ -28,7 +28,7 @@ traffic::TrainSpec train_of(int n, double rate_mbps) {
 ScenarioConfig contended(double cross_mbps, std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.seed = seed;
-  cfg.contenders.push_back({BitRate::mbps(cross_mbps), 1500});
+  cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(cross_mbps), 1500));
   return cfg;
 }
 
@@ -66,7 +66,7 @@ TEST(PaperEq5, FifoCrossTrafficScalesAchievableThroughput) {
 
   // With FIFO cross-traffic at ~25% of the station's share.
   ScenarioConfig cfg = contended(3.0, 102);
-  cfg.fifo_cross = CrossTrafficSpec{BitRate::mbps(1.0), 1500};
+  cfg.fifo_cross = StationSpec::poisson(BitRate::mbps(1.0), 1500);
   Scenario with_fifo(cfg);
   const auto r = with_fifo.run_steady_state(BitRate::mbps(9.0), 1500,
                                             TimeNs::sec(8), TimeNs::sec(1));
@@ -278,7 +278,7 @@ TEST(Calibration, SimulatorTracksBianchiAcrossN) {
     ScenarioConfig cfg;
     cfg.seed = 110 + static_cast<std::uint64_t>(n);
     for (int i = 0; i < n - 1; ++i) {
-      cfg.contenders.push_back({BitRate::mbps(9.0), 1500});
+      cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(9.0), 1500));
     }
     Scenario sc(cfg);
     const auto r = sc.run_steady_state(BitRate::mbps(9.0), 1500,

@@ -182,7 +182,7 @@ TEST(Methods, SameSeedSameTransportStreamIsBitIdentical) {
 TEST(Methods, SteadyStateUsesExactPathOnSimTransport) {
   ScenarioConfig cfg;
   cfg.seed = 5;
-  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(4.0), 1500));
   SimTransport link(cfg);
   const auto method = MethodRegistry::global().create(
       "steady_state:duration_s=1.2,measure_from_s=0.6");

@@ -82,5 +82,56 @@ TEST(Options, RequireConsumedPassesWhenAllRead) {
   EXPECT_NO_THROW(o.require_consumed("test"));
 }
 
+TEST(Quantities, ParseRateAcceptsSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_rate_bps("6M"), 6e6);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("2.5M"), 2.5e6);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("500k"), 5e5);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("1G"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("6000000"), 6e6);
+  for (const char* bad : {"", "M", "6Mb", "6 M", "-2M", "0", "inf", "nan"}) {
+    EXPECT_THROW((void)parse_rate_bps(bad), PreconditionError) << bad;
+  }
+}
+
+TEST(Quantities, FormatRateRoundTripsExactly) {
+  for (double bps : {6e6, 2.5e6, 5e5, 1.5e3, 1234.0, 11e6, 2.75e6,
+                     1e9, 999.0}) {
+    EXPECT_DOUBLE_EQ(parse_rate_bps(format_rate(bps)), bps) << bps;
+  }
+  EXPECT_EQ(format_rate(6e6), "6M");
+  EXPECT_EQ(format_rate(5e5), "500k");
+  EXPECT_EQ(format_rate(999.0), "999");
+}
+
+TEST(Quantities, ParseDurationAcceptsSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_duration_s("50ms"), 0.05);
+  EXPECT_DOUBLE_EQ(parse_duration_s("2s"), 2.0);
+  EXPECT_DOUBLE_EQ(parse_duration_s("200us"), 2e-4);
+  EXPECT_DOUBLE_EQ(parse_duration_s("10ns"), 1e-8);
+  EXPECT_DOUBLE_EQ(parse_duration_s("0.5"), 0.5);
+  for (const char* bad : {"", "ms", "5m", "-1s", "inf", "nan"}) {
+    EXPECT_THROW((void)parse_duration_s(bad), PreconditionError) << bad;
+  }
+}
+
+TEST(Quantities, FormatDurationRoundTripsExactly) {
+  for (double s : {0.05, 2.0, 2e-4, 1.5, 0.123, 1e-8, 0.0}) {
+    EXPECT_DOUBLE_EQ(parse_duration_s(format_duration(s)), s) << s;
+  }
+  EXPECT_EQ(format_duration(0.05), "50ms");
+  EXPECT_EQ(format_duration(2.0), "2s");
+}
+
+TEST(Options, TypedRateAndDurationGetters) {
+  const Options o = Options::parse("rate=6M,burst=50ms");
+  EXPECT_DOUBLE_EQ(o.get_rate_bps("rate", 0.0), 6e6);
+  EXPECT_DOUBLE_EQ(o.get_duration_s("burst", 0.0), 0.05);
+  EXPECT_DOUBLE_EQ(o.get_rate_bps("absent", 1e3), 1e3);
+  EXPECT_DOUBLE_EQ(o.get_duration_s("absent", 2.0), 2.0);
+  EXPECT_NO_THROW(o.require_consumed("test"));
+  const Options bad = Options::parse("rate=6Q");
+  EXPECT_THROW((void)bad.get_rate_bps("rate", 0.0), PreconditionError);
+}
+
 }  // namespace
 }  // namespace csmabw::util

@@ -91,7 +91,7 @@ TEST(Slops, TracksAchievableOnWlan) {
   // achievable throughput (fair share), not the available bandwidth.
   ScenarioConfig cell;
   cell.seed = 71;
-  cell.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cell.contenders.push_back(StationSpec::poisson(BitRate::mbps(4.0), 1500));
   SimTransport link(cell);
   SlopsOptions opt;
   opt.train_length = 60;

@@ -40,7 +40,7 @@ TEST(PacketPair, WlanPairTargetsAchievableNotCapacity) {
   // link capacity (it chases the achievable throughput, Fig 16).
   ScenarioConfig cfg;
   cfg.seed = 21;
-  cfg.contenders.push_back({BitRate::mbps(4.0), 1500});
+  cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(4.0), 1500));
   SimTransport t(cfg);
   const PacketPairResult r = packet_pair_estimate(t, 1500, 40);
   const double capacity = cfg.phy.saturation_rate(1500).to_bps();

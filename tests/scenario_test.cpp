@@ -10,7 +10,7 @@ namespace {
 ScenarioConfig one_contender(double cross_mbps, std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.seed = seed;
-  cfg.contenders.push_back({BitRate::mbps(cross_mbps), 1500});
+  cfg.contenders.push_back(StationSpec::poisson(BitRate::mbps(cross_mbps), 1500));
   return cfg;
 }
 
@@ -105,7 +105,7 @@ TEST(Scenario, SteadyStateHighRateHitsFairShare) {
 
 TEST(Scenario, FifoCrossTrafficMetered) {
   ScenarioConfig cfg = one_contender(2.0, 8);
-  cfg.fifo_cross = CrossTrafficSpec{BitRate::mbps(1.0), 1500};
+  cfg.fifo_cross = StationSpec::poisson(BitRate::mbps(1.0), 1500);
   Scenario sc(cfg);
   const SteadyStateResult r = sc.run_steady_state(
       BitRate::mbps(1.0), 1500, TimeNs::sec(6), TimeNs::sec(1));
