@@ -40,12 +40,17 @@ inline exp::Runner runner_from(const util::Args& args,
   return exp::Runner(opts);
 }
 
+inline void announce_to(std::ostream& out, const std::string& figure,
+                        const std::string& what, const std::string& setup) {
+  out << "# " << figure << " — " << what << "\n";
+  out << "# setup: " << setup << "\n";
+  out << "# scale: CSMABW_BENCH_SCALE=" << util::bench_scale()
+      << " (multiply to approach the paper's ensemble sizes)\n";
+}
+
 inline void announce(const std::string& figure, const std::string& what,
                      const std::string& setup) {
-  std::cout << "# " << figure << " — " << what << "\n";
-  std::cout << "# setup: " << setup << "\n";
-  std::cout << "# scale: CSMABW_BENCH_SCALE=" << util::bench_scale()
-            << " (multiply to approach the paper's ensemble sizes)\n";
+  announce_to(std::cout, figure, what, setup);
 }
 
 /// Prints the table and mirrors the numeric rows to --csv=PATH if given

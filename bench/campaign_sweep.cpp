@@ -12,10 +12,20 @@
 //
 // --format=json replaces the stdout table with the same rows as JSON
 // lines (pure JSONL: the announce header and digests are suppressed).
+// --out=FILE sends that stdout payload (table or JSONL) to a file
+// instead; stdout stays the default and progress/ETA keeps going to
+// stderr either way.
 //
 // The output is byte-identical for any --threads value: cells and
 // repetitions are seeded from (campaign seed, cell index, repetition)
 // alone and merged in a fixed order.
+//
+// --trace=DIR additionally records every (cell, repetition) as a binary
+// event trace (DIR/cell-CCCCC-rep-RRRRRR.cctrace) for offline replay
+// with trace_tool; recording never changes the campaign's results.
+// The directory is created but never cleared — record different
+// campaigns into different directories (trace_tool replay-stats rejects
+// mixed recordings).
 //
 // With --scenarios the '|'-separated list of registered scenario names
 // and/or inline scenario grammars (core::ScenarioSpec) becomes the
@@ -33,6 +43,7 @@
 //     --format=json
 //   campaign_sweep --reps=50 --train=60
 //     --scenarios='paper_fig2|rate_anomaly|contenders=2x onoff:rate=3M,duty=0.3'
+#include <fstream>
 #include <iostream>
 #include <limits>
 
@@ -86,7 +97,7 @@ int list_scenarios() {
 }
 
 int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
-                     bool json) {
+                     bool json, std::ostream& out) {
   exp::Progress progress(exp::count_method_runs(campaign), "methods",
                          bench::progress_enabled(args));
   const exp::Runner runner = bench::runner_from(args, &progress);
@@ -100,7 +111,7 @@ int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
   copts.csv_path = args.get("csv", "");
   copts.jsonl_path = args.get("jsonl", "");
   if (json) {
-    copts.jsonl_stream = &std::cout;
+    copts.jsonl_stream = &out;
   }
   exp::Collector collector(exp::Collector::method_columns(), copts);
   for (const exp::MethodRun& run : runs) {
@@ -110,21 +121,21 @@ int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
   }
 
   if (!json) {
-    collector.table().print(std::cout);
+    collector.table().print(out);
     if (!copts.csv_path.empty()) {
-      std::cout << "# csv written: " << copts.csv_path << "\n";
+      out << "# csv written: " << copts.csv_path << "\n";
     }
     if (!copts.jsonl_path.empty()) {
-      std::cout << "# jsonl written: " << copts.jsonl_path << "\n";
+      out << "# jsonl written: " << copts.jsonl_path << "\n";
     }
     const int est_col = 10;  // estimate_mbps, after the 8 coords + method/rep
-    std::cout << "# estimate across runs: min "
-              << util::Table::format(collector.column_stat(est_col).min(), 3)
-              << " / mean "
-              << util::Table::format(collector.column_stat(est_col).mean(), 3)
-              << " / max "
-              << util::Table::format(collector.column_stat(est_col).max(), 3)
-              << " Mb/s\n";
+    out << "# estimate across runs: min "
+        << util::Table::format(collector.column_stat(est_col).min(), 3)
+        << " / mean "
+        << util::Table::format(collector.column_stat(est_col).mean(), 3)
+        << " / max "
+        << util::Table::format(collector.column_stat(est_col).max(), 3)
+        << " Mb/s\n";
   }
   return 0;
 }
@@ -145,6 +156,18 @@ int main(int argc, char** argv) {
   CSMABW_REQUIRE(format == "table" || format == "json",
                  "--format must be table or json");
   const bool json = format == "json";
+
+  // --out=FILE redirects the stdout payload (table or JSONL) to a file;
+  // --csv/--jsonl sinks and the stderr progress stream are unaffected.
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    CSMABW_REQUIRE(out_file.is_open(),
+                   "cannot open --out file `" + out_path + "`");
+    out = &out_file;
+  }
 
   exp::SweepSpec spec;
   spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 1));
@@ -178,11 +201,16 @@ int main(int argc, char** argv) {
     spec.methods = core::split_method_list(methods);
   }
   spec.repetitions = args.get("reps", util::scaled_reps(100));
+  spec.trace_dir = args.get("trace", "");
+  CSMABW_REQUIRE(spec.trace_dir.empty() || spec.methods.empty(),
+                 "--trace records probe-train campaigns; method runs "
+                 "drive their own transports and are not recorded — drop "
+                 "--trace or --methods");
   const exp::Campaign campaign(spec);
 
   if (!json) {
-    bench::announce(
-        "Campaign sweep",
+    bench::announce_to(
+        *out, "Campaign sweep",
         spec.methods.empty()
             ? "transient + throughput metrics over the full scenario grid"
             : "measurement methods over the full scenario grid",
@@ -193,7 +221,7 @@ int main(int argc, char** argv) {
   }
 
   if (!spec.methods.empty()) {
-    return run_method_sweep(campaign, args, json);
+    return run_method_sweep(campaign, args, json, *out);
   }
 
   exp::TrainCampaignConfig tcfg;
@@ -217,7 +245,7 @@ int main(int argc, char** argv) {
   copts.csv_path = args.get("csv", "");
   copts.jsonl_path = args.get("jsonl", "");
   if (json) {
-    copts.jsonl_stream = &std::cout;
+    copts.jsonl_stream = out;
   }
   exp::Collector collector(columns, copts);
 
@@ -250,26 +278,30 @@ int main(int argc, char** argv) {
   if (json) {
     return 0;
   }
-  collector.table().print(std::cout);
+  collector.table().print(*out);
   if (!copts.csv_path.empty()) {
-    std::cout << "# csv written: " << copts.csv_path << "\n";
+    *out << "# csv written: " << copts.csv_path << "\n";
   }
   if (!copts.jsonl_path.empty()) {
-    std::cout << "# jsonl written: " << copts.jsonl_path << "\n";
+    *out << "# jsonl written: " << copts.jsonl_path << "\n";
+  }
+  if (!spec.trace_dir.empty()) {
+    *out << "# traces written: " << spec.trace_dir << "/cell-*-rep-*"
+         << ".cctrace (replay with trace_tool)\n";
   }
 
   // Campaign-level digest from the collector's column summaries.
   const int rate_col = static_cast<int>(columns.size()) - 6;
   const int transient_col = static_cast<int>(columns.size()) - 1;
-  std::cout << "# measured probe rate across cells: min "
-            << util::Table::format(collector.column_stat(rate_col).min(), 3)
-            << " / mean "
-            << util::Table::format(collector.column_stat(rate_col).mean(), 3)
-            << " / max "
-            << util::Table::format(collector.column_stat(rate_col).max(), 3)
-            << " Mb/s\n";
-  std::cout << "# transient length (tol 0.1) across cells: min "
-            << collector.column_stat(transient_col).min() << " / max "
-            << collector.column_stat(transient_col).max() << " packets\n";
+  *out << "# measured probe rate across cells: min "
+       << util::Table::format(collector.column_stat(rate_col).min(), 3)
+       << " / mean "
+       << util::Table::format(collector.column_stat(rate_col).mean(), 3)
+       << " / max "
+       << util::Table::format(collector.column_stat(rate_col).max(), 3)
+       << " Mb/s\n";
+  *out << "# transient length (tol 0.1) across cells: min "
+       << collector.column_stat(transient_col).min() << " / max "
+       << collector.column_stat(transient_col).max() << " packets\n";
   return 0;
 }

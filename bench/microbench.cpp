@@ -1,7 +1,8 @@
 // google-benchmark microbenchmarks of the library's hot paths: the
 // discrete-event engine, the DCF simulator, the probe-train repetition,
-// the exp:: campaign engine, the KS statistic, MSER and the trace-driven
-// FIFO queue.  These bound the cost of scaling the figure ensembles up
+// the exp:: campaign engine, the KS statistic, MSER, the trace-driven
+// FIFO queue, and the event-trace codec (write + replay-read
+// throughput).  These bound the cost of scaling the figure ensembles up
 // to the paper's 25k-70k repetitions.
 //
 // Results are additionally written as google-benchmark JSON to
@@ -13,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -22,6 +24,9 @@
 #include "stats/ks_test.hpp"
 #include "stats/mser.hpp"
 #include "stats/rng.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+#include "trace/writer.hpp"
 #include "traffic/flow_meter.hpp"
 #include "traffic/probe_train.hpp"
 #include "traffic/source.hpp"
@@ -132,6 +137,76 @@ void BM_Mser2(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_Mser2)->Arg(19)->Arg(999);
+
+/// A realistic MAC event mix for the trace codec benchmarks (the kinds
+/// and field magnitudes a DCF recording produces).
+std::vector<trace::TraceEvent> synthetic_events(int n) {
+  stats::Rng rng(6);
+  std::vector<trace::TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(n));
+  std::int64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    trace::TraceEvent e;
+    t += rng.uniform_int(20, 2000000);
+    e.time = TimeNs::ns(t);
+    e.kind = static_cast<trace::EventKind>(
+        rng.uniform_int(1, trace::kEventKindCount));
+    e.station = static_cast<std::uint16_t>(rng.uniform_int(0, 3));
+    e.packet = static_cast<std::uint64_t>(i / 4 + 1);
+    e.aux = TimeNs::ns(t + rng.uniform_int(-200000, 200000));
+    e.flow = rng.uniform_int(0, 1000);
+    e.seq = i / 8;
+    e.value = rng.uniform_int(0, 1500);
+    events.push_back(e);
+  }
+  return events;
+}
+
+void BM_TraceWrite(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<trace::TraceEvent> events = synthetic_events(n);
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::TraceWriter writer(out);
+    for (const trace::TraceEvent& e : events) {
+      writer.on_event(e);
+    }
+    writer.close();
+    bytes = static_cast<std::int64_t>(out.tellp());
+    benchmark::DoNotOptimize(writer.events_written());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_TraceWrite)->Arg(100000);
+
+void BM_TraceReplayRead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::ostringstream encoded;
+  {
+    trace::TraceWriter writer(encoded);
+    for (const trace::TraceEvent& e : synthetic_events(n)) {
+      writer.on_event(e);
+    }
+    writer.close();
+  }
+  const std::string bytes = encoded.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    trace::TraceReader reader(in);
+    trace::TraceEvent e;
+    std::uint64_t decoded = 0;
+    while (reader.next(&e)) {
+      ++decoded;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_TraceReplayRead)->Arg(100000);
 
 void BM_FifoTrace(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

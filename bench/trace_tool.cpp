@@ -1,0 +1,317 @@
+// Offline companion of the event-trace subsystem: records scenario runs
+// as binary traces, inspects them, recomputes the paper's transient
+// statistics from them, and filters them — so one expensive campaign
+// recording answers arbitrarily many later questions without re-running
+// the simulator.
+//
+// Subcommands:
+//   record       run a probe-train ensemble and write one trace per
+//                repetition:
+//                  trace_tool record --out=DIR --scenario=paper_fig2
+//                    --reps=24 --train=60 [--probe-mbps=5] [--seed=1]
+//   info         print a trace's header and per-kind event counts:
+//                  trace_tool info --in=FILE
+//   replay-stats recompute the per-cell campaign statistics (fig06 mean
+//                access delay, fig08 KS, fig10 transient length) from a
+//                recorded directory; with the default --shard=64 the
+//                numbers are bit-identical to the live campaign's:
+//                  trace_tool replay-stats --dir=DIR [--csv=PATH]
+//                    [--flow=1000] [--ks-prefix=1] [--tol=0.1]
+//   filter       copy a trace keeping only selected events (note that a
+//                kind-filtered trace may no longer replay-reconstruct):
+//                  trace_tool filter --in=A --out=B [--station=N]
+//                    [--flow=F] [--kinds=enqueue,success,...]
+#include <array>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "exp/collector.hpp"
+#include "exp/engine.hpp"
+#include "trace/event.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+#include "trace/writer.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+using namespace csmabw;
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: trace_tool <record|info|replay-stats|filter> [options]\n"
+         "  record       --out=DIR --scenario=<name|grammar> [--reps=N]\n"
+         "               [--train=N] [--probe-mbps=R] [--size=BYTES]\n"
+         "               [--seed=S] [--threads=N]\n"
+         "  info         --in=FILE\n"
+         "  replay-stats --dir=DIR [--csv=PATH] [--flow=ID]\n"
+         "               [--ks-prefix=N] [--tol=T] [--shard=N]\n"
+         "  filter       --in=FILE --out=FILE [--station=N] [--flow=F]\n"
+         "               [--kinds=enqueue,success,...]\n";
+  return code;
+}
+
+std::string required(const util::Args& args, const char* name) {
+  const std::string value = args.get(name, "");
+  CSMABW_REQUIRE(!value.empty(),
+                 std::string("trace_tool: --") + name + " is required");
+  return value;
+}
+
+// ---------------------------------------------------------------- record
+
+int cmd_record(const util::Args& args) {
+  exp::SweepSpec spec;
+  spec.scenarios = {required(args, "scenario")};
+  spec.train_lengths = {args.get("train", 60)};
+  spec.probe_mbps = {args.get("probe-mbps", 5.0)};
+  spec.probe_size_bytes = args.get("size", 1500);
+  spec.repetitions = args.get("reps", 24);
+  spec.campaign_seed = static_cast<std::uint64_t>(args.get("seed", 1));
+  spec.trace_dir = required(args, "out");
+  const exp::Campaign campaign(spec);
+
+  exp::TrainCampaignConfig tcfg;
+  tcfg.ks_prefix = 1;
+  exp::Progress progress(exp::count_train_shards(campaign, tcfg), "record",
+                         bench::progress_enabled(args));
+  const exp::Runner runner = bench::runner_from(args, &progress);
+  const auto cells = exp::run_train_campaign(campaign, tcfg, runner);
+  progress.finish();
+
+  const exp::TrainCellStats& cell = cells.front();
+  std::cout << "# recorded " << spec.repetitions << " repetitions of `"
+            << campaign.cells().front().scenario_name << "` to "
+            << spec.trace_dir << "\n";
+  std::cout << "# live summary: used " << cell.used << ", dropped "
+            << cell.dropped << ", mean access delay (packet 1) "
+            << util::Table::format(cell.analyzer.mean_at(0) * 1e3, 4)
+            << " ms, steady "
+            << util::Table::format(cell.analyzer.steady_mean() * 1e3, 4)
+            << " ms\n";
+  std::cout << "# replay with: trace_tool replay-stats --dir="
+            << spec.trace_dir << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ info
+
+int cmd_info(const util::Args& args) {
+  const std::string path = required(args, "in");
+  trace::TraceReader reader(path);
+  const trace::TraceMeta& meta = reader.meta();
+  std::cout << "# " << path << "\n";
+  std::cout << "format_version: " << reader.version() << "\n";
+  std::cout << "cell: " << meta.cell << "\nrepetition: " << meta.repetition
+            << "\n";
+  std::cout << "train_n: " << meta.train_n
+            << "\ntrain_size: " << meta.train_size
+            << "\ntrain_gap_ns: " << meta.train_gap_ns << "\n";
+  std::cout << "seed: " << meta.seed << "\n";
+  std::cout << "label: " << (meta.label.empty() ? "-" : meta.label) << "\n";
+
+  std::array<std::uint64_t, trace::kEventKindCount> counts{};
+  std::map<int, std::uint64_t> per_station;
+  trace::TraceEvent e;
+  TimeNs first;
+  TimeNs last;
+  bool any = false;
+  while (reader.next(&e)) {
+    ++counts[static_cast<std::size_t>(trace::kind_index(e.kind))];
+    ++per_station[e.station];
+    if (!any) {
+      first = e.time;
+      any = true;
+    }
+    last = e.time;
+  }
+  std::cout << "events: " << reader.events_read()
+            << "\npages: " << reader.pages_read() << "\n";
+  if (any) {
+    std::cout << "span_ms: " << util::Table::format(first.to_ms(), 3)
+              << " .. " << util::Table::format(last.to_ms(), 3) << "\n";
+  }
+  for (int k = 0; k < trace::kEventKindCount; ++k) {
+    std::cout << "count." << trace::kind_name(static_cast<trace::EventKind>(
+                     k + 1))
+              << ": " << counts[static_cast<std::size_t>(k)] << "\n";
+  }
+  for (const auto& [station, n] : per_station) {
+    if (station == trace::kChannelStation) {
+      std::cout << "station.channel: " << n << "\n";
+    } else {
+      std::cout << "station." << station << ": " << n << "\n";
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------- replay-stats
+
+int cmd_replay_stats(const util::Args& args) {
+  const std::string dir = required(args, "dir");
+  const int flow = args.get("flow", core::kProbeFlow);
+  const int shard = args.get("shard", 64);
+  const double tol = args.get("tol", 0.1);
+  exp::TrainCampaignConfig tcfg;
+  tcfg.ks_prefix = args.get("ks-prefix", 1);
+  tcfg.steady_tail = args.get("steady-tail", 0);
+
+  const std::vector<trace::TraceFile> files = trace::list_traces(dir);
+  CSMABW_REQUIRE(!files.empty(),
+                 "no .cctrace files under `" + dir + "`");
+
+  // Group the recordings by campaign cell, preserving (cell, rep) order.
+  std::vector<std::pair<int, std::vector<const trace::TraceFile*>>> cells;
+  for (const trace::TraceFile& f : files) {
+    CSMABW_REQUIRE(f.meta.train_n >= 2,
+                   "`" + f.path + "` is not a probe-train recording");
+    if (cells.empty() || cells.back().first != f.meta.cell) {
+      cells.emplace_back(f.meta.cell,
+                         std::vector<const trace::TraceFile*>{});
+    }
+    cells.back().second.push_back(&f);
+  }
+
+  exp::CollectorOptions copts;
+  copts.csv_path = args.get("csv", "");
+  // The metric columns of campaign_sweep's per-cell rows, minus the
+  // sweep coordinates (a trace directory may mix hand-recorded cells):
+  // the CI determinism diff `cut`s these very columns from the live CSV.
+  // The last header tracks --tol ("transient_pkts_tol0.1" by default,
+  // matching the live campaign's fixed 0.1).
+  exp::Collector collector(
+      {"cell", "reps_used", "dropped", "mean_gap_ms", "measured_rate_mbps",
+       "first_delay_ms", "steady_delay_ms", "ks_first", "ks_thresh_95",
+       "transient_pkts_tol" + util::json_number(tol)},
+      copts);
+
+  for (const auto& [cell_index, reps] : cells) {
+    const trace::TraceMeta& meta = reps.front()->meta;
+    trace::TrainReplayStats stats(
+        exp::train_transient_config(meta.train_n, tcfg), shard);
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      CSMABW_REQUIRE(reps[r]->meta.repetition == static_cast<int>(r),
+                     "cell " + std::to_string(cell_index) +
+                         " is missing repetition " + std::to_string(r) +
+                         " (found `" + reps[r]->path + "`)");
+      // Catch recordings from different campaigns mixed in one
+      // directory (e.g. a re-record with another seed or train over
+      // stale files): all repetitions of a cell must agree on
+      // everything but the repetition number.
+      trace::TraceMeta expected = meta;
+      expected.repetition = static_cast<int>(r);
+      CSMABW_REQUIRE(reps[r]->meta == expected,
+                     "`" + reps[r]->path +
+                         "` does not belong to the same recording as `" +
+                         reps.front()->path +
+                         "` (stale traces from an earlier run? clear "
+                         "the directory and re-record)");
+      stats.add(trace::replay_train_file(reps[r]->path, flow));
+    }
+    stats.finish();
+
+    std::vector<exp::Value> row;
+    row.emplace_back(cell_index);
+    row.emplace_back(stats.used());
+    row.emplace_back(stats.dropped());
+    if (stats.used() > 0) {
+      const double gap = stats.output_gap_s().mean();
+      row.emplace_back(gap * 1e3);
+      row.emplace_back(gap > 0.0 ? meta.train_size * 8.0 / gap / 1e6 : 0.0);
+      row.emplace_back(stats.analyzer().mean_at(0) * 1e3);
+      row.emplace_back(stats.analyzer().steady_mean() * 1e3);
+      row.emplace_back(stats.analyzer().ks_at(0));
+      row.emplace_back(stats.analyzer().ks_threshold_at(0));
+      row.emplace_back(stats.analyzer().transient_length(tol));
+    } else {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      for (int k = 0; k < 7; ++k) {
+        row.emplace_back(nan);
+      }
+    }
+    collector.add(row);
+  }
+
+  collector.table().print(std::cout);
+  if (!copts.csv_path.empty()) {
+    std::cout << "# csv written: " << copts.csv_path << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- filter
+
+int cmd_filter(const util::Args& args) {
+  const std::string in_path = required(args, "in");
+  const std::string out_path = required(args, "out");
+  const bool by_station = args.has("station");
+  const int station = args.get("station", 0);
+  const bool by_flow = args.has("flow");
+  const int flow = args.get("flow", 0);
+  std::array<bool, trace::kEventKindCount> keep_kind;
+  keep_kind.fill(true);
+  if (args.has("kinds")) {
+    keep_kind.fill(false);
+    for (const std::string& name :
+         args.get_strings("kinds", {})) {
+      keep_kind[static_cast<std::size_t>(
+          trace::kind_index(trace::parse_kind(name)))] = true;
+    }
+  }
+
+  trace::TraceReader reader(in_path);
+  trace::TraceWriter writer(out_path, reader.meta());
+  trace::TraceEvent e;
+  std::uint64_t kept = 0;
+  while (reader.next(&e)) {
+    if (by_station && e.station != static_cast<std::uint16_t>(station)) {
+      continue;
+    }
+    if (by_flow && e.flow != flow) {
+      continue;
+    }
+    if (!keep_kind[static_cast<std::size_t>(trace::kind_index(e.kind))]) {
+      continue;
+    }
+    writer.on_event(e);
+    ++kept;
+  }
+  writer.close();
+  std::cout << "# kept " << kept << " of " << reader.events_read()
+            << " events -> " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage(std::cerr, 2);
+  }
+  const std::string cmd = argv[1];
+  const util::Args args(argc - 1, argv + 1);
+  if (cmd == "record") {
+    return cmd_record(args);
+  }
+  if (cmd == "info") {
+    return cmd_info(args);
+  }
+  if (cmd == "replay-stats") {
+    return cmd_replay_stats(args);
+  }
+  if (cmd == "filter") {
+    return cmd_filter(args);
+  }
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    return usage(std::cout, 0);
+  }
+  std::cerr << "trace_tool: unknown subcommand `" << cmd << "`\n";
+  return usage(std::cerr, 2);
+}

@@ -461,10 +461,12 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
 
 TrainRun Scenario::run_train(const traffic::TrainSpec& spec,
                              std::uint64_t repetition,
-                             bool sample_contender_queue) const {
+                             bool sample_contender_queue,
+                             trace::TraceSink* trace) const {
   CSMABW_REQUIRE(!sample_contender_queue || !cfg_.contenders.empty(),
                  "queue sampling needs at least one contender");
   ScenarioCell cell(cfg_, repetition, contender_models_, fifo_model_);
+  cell.set_trace(trace);
   auto& sim = cell.simulator();
 
   stats::Rng phase_rng = cell.net().rng("probe-phase");
@@ -505,12 +507,14 @@ TrainRun Scenario::run_train(const traffic::TrainSpec& spec,
 SteadyStateResult Scenario::run_steady_state(BitRate probe_rate,
                                              int probe_size_bytes,
                                              TimeNs duration,
-                                             TimeNs measure_from) const {
+                                             TimeNs measure_from,
+                                             trace::TraceSink* trace) const {
   CSMABW_REQUIRE(measure_from >= cfg_.warmup,
                  "measurement must start after warm-up");
   CSMABW_REQUIRE(duration > measure_from, "duration must exceed window start");
   ScenarioCell cell(cfg_, /*repetition=*/0, contender_models_,
                     fifo_model_);
+  cell.set_trace(trace);
   auto& sim = cell.simulator();
 
   traffic::CbrSource probe(sim, cell.probe_station(), kProbeFlow,
@@ -556,11 +560,13 @@ SteadyStateResult Scenario::run_steady_state(BitRate probe_rate,
 
 ContentionResult Scenario::run_contention(TimeNs duration,
                                           TimeNs measure_from,
-                                          std::uint64_t repetition) const {
+                                          std::uint64_t repetition,
+                                          trace::TraceSink* trace) const {
   CSMABW_REQUIRE(measure_from >= TimeNs::zero(),
                  "measurement start must be >= 0");
   CSMABW_REQUIRE(duration > measure_from, "duration must exceed window start");
   ScenarioCell cell(cfg_, repetition, contender_models_, fifo_model_);
+  cell.set_trace(trace);
 
   std::vector<std::unique_ptr<traffic::FlowMeter>> meters;
   for (std::size_t i = 0; i < cfg_.contenders.size(); ++i) {

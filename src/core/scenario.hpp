@@ -196,6 +196,13 @@ class ScenarioCell {
     return net_.num_stations() - 1;
   }
 
+  /// Installs an event tap on the whole cell (medium + every station),
+  /// capturing any scenario/method run built on this cell.  Install
+  /// right after construction to capture the warm-up too; tracing is
+  /// observational only, so the run's random streams and results are
+  /// bit-identical with or without it.
+  void set_trace(trace::TraceSink* sink) { net_.set_trace(sink); }
+
  private:
   mac::WlanNetwork net_;
   std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatchers_;
@@ -260,23 +267,24 @@ class Scenario {
 
   /// One ensemble repetition: a single train of `spec` packets.
   /// `sample_contender_queue` additionally samples contender 0's queue at
-  /// probe arrival instants.
+  /// probe arrival instants.  A non-null `trace` records every MAC/queue
+  /// event of the repetition (warm-up included) without perturbing it.
   [[nodiscard]] TrainRun run_train(const traffic::TrainSpec& spec,
                                    std::uint64_t repetition,
-                                   bool sample_contender_queue = false) const;
+                                   bool sample_contender_queue = false,
+                                   trace::TraceSink* trace = nullptr) const;
 
   /// Long-run steady state: CBR probe at `probe_rate` from warmup until
   /// `duration`; throughput measured over [measure_from, duration).
-  [[nodiscard]] SteadyStateResult run_steady_state(BitRate probe_rate,
-                                                   int probe_size_bytes,
-                                                   TimeNs duration,
-                                                   TimeNs measure_from) const;
+  [[nodiscard]] SteadyStateResult run_steady_state(
+      BitRate probe_rate, int probe_size_bytes, TimeNs duration,
+      TimeNs measure_from, trace::TraceSink* trace = nullptr) const;
 
   /// Cross-traffic only, no probe: per-contender throughput over
   /// [measure_from, duration) and the medium counters of the whole run.
   [[nodiscard]] ContentionResult run_contention(
-      TimeNs duration, TimeNs measure_from,
-      std::uint64_t repetition = 0) const;
+      TimeNs duration, TimeNs measure_from, std::uint64_t repetition = 0,
+      trace::TraceSink* trace = nullptr) const;
 
   /// m trains of `spec` in one long run, consecutive trains separated by
   /// an exponential gap with mean `mean_spacing`.

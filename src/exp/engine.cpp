@@ -1,9 +1,12 @@
 #include "exp/engine.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
 
 #include "core/scenario.hpp"
 #include "stats/rng.hpp"
+#include "trace/writer.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::exp {
@@ -18,18 +21,20 @@ struct Shard {
 
 core::TransientConfig transient_config_for(const Cell& cell,
                                            const TrainCampaignConfig& cfg) {
-  core::TransientConfig tc;
-  tc.train_length = cell.train.n;
-  tc.ks_prefix = std::min(cfg.ks_prefix, cell.train.n);
-  tc.steady_tail =
-      cfg.steady_tail > 0 ? std::min(cfg.steady_tail, cell.train.n)
-                          : std::max(1, cell.train.n / 2);
-  for (int i : cfg.raw_indices) {
-    if (i < cell.train.n) {
-      tc.extra_raw_indices.push_back(i);
-    }
-  }
-  return tc;
+  return train_transient_config(cell.train.n, cfg);
+}
+
+/// The provenance header a recorded (cell, repetition) trace carries.
+trace::TraceMeta trace_meta_for(const Cell& cell, int repetition) {
+  trace::TraceMeta meta;
+  meta.cell = cell.index;
+  meta.repetition = repetition;
+  meta.train_n = cell.train.n;
+  meta.train_size = cell.train.size_bytes;
+  meta.train_gap_ns = cell.train.gap.count();
+  meta.seed = cell.scenario.seed;
+  meta.label = cell.scenario_name;
+  return meta;
 }
 
 std::vector<Shard> make_shards(const Campaign& campaign,
@@ -47,6 +52,22 @@ std::vector<Shard> make_shards(const Campaign& campaign,
 }
 
 }  // namespace
+
+core::TransientConfig train_transient_config(int train_length,
+                                             const TrainCampaignConfig& cfg) {
+  core::TransientConfig tc;
+  tc.train_length = train_length;
+  tc.ks_prefix = std::min(cfg.ks_prefix, train_length);
+  tc.steady_tail = cfg.steady_tail > 0
+                       ? std::min(cfg.steady_tail, train_length)
+                       : std::max(1, train_length / 2);
+  for (int i : cfg.raw_indices) {
+    if (i < train_length) {
+      tc.extra_raw_indices.push_back(i);
+    }
+  }
+  return tc;
+}
 
 std::uint64_t method_rep_seed(std::uint64_t campaign_seed, int cell_index,
                               int repetition) {
@@ -119,6 +140,11 @@ std::vector<TrainCellStats> run_train_campaign(const Campaign& campaign,
                                                const TrainCampaignConfig& cfg,
                                                const Runner& runner) {
   const std::vector<Shard> shards = make_shards(campaign, cfg);
+  const std::string& trace_dir = campaign.trace_dir();
+  if (!trace_dir.empty()) {
+    // Once, before the pool starts: workers only create files inside.
+    std::filesystem::create_directories(trace_dir);
+  }
 
   // Each shard accumulates independently; merging in shard order keeps
   // raw-sample order identical to a serial run and the merged moments
@@ -137,9 +163,18 @@ std::vector<TrainCellStats> run_train_campaign(const Campaign& campaign,
 
     const core::Scenario scenario(cell.scenario);
     for (int rep = shard.rep_begin; rep < shard.rep_end; ++rep) {
+      std::unique_ptr<trace::TraceWriter> writer;
+      if (!trace_dir.empty()) {
+        writer = std::make_unique<trace::TraceWriter>(
+            trace::train_trace_path(trace_dir, cell.index, rep),
+            trace_meta_for(cell, rep));
+      }
       const core::TrainRun run =
           scenario.run_train(cell.train, static_cast<std::uint64_t>(rep),
-                             cfg.sample_contender_queue);
+                             cfg.sample_contender_queue, writer.get());
+      if (writer != nullptr) {
+        writer->close();  // surface write errors here, not in ~TraceWriter
+      }
       if (run.any_dropped) {
         ++stats->dropped;
         continue;

@@ -55,9 +55,19 @@ struct TrainCellStats {
   }
 };
 
+/// The per-cell transient analysis configuration a train campaign uses
+/// for a cell of `train_length` packets: ks_prefix and steady_tail
+/// clamped to the train, steady_tail defaulting to half the train.
+/// Exposed so offline replays (trace::TrainReplayStats) can reproduce a
+/// live campaign's analyzer configuration exactly.
+[[nodiscard]] core::TransientConfig train_transient_config(
+    int train_length, const TrainCampaignConfig& cfg);
+
 /// Runs every cell's repetition ensemble across the runner's worker
 /// pool and returns merged per-cell statistics, indexed like
-/// `campaign.cells()`.
+/// `campaign.cells()`.  When the campaign carries a trace_dir, every
+/// (cell, repetition) is additionally recorded as a binary event trace
+/// (one file per repetition, deterministic names) for offline replay.
 ///
 /// Repetition r of cell c is always `Scenario(cell.scenario).run_train(
 /// cell.train, r)` — the same calls the legacy serial benches made — so

@@ -63,6 +63,12 @@ struct SweepSpec {
   int repetitions = 100;
   std::uint64_t campaign_seed = 1;
 
+  /// When non-empty, run_train_campaign records every (cell, repetition)
+  /// as a binary event trace under this directory (created if missing),
+  /// named `cell-CCCCC-rep-RRRRRR.cctrace` — see trace::train_trace_path.
+  /// Recording is observational: results are bit-identical either way.
+  std::string trace_dir{};
+
   /// Throws util::PreconditionError on an empty or inconsistent grid.
   void validate() const;
   [[nodiscard]] std::int64_t grid_size() const;
@@ -120,6 +126,13 @@ class Campaign {
   [[nodiscard]] std::uint64_t campaign_seed() const {
     return spec_.campaign_seed;
   }
+  /// Trace output directory ("" = recording disabled).  Copied from the
+  /// grid spec; campaigns built from explicit cells opt in via
+  /// set_trace_dir.
+  [[nodiscard]] const std::string& trace_dir() const {
+    return spec_.trace_dir;
+  }
+  void set_trace_dir(std::string dir) { spec_.trace_dir = std::move(dir); }
   [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
   [[nodiscard]] int size() const { return static_cast<int>(cells_.size()); }
   [[nodiscard]] std::int64_t total_repetitions() const;

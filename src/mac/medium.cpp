@@ -128,6 +128,15 @@ void Medium::begin_occupation(std::vector<DcfStation*> transmitters) {
     occupation_end_ = occupation_data_end_;
     ++stats_.collisions;
     stats_.collided_frames += transmitters_.size();
+    if (trace::TraceSink* sink = sim_.trace()) {
+      trace::TraceEvent e;
+      e.time = now;
+      e.kind = trace::EventKind::kCollision;
+      e.station = trace::kChannelStation;
+      e.aux = occupation_end_;
+      e.value = static_cast<std::int32_t>(transmitters_.size());
+      sink->on_event(e);
+    }
   }
   stats_.busy_time += occupation_end_ - occupation_start_;
 

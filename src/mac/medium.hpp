@@ -5,6 +5,7 @@
 
 #include "mac/phy.hpp"
 #include "sim/simulator.hpp"
+#include "trace/event.hpp"
 #include "util/time.hpp"
 
 namespace csmabw::mac {

@@ -26,6 +26,26 @@ void DcfStation::set_drop_callback(DropCallback cb) {
   drop_cb_ = std::move(cb);
 }
 
+void DcfStation::emit(trace::EventKind kind, const Packet* p,
+                      std::int32_t value, TimeNs aux) {
+  trace::TraceSink* sink = sim_.trace();
+  if (sink == nullptr) {
+    return;
+  }
+  trace::TraceEvent e;
+  e.time = sim_.now();
+  e.kind = kind;
+  e.station = static_cast<std::uint16_t>(id_);
+  if (p != nullptr) {
+    e.packet = p->id;
+    e.flow = p->flow;
+    e.seq = p->seq;
+  }
+  e.aux = aux;
+  e.value = value;
+  sink->on_event(e);
+}
+
 int DcfStation::head_frame_bytes() const {
   CSMABW_REQUIRE(!queue_.empty(), "no frame at the head of the queue");
   return queue_.front().size_bytes;
@@ -48,6 +68,9 @@ void DcfStation::enqueue(Packet p) {
   const bool was_empty = queue_.empty();
   queue_.push_back(p);
   ++stats_.enqueued;
+  emit(trace::EventKind::kEnqueue, &queue_.back(), p.size_bytes, now);
+  emit(trace::EventKind::kQueueDepth, nullptr,
+       static_cast<std::int32_t>(queue_.size()), now);
   if (was_empty) {
     // The packet is at the head immediately: the previous head (if any)
     // was popped when its service completed.
@@ -73,6 +96,8 @@ void DcfStation::join_contention(TimeNs from, bool allow_immediate) {
     backoff_slots_ = rng_.uniform_int(0, cw_);
     awaiting_immediate_ = false;
   }
+  emit(trace::EventKind::kBackoffStart, nullptr, backoff_slots_,
+       contend_from_);
   medium_.update_contention();
 }
 
@@ -85,6 +110,7 @@ void DcfStation::tx_started(TimeNs now) {
     queue_.front().first_tx_time = now;
   }
   ++stats_.attempts;
+  emit(trace::EventKind::kTxAttempt, &queue_.front(), retries_, now);
 }
 
 void DcfStation::finish_post_backoff() {
@@ -105,11 +131,15 @@ void DcfStation::medium_seized(TimeNs busy_start, TimeNs idle_start) {
         static_cast<int>((busy_start - count_start) / phy_.slot_time);
     backoff_slots_ -= std::min(counted, backoff_slots_);
   }
+  emit(trace::EventKind::kBackoffFreeze, nullptr, backoff_slots_,
+       busy_start);
   if (awaiting_immediate_) {
     // Lost the idle window before the DIFS-only access completed: fall
     // back to a regular random backoff.
     backoff_slots_ = rng_.uniform_int(0, cw_);
     awaiting_immediate_ = false;
+    emit(trace::EventKind::kBackoffStart, nullptr, backoff_slots_,
+         contend_from_);
   }
 }
 
@@ -121,6 +151,9 @@ void DcfStation::tx_succeeded(TimeNs data_end, TimeNs ack_end) {
   pkt.retries = retries_;
   ++stats_.delivered;
   stats_.delivered_payload_bits += static_cast<std::int64_t>(pkt.size_bytes) * 8;
+  emit(trace::EventKind::kSuccess, &pkt, pkt.retries, data_end);
+  emit(trace::EventKind::kQueueDepth, nullptr,
+       static_cast<std::int32_t>(queue_.size()), ack_end);
 
   cw_ = phy_.cw_min;
   retries_ = 0;
@@ -139,6 +172,8 @@ void DcfStation::tx_succeeded(TimeNs data_end, TimeNs ack_end) {
     defer_ = phy_.difs();
     backoff_slots_ = rng_.uniform_int(0, cw_);
     awaiting_immediate_ = false;
+    emit(trace::EventKind::kBackoffStart, nullptr, backoff_slots_,
+         contend_from_);
   } else {
     state_ = State::kIdle;
   }
@@ -160,6 +195,8 @@ void DcfStation::tx_collided(TimeNs retry_from) {
   defer_ = phy_.difs();
   backoff_slots_ = rng_.uniform_int(0, cw_);
   awaiting_immediate_ = false;
+  emit(trace::EventKind::kBackoffStart, nullptr, backoff_slots_,
+       contend_from_);
 }
 
 void DcfStation::drop_head(TimeNs when) {
@@ -169,6 +206,9 @@ void DcfStation::drop_head(TimeNs when) {
   pkt.depart_time = when;
   pkt.retries = retries_;
   ++stats_.dropped;
+  emit(trace::EventKind::kDrop, &pkt, pkt.retries, when);
+  emit(trace::EventKind::kQueueDepth, nullptr,
+       static_cast<std::int32_t>(queue_.size()), sim_.now());
 
   cw_ = phy_.cw_min;
   retries_ = 0;
@@ -182,6 +222,8 @@ void DcfStation::drop_head(TimeNs when) {
     defer_ = phy_.difs();
     backoff_slots_ = rng_.uniform_int(0, cw_);
     awaiting_immediate_ = false;
+    emit(trace::EventKind::kBackoffStart, nullptr, backoff_slots_,
+         contend_from_);
   } else {
     state_ = State::kIdle;
   }
@@ -195,6 +237,8 @@ void DcfStation::occupation_observed(bool collision) {
     return;
   }
   defer_ = (collision && phy_.use_eifs) ? phy_.eifs() : phy_.difs();
+  emit(trace::EventKind::kBackoffResume, nullptr, backoff_slots_,
+       sim_.now() + defer_);
 }
 
 }  // namespace csmabw::mac

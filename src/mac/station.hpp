@@ -9,6 +9,7 @@
 #include "mac/phy.hpp"
 #include "sim/simulator.hpp"
 #include "stats/rng.hpp"
+#include "trace/event.hpp"
 
 namespace csmabw::mac {
 
@@ -104,6 +105,13 @@ class DcfStation {
 
   void join_contention(TimeNs from, bool allow_immediate);
   void drop_head(TimeNs when);
+  /// Emits `kind` to the simulator's event tap (Simulator::trace());
+  /// no-op (one branch) when none is installed.  Tracing is purely
+  /// observational: it never consumes randomness or perturbs timing,
+  /// so a traced run is bit-identical to an untraced one.  `p` supplies
+  /// packet/flow/seq when non-null.
+  void emit(trace::EventKind kind, const Packet* p, std::int32_t value,
+            TimeNs aux);
 
   sim::Simulator& sim_;
   Medium& medium_;

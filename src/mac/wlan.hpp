@@ -40,6 +40,12 @@ class WlanNetwork {
     return root_rng_.fork(name);
   }
 
+  /// Installs (or, with nullptr, removes) an event tap on the whole
+  /// cell: the sink lives on the simulator, so the medium and every
+  /// station — current and future ones — emit to it.  Observational
+  /// only; a traced run is bit-identical to an untraced one.
+  void set_trace(trace::TraceSink* sink) { sim_.set_trace(sink); }
+
  private:
   sim::Simulator sim_;
   stats::Rng root_rng_;

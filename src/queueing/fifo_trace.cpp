@@ -73,7 +73,63 @@ double FifoTraceResult::offered_rate(TimeNs from, TimeNs to) const {
   return dx.to_seconds() / (to - from).to_seconds();
 }
 
-FifoTraceResult run_fifo_trace(std::vector<TraceJob> jobs) {
+namespace {
+
+/// Emits the served jobs' arrival/departure/depth events in time order
+/// (ties: arrivals before departures — a zero-service job's enqueue
+/// must precede its own success for the trace to reconstruct).
+void emit_fifo_events(const std::vector<ServedJob>& served,
+                      trace::TraceSink& trace) {
+  const auto event = [&trace](trace::EventKind kind, TimeNs t,
+                              std::size_t index, const ServedJob& sj,
+                              std::int32_t value, std::int32_t depth) {
+    trace::TraceEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.station = 0;
+    e.packet = static_cast<std::uint64_t>(index) + 1;
+    e.aux = kind == trace::EventKind::kSuccess ? sj.depart : t;
+    e.flow = sj.job.flow;
+    e.seq = static_cast<std::int32_t>(index);
+    e.value = value;
+    trace.on_event(e);
+    trace::TraceEvent d;
+    d.time = t;
+    d.kind = trace::EventKind::kQueueDepth;
+    d.station = 0;
+    d.aux = t;
+    d.value = depth;
+    trace.on_event(d);
+  };
+  std::size_t arrive = 0;
+  std::size_t depart = 0;
+  std::int32_t depth = 0;
+  while (depart < served.size()) {
+    // Ties process the arrival first: a zero-service job departs at its
+    // own arrival instant, and its enqueue must precede its success.
+    // For distinct jobs the tie order is immaterial — the reconstructed
+    // head time comes out identical either way.
+    const bool next_is_arrival =
+        arrive < served.size() &&
+        served[arrive].job.arrival <= served[depart].depart;
+    if (next_is_arrival) {
+      ++depth;
+      event(trace::EventKind::kEnqueue, served[arrive].job.arrival, arrive,
+            served[arrive], /*value=*/0, depth);
+      ++arrive;
+    } else {
+      --depth;
+      event(trace::EventKind::kSuccess, served[depart].depart, depart,
+            served[depart], /*value=*/0, depth);
+      ++depart;
+    }
+  }
+}
+
+}  // namespace
+
+FifoTraceResult run_fifo_trace(std::vector<TraceJob> jobs,
+                               trace::TraceSink* trace) {
   std::stable_sort(jobs.begin(), jobs.end(),
                    [](const TraceJob& a, const TraceJob& b) {
                      return a.arrival < b.arrival;
@@ -89,6 +145,9 @@ FifoTraceResult run_fifo_trace(std::vector<TraceJob> jobs) {
     served.push_back(ServedJob{j, start, depart});
     prev_depart = depart;
     first = false;
+  }
+  if (trace != nullptr) {
+    emit_fifo_events(served, *trace);
   }
   return FifoTraceResult(std::move(served));
 }

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "trace/event.hpp"
 #include "util/time.hpp"
 
 namespace csmabw::queueing {
@@ -70,6 +71,17 @@ class FifoTraceResult {
 
 /// Runs `jobs` (any order; stable-sorted by arrival, ties keep input
 /// order) through the FIFO queue via the Lindley recursion.
-[[nodiscard]] FifoTraceResult run_fifo_trace(std::vector<TraceJob> jobs);
+///
+/// A non-null `trace` receives the queue's event stream in time order —
+/// kEnqueue at each arrival, kSuccess at each departure (aux = the
+/// departure instant) and kQueueDepth after every change — so the
+/// offline Appendix-A queue emits the same event vocabulary as the live
+/// DCF simulator and its traces replay through the same tools.  Jobs
+/// are numbered 1.. in service order (packet id; seq is 0-based); the
+/// station id is always 0, `flow` carries TraceJob::flow, and the
+/// kEnqueue `value` is 0 (a job has a service time, not a byte size),
+/// so packets reconstructed from a FIFO trace have size_bytes == 0.
+[[nodiscard]] FifoTraceResult run_fifo_trace(
+    std::vector<TraceJob> jobs, trace::TraceSink* trace = nullptr);
 
 }  // namespace csmabw::queueing

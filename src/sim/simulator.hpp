@@ -5,6 +5,10 @@
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
+namespace csmabw::trace {
+class TraceSink;
+}  // namespace csmabw::trace
+
 namespace csmabw::sim {
 
 /// Discrete-event simulator: a clock plus an event queue.
@@ -33,10 +37,18 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  /// The simulation's event tap (nullptr = tracing disabled).  Owned by
+  /// the caller; components sharing this simulator (stations, medium,
+  /// queues) emit their MAC/queue events to it, so installing a sink
+  /// here taps the whole simulation.  Purely observational.
+  [[nodiscard]] trace::TraceSink* trace() const { return trace_; }
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   TimeNs now_ = TimeNs::zero();
   EventQueue queue_;
   std::uint64_t processed_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace csmabw::sim

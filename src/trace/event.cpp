@@ -1,0 +1,33 @@
+#include "trace/event.hpp"
+
+#include "util/require.hpp"
+
+namespace csmabw::trace {
+
+namespace {
+
+constexpr std::string_view kNames[kEventKindCount] = {
+    "enqueue",    "backoff_start", "backoff_freeze",
+    "backoff_resume", "tx_attempt", "collision",
+    "success",    "drop",          "queue_depth",
+};
+
+}  // namespace
+
+std::string_view kind_name(EventKind kind) {
+  const int i = kind_index(kind);
+  CSMABW_REQUIRE(i >= 0 && i < kEventKindCount, "unknown event kind");
+  return kNames[i];
+}
+
+EventKind parse_kind(std::string_view name) {
+  for (int i = 0; i < kEventKindCount; ++i) {
+    if (kNames[i] == name) {
+      return static_cast<EventKind>(i + 1);
+    }
+  }
+  throw util::PreconditionError("unknown trace event kind `" +
+                                std::string(name) + "`");
+}
+
+}  // namespace csmabw::trace

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace csmabw::trace {
+
+/// What happened.  One kind per observable MAC/queue transition; the
+/// set mirrors the DCF life cycle of a packet (arrival, contention,
+/// transmission, outcome) plus the FIFO depth process.
+enum class EventKind : std::uint8_t {
+  /// Packet appended to a station's transmission queue.
+  /// packet/flow/seq set; value = network-layer size in bytes (0 when
+  /// the producer has none — the offline FIFO queue's jobs carry a
+  /// service time instead of a size).
+  kEnqueue = 1,
+  /// A fresh random backoff was drawn (initial contention, post-success,
+  /// post-collision, post-drop, or immediate-access fallback).
+  /// value = backoff slots; aux = contend_from (earliest observation
+  /// instant of the new countdown).
+  kBackoffStart = 2,
+  /// The medium was seized mid-countdown; the station consumed the whole
+  /// slots it observed and froze.  value = remaining slots;
+  /// aux = instant the medium went busy.
+  kBackoffFreeze = 3,
+  /// The foreign occupation ended and the countdown re-arms behind a
+  /// fresh DIFS/EIFS.  value = remaining slots; aux = deference
+  /// deadline (resume instant + DIFS or EIFS).
+  kBackoffResume = 4,
+  /// The station was granted the channel and put its head frame on the
+  /// air.  packet/flow/seq set; value = retry index (0 = first attempt).
+  kTxAttempt = 5,
+  /// Channel-level collision: >= 2 stations fired on the same slot
+  /// boundary.  station = kChannelStation; value = number of colliding
+  /// frames; aux = end of the colliding occupation.
+  kCollision = 6,
+  /// Successful delivery (end of the ACK exchange).  packet/flow/seq
+  /// set; value = collisions suffered; aux = departure instant d_i (end
+  /// of the data frame — the event time itself is the ACK end).
+  kSuccess = 7,
+  /// Retry limit exceeded.  packet/flow/seq set; value = collisions
+  /// suffered; aux = departure instant assigned to the dropped packet.
+  kDrop = 8,
+  /// Transmission-queue depth changed (enqueue or head-of-line service
+  /// completion).  value = new depth including the frame in service.
+  kQueueDepth = 9,
+};
+
+/// Station id used for channel-scoped events (kCollision).
+inline constexpr std::uint16_t kChannelStation = 0xffff;
+
+/// One trace record.  Fixed-width in memory; the on-disk form is
+/// varint/delta packed (see trace/format.hpp).
+struct TraceEvent {
+  /// Simulation time the event was emitted at.
+  TimeNs time;
+  EventKind kind = EventKind::kEnqueue;
+  /// Emitting station id (kChannelStation for channel events).
+  std::uint16_t station = 0;
+  /// Station-local packet id (mac::Packet::id); 0 when not tied to a
+  /// packet.
+  std::uint64_t packet = 0;
+  /// Kind-specific secondary instant (see EventKind); equals `time` when
+  /// the kind carries none.
+  TimeNs aux;
+  std::int32_t flow = 0;
+  std::int32_t seq = 0;
+  /// Kind-specific small integer (size, slots, retries, depth, ...).
+  std::int32_t value = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Receiver of trace events.  Implementations must tolerate the
+/// simulator's emission rate (TraceWriter buffers in pages); emission
+/// order is simulation order.
+///
+/// The tap is zero-cost when disabled: every producer guards emission
+/// with a null check on its sink pointer, so an untraced run pays one
+/// predictable branch per site and never constructs a TraceEvent.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Stable lower-case name of a kind ("enqueue", "backoff_start", ...).
+[[nodiscard]] std::string_view kind_name(EventKind kind);
+
+/// Inverse of kind_name; throws util::PreconditionError on unknown
+/// names.
+[[nodiscard]] EventKind parse_kind(std::string_view name);
+
+/// Number of distinct event kinds (for per-kind counters).
+inline constexpr int kEventKindCount = 9;
+
+/// 0-based dense index of a kind (kEnqueue -> 0, ...).
+[[nodiscard]] constexpr int kind_index(EventKind kind) {
+  return static_cast<int>(kind) - 1;
+}
+
+}  // namespace csmabw::trace

@@ -1,0 +1,150 @@
+#pragma once
+
+// On-disk binary trace format (shared by TraceWriter and TraceReader).
+//
+// A trace file is a fixed header followed by a sequence of pages, each
+// a small header plus a varint/delta-packed run of events:
+//
+//   file   := header page*
+//   header := magic "CCTR" | u16 version | u16 reserved
+//           | u32 header_bytes                  (total, incl. the label)
+//           | i32 cell | i32 repetition         (-1 = not a campaign run)
+//           | i32 train_n | i32 train_size      (0 = not a train run)
+//           | i64 train_gap_ns | u64 seed
+//           | u32 label_len | label bytes
+//   page   := u32 page_magic | u32 payload_bytes | u32 event_count
+//           | i64 base_time_ns                  (delta base, see below)
+//           | payload
+//
+// All integers are little-endian.  Events inside a page are packed as
+//
+//   u8 kind | varint station | svarint time_delta | varint packet
+//   | svarint (aux - time) | svarint flow | svarint seq | svarint value
+//
+// where varint is LEB128 and svarint is zigzag LEB128.  `time_delta` is
+// relative to the previous event's time (the page's base_time_ns for the
+// first event of a page), so pages decode independently and timestamps —
+// nanoseconds since simulation start — cost one or two bytes instead of
+// eight.  Readers skip unknown trailing header bytes via header_bytes
+// and must reject files whose version they do not know; adding fields
+// to the header or new event kinds bumps the minor semantics only,
+// changing the page or event layout bumps `kFormatVersion`.
+
+#include <cstdint>
+#include <vector>
+
+namespace csmabw::trace::format {
+
+inline constexpr char kMagic[4] = {'C', 'C', 'T', 'R'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint32_t kPageMagic = 0x47504354;  // "TCPG"
+/// Target payload size per page; a page flushes once it grows past this.
+inline constexpr std::size_t kDefaultPageBytes = 64 * 1024;
+/// Hard plausibility caps the reader enforces BEFORE allocating: a
+/// corrupt u32 size field must fail as "corrupt trace", not as a 4 GiB
+/// allocation.  The writer rejects page targets above kMaxPageBytes, so
+/// every legitimate file decodes within them (a page overshoots its
+/// target by at most one encoded event).
+inline constexpr std::size_t kMaxPageBytes = 64 * 1024 * 1024;
+inline constexpr std::size_t kMaxHeaderBytes = 1024 * 1024;
+inline constexpr const char* kTraceExtension = ".cctrace";
+
+// ------------------------------------------- fixed-width little-endian
+
+inline void put_u16(std::vector<unsigned char>& out, std::uint16_t v) {
+  out.push_back(static_cast<unsigned char>(v));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+}
+
+inline void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+inline void put_i32(std::vector<unsigned char>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_i64(std::vector<unsigned char>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::int32_t get_i32(const unsigned char* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+[[nodiscard]] inline std::int64_t get_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+// ------------------------------------------------------- varint packing
+
+inline void put_varint(std::vector<unsigned char>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<unsigned char>(v));
+}
+
+[[nodiscard]] inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_svarint(std::vector<unsigned char>& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+/// Bounds-checked LEB128 decode; returns false on truncation/overlong.
+[[nodiscard]] inline bool get_varint(const unsigned char* data,
+                                     std::size_t size, std::size_t* pos,
+                                     std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= size) {
+      return false;
+    }
+    const unsigned char byte = data[(*pos)++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace csmabw::trace::format

@@ -1,0 +1,165 @@
+#include "trace/reader.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/format.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::trace {
+
+namespace {
+
+using format::get_i32;
+using format::get_i64;
+using format::get_u16;
+using format::get_u32;
+using format::get_u64;
+
+/// Reads exactly `n` bytes; returns false on clean EOF at byte 0 and
+/// throws on a mid-record truncation.
+bool read_exact(std::istream& in, unsigned char* out, std::size_t n,
+                const char* what) {
+  in.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(n));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got == 0 && in.eof()) {
+    return false;
+  }
+  CSMABW_REQUIRE(got == n, std::string("trace truncated while reading ") +
+                               what);
+  return true;
+}
+
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path)
+    : file_(path, std::ios::binary), in_(&file_) {
+  if (!file_) {
+    throw std::runtime_error("TraceReader: cannot open '" + path + "'");
+  }
+  read_header();
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(&in) { read_header(); }
+
+void TraceReader::read_header() {
+  unsigned char fixed[12];
+  CSMABW_REQUIRE(read_exact(*in_, fixed, sizeof(fixed), "the header"),
+                 "trace is empty");
+  CSMABW_REQUIRE(std::memcmp(fixed, format::kMagic, 4) == 0,
+                 "not a trace file (bad magic; expected \"CCTR\")");
+  version_ = get_u16(fixed + 4);
+  CSMABW_REQUIRE(version_ == format::kFormatVersion,
+                 "unsupported trace format version " +
+                     std::to_string(version_) + " (this reader knows " +
+                     std::to_string(format::kFormatVersion) + ")");
+  const std::uint32_t header_bytes = get_u32(fixed + 8);
+  // Plausibility-check sizes BEFORE allocating: a corrupt length field
+  // must fail as "corrupt trace", never as a multi-GiB allocation.
+  CSMABW_REQUIRE(header_bytes >= 48 &&
+                     header_bytes <= format::kMaxHeaderBytes,
+                 "corrupt trace: implausible header size " +
+                     std::to_string(header_bytes));
+  std::vector<unsigned char> rest(header_bytes - sizeof(fixed));
+  CSMABW_REQUIRE(read_exact(*in_, rest.data(), rest.size(), "the header"),
+                 "trace header truncated");
+  meta_.cell = get_i32(rest.data());
+  meta_.repetition = get_i32(rest.data() + 4);
+  meta_.train_n = get_i32(rest.data() + 8);
+  meta_.train_size = get_i32(rest.data() + 12);
+  meta_.train_gap_ns = get_i64(rest.data() + 16);
+  meta_.seed = get_u64(rest.data() + 24);
+  const std::uint32_t label_len = get_u32(rest.data() + 32);
+  CSMABW_REQUIRE(36 + static_cast<std::size_t>(label_len) <= rest.size(),
+                 "trace label overruns the header");
+  meta_.label.assign(reinterpret_cast<const char*>(rest.data() + 36),
+                     label_len);
+  // Bytes between the label end and header_bytes belong to a newer
+  // minor revision; skip them (they were consumed with `rest`).
+}
+
+bool TraceReader::load_page() {
+  unsigned char header[20];
+  if (!read_exact(*in_, header, sizeof(header), "a page header")) {
+    return false;  // clean end of trace
+  }
+  CSMABW_REQUIRE(get_u32(header) == format::kPageMagic,
+                 "corrupt trace: bad page magic");
+  const std::uint32_t payload = get_u32(header + 4);
+  remaining_in_page_ = get_u32(header + 8);
+  prev_time_ = get_i64(header + 12);
+  CSMABW_REQUIRE(remaining_in_page_ > 0 && payload > 0,
+                 "corrupt trace: empty page");
+  CSMABW_REQUIRE(payload <= format::kMaxPageBytes,
+                 "corrupt trace: implausible page size " +
+                     std::to_string(payload));
+  page_.resize(payload);
+  CSMABW_REQUIRE(read_exact(*in_, page_.data(), payload, "a page payload"),
+                 "trace page truncated");
+  pos_ = 0;
+  ++pages_;
+  return true;
+}
+
+bool TraceReader::next(TraceEvent* out) {
+  CSMABW_REQUIRE(out != nullptr, "null event out-parameter");
+  if (remaining_in_page_ == 0 && !load_page()) {
+    return false;
+  }
+  CSMABW_REQUIRE(pos_ < page_.size(), "corrupt trace: page underruns");
+  const unsigned char kind = page_[pos_++];
+  CSMABW_REQUIRE(kind >= 1 && kind <= kEventKindCount,
+                 "corrupt trace: unknown event kind " +
+                     std::to_string(static_cast<int>(kind)));
+  std::uint64_t station = 0;
+  std::uint64_t time_delta_z = 0;
+  std::uint64_t packet = 0;
+  std::uint64_t aux_z = 0;
+  std::uint64_t flow_z = 0;
+  std::uint64_t seq_z = 0;
+  std::uint64_t value_z = 0;
+  const bool ok = format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &station) &&
+                  format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &time_delta_z) &&
+                  format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &packet) &&
+                  format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &aux_z) &&
+                  format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &flow_z) &&
+                  format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &seq_z) &&
+                  format::get_varint(page_.data(), page_.size(), &pos_,
+                                     &value_z);
+  CSMABW_REQUIRE(ok, "corrupt trace: event varint truncated");
+  CSMABW_REQUIRE(station <= 0xffff, "corrupt trace: station out of range");
+  out->kind = static_cast<EventKind>(kind);
+  out->station = static_cast<std::uint16_t>(station);
+  prev_time_ += format::unzigzag(time_delta_z);
+  out->time = TimeNs::ns(prev_time_);
+  out->packet = packet;
+  out->aux = TimeNs::ns(prev_time_ + format::unzigzag(aux_z));
+  out->flow = static_cast<std::int32_t>(format::unzigzag(flow_z));
+  out->seq = static_cast<std::int32_t>(format::unzigzag(seq_z));
+  out->value = static_cast<std::int32_t>(format::unzigzag(value_z));
+  --remaining_in_page_;
+  if (remaining_in_page_ == 0) {
+    CSMABW_REQUIRE(pos_ == page_.size(),
+                   "corrupt trace: page has trailing bytes");
+  }
+  ++events_;
+  return true;
+}
+
+std::vector<TraceEvent> read_trace(const std::string& path) {
+  TraceReader reader(path);
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  while (reader.next(&e)) {
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace csmabw::trace

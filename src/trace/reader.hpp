@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/writer.hpp"  // TraceMeta
+
+namespace csmabw::trace {
+
+/// Streaming binary trace reader — the inverse of TraceWriter.
+///
+/// The header (version + TraceMeta) is read eagerly at construction;
+/// events decode page by page through `next()`, so arbitrarily large
+/// traces read with bounded memory.  Malformed input (bad magic,
+/// unsupported version, truncated pages, corrupt varints) reports via
+/// util::PreconditionError.
+class TraceReader {
+ public:
+  /// Opens `path`; throws std::runtime_error when it cannot be opened
+  /// and util::PreconditionError when the header is not a trace.
+  explicit TraceReader(const std::string& path);
+  /// Reads from an existing istream (not owned).
+  explicit TraceReader(std::istream& in);
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  [[nodiscard]] const TraceMeta& meta() const { return meta_; }
+  [[nodiscard]] std::uint16_t version() const { return version_; }
+
+  /// Decodes the next event into `*out`; returns false at end of trace.
+  [[nodiscard]] bool next(TraceEvent* out);
+
+  [[nodiscard]] std::uint64_t events_read() const { return events_; }
+  [[nodiscard]] std::uint64_t pages_read() const { return pages_; }
+
+ private:
+  void read_header();
+  [[nodiscard]] bool load_page();
+
+  std::ifstream file_;
+  std::istream* in_;  // &file_, or the borrowed stream
+  TraceMeta meta_;
+  std::uint16_t version_ = 0;
+  std::vector<unsigned char> page_;
+  std::size_t pos_ = 0;
+  std::uint32_t remaining_in_page_ = 0;
+  std::int64_t prev_time_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t pages_ = 0;
+};
+
+/// Reads a whole trace into memory (tests, small analyses).
+[[nodiscard]] std::vector<TraceEvent> read_trace(const std::string& path);
+
+}  // namespace csmabw::trace

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/transient.hpp"
+#include "stats/summary.hpp"
+#include "trace/event.hpp"
+#include "trace/reader.hpp"
+
+namespace csmabw::trace {
+
+/// One reconstructed packet lifecycle plus the station that carried it.
+struct ReplayPacket {
+  int station = 0;
+  mac::Packet packet;
+};
+
+/// Streaming reconstruction of packet lifecycles from an event trace.
+///
+/// Mirrors the DCF station's FIFO bookkeeping exactly: a packet's
+/// head-of-queue instant is its enqueue time when the queue was empty,
+/// else max(previous head packet's departure, its own enqueue time) —
+/// the same recursion `mac::DcfStation` applies live, so the
+/// reconstructed records are bit-identical to the live run's.  Requires
+/// a complete trace (every enqueue/success/drop present and in
+/// simulation order); kind-filtered traces cannot be reconstructed.
+class PacketReconstructor {
+ public:
+  void on_event(const TraceEvent& event);
+
+  /// Delivered and dropped packets in completion (event) order.
+  [[nodiscard]] const std::vector<ReplayPacket>& packets() const {
+    return packets_;
+  }
+  /// Packets enqueued but not yet delivered or dropped.
+  [[nodiscard]] std::size_t pending() const;
+  /// Events seen per kind (dense kind_index order).
+  [[nodiscard]] const std::array<std::uint64_t, kEventKindCount>& counts()
+      const {
+    return counts_;
+  }
+
+ private:
+  std::map<int, std::deque<mac::Packet>> queues_;  // station -> FIFO
+  std::vector<ReplayPacket> packets_;
+  std::array<std::uint64_t, kEventKindCount> counts_{};
+};
+
+/// Drains `reader` through a PacketReconstructor.
+[[nodiscard]] std::vector<ReplayPacket> replay_packets(TraceReader& reader);
+
+/// Rebuilds flow `flow`'s probe train from reconstructed packets as a
+/// core::TrainRun (packets in sequence order) — the offline twin of
+/// Scenario::run_train's result, feeding the same access-delay and
+/// output-gap machinery.  Throws when the flow has a sequence gap.
+[[nodiscard]] core::TrainRun replay_train(
+    const std::vector<ReplayPacket>& packets, int flow);
+
+/// Convenience: read + reconstruct + extract in one call.
+[[nodiscard]] core::TrainRun replay_train_file(const std::string& path,
+                                               int flow = core::kProbeFlow);
+
+/// Offline recomputation of a train campaign cell's statistics — the
+/// paper's fig06 (per-index mean access delay), fig08 (KS transient
+/// detection) and fig10 (transient duration) — from recorded traces.
+///
+/// Repetitions must be added in repetition order; internally they
+/// accumulate in shards of `shard_size` that merge in order, replicating
+/// exp::run_train_campaign's decomposition exactly, so the replayed
+/// statistics are bit-identical to the live campaign's for the matching
+/// shard size (64 is the engine default).
+class TrainReplayStats {
+ public:
+  explicit TrainReplayStats(const core::TransientConfig& cfg,
+                            int shard_size = 64);
+
+  /// Adds the next repetition; dropped trains are counted and skipped
+  /// (as live).
+  void add(const core::TrainRun& run);
+
+  /// Merges the shards; no add() afterwards.  Idempotent.
+  void finish();
+
+  [[nodiscard]] const core::TransientAnalyzer& analyzer() const;
+  [[nodiscard]] const stats::RunningStat& output_gap_s() const;
+  [[nodiscard]] int used() const { return used_; }
+  [[nodiscard]] int dropped() const { return dropped_; }
+
+ private:
+  struct Shard {
+    explicit Shard(const core::TransientConfig& cfg) : analyzer(cfg) {}
+    core::TransientAnalyzer analyzer;
+    stats::RunningStat output_gap_s;
+  };
+
+  core::TransientConfig cfg_;
+  int shard_size_;
+  int reps_in_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Shard> current_;
+  std::unique_ptr<Shard> merged_;
+  int used_ = 0;
+  int dropped_ = 0;
+};
+
+/// A discovered trace file with its header metadata.
+struct TraceFile {
+  std::string path;
+  TraceMeta meta;
+};
+
+/// Lists every `.cctrace` under `dir` (non-recursive), sorted by
+/// (meta.cell, meta.repetition, path) — the replay order of a recorded
+/// campaign.  Throws std::runtime_error when `dir` does not exist.
+[[nodiscard]] std::vector<TraceFile> list_traces(const std::string& dir);
+
+}  // namespace csmabw::trace

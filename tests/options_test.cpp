@@ -114,6 +114,64 @@ TEST(Quantities, ParseDurationAcceptsSuffixes) {
   }
 }
 
+TEST(Quantities, ParseRateFractionalPrefixes) {
+  EXPECT_DOUBLE_EQ(parse_rate_bps("1.5M"), 1.5e6);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("0.25G"), 2.5e8);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("2.125k"), 2125.0);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_duration_s("1.5ms"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(parse_duration_s("0.25s"), 0.25);
+}
+
+TEST(Quantities, ParseRejectsSurroundingWhitespace) {
+  // The parsers are exact-token: callers trim before parsing (the
+  // scenario grammar does), so stray whitespace is malformed, not
+  // silently accepted.
+  for (const char* bad : {" 1.5M", "1.5M ", "\t2M", "2M\t", " 2M ",
+                          "1 .5M", "1. 5M"}) {
+    EXPECT_THROW((void)parse_rate_bps(bad), PreconditionError) << bad;
+  }
+  for (const char* bad : {" 50ms", "50ms ", "\t2s", "2s\n", " 2s "}) {
+    EXPECT_THROW((void)parse_duration_s(bad), PreconditionError) << bad;
+  }
+}
+
+TEST(Quantities, ParseRejectsNegativeAndOverflowingValues) {
+  for (const char* bad : {"-1.5M", "-0.001", "-2G", "0", "0M", "0.0k"}) {
+    EXPECT_THROW((void)parse_rate_bps(bad), PreconditionError) << bad;
+  }
+  for (const char* bad : {"-1.5ms", "-0.001", "-2s"}) {
+    EXPECT_THROW((void)parse_duration_s(bad), PreconditionError) << bad;
+  }
+  // Values overflowing a double are malformed, not saturated to inf.
+  for (const char* bad : {"1e400", "1e400M", "9e999"}) {
+    EXPECT_THROW((void)parse_rate_bps(bad), PreconditionError) << bad;
+    EXPECT_THROW((void)parse_duration_s(bad), PreconditionError) << bad;
+  }
+}
+
+TEST(Quantities, ParseErrorsNameTheOffendingToken) {
+  const auto message_of = [](auto fn, const char* text) {
+    try {
+      (void)fn(text);
+    } catch (const PreconditionError& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no error)");
+  };
+  for (const char* bad : {" 1.5M", "6Mb", "-2M", "1e400"}) {
+    EXPECT_NE(message_of(parse_rate_bps, bad).find(bad), std::string::npos)
+        << "message for `" << bad << "` should quote it: "
+        << message_of(parse_rate_bps, bad);
+  }
+  for (const char* bad : {"5m", "-1s", "2s "}) {
+    EXPECT_NE(message_of(parse_duration_s, bad).find(bad),
+              std::string::npos)
+        << "message for `" << bad << "` should quote it: "
+        << message_of(parse_duration_s, bad);
+  }
+}
+
 TEST(Quantities, FormatDurationRoundTripsExactly) {
   for (double s : {0.05, 2.0, 2e-4, 1.5, 0.123, 1e-8, 0.0}) {
     EXPECT_DOUBLE_EQ(parse_duration_s(format_duration(s)), s) << s;

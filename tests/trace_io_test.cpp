@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "trace/event.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / ("csmabw-trace-io-" + name);
+}
+
+/// A pseudo-random but deterministic event stream exercising every kind,
+/// negative aux deltas, zero timestamps and large ids.
+std::vector<TraceEvent> sample_events(int n) {
+  stats::Rng rng(42);
+  std::vector<TraceEvent> events;
+  std::int64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    TraceEvent e;
+    t += rng.uniform_int(0, 2000000);
+    e.time = TimeNs::ns(t);
+    e.kind = static_cast<EventKind>(rng.uniform_int(1, kEventKindCount));
+    e.station = static_cast<std::uint16_t>(rng.uniform_int(0, 5));
+    e.packet = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)) *
+               static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+    // aux before, at, and after the event time.
+    e.aux = TimeNs::ns(t + rng.uniform_int(-1000000, 1000000));
+    e.flow = rng.uniform_int(-3, 1200);
+    e.seq = rng.uniform_int(0, 100000);
+    e.value = rng.uniform_int(-2, 1500);
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(TraceIo, RoundTripsEventsAndMeta) {
+  const fs::path path = temp_file("roundtrip.cctrace");
+  TraceMeta meta;
+  meta.cell = 7;
+  meta.repetition = 19;
+  meta.train_n = 600;
+  meta.train_size = 1500;
+  meta.train_gap_ns = 2400000;
+  meta.seed = 123456789;
+  meta.label = "phy=dot11b_short;contenders=1x poisson:rate=2M";
+
+  const std::vector<TraceEvent> events = sample_events(5000);
+  {
+    TraceWriter writer(path.string(), meta);
+    for (const TraceEvent& e : events) {
+      writer.on_event(e);
+    }
+    writer.close();
+    EXPECT_EQ(writer.events_written(), events.size());
+    EXPECT_GE(writer.pages_written(), 1u);
+  }
+
+  TraceReader reader(path.string());
+  EXPECT_EQ(reader.meta(), meta);
+  std::vector<TraceEvent> decoded;
+  TraceEvent e;
+  while (reader.next(&e)) {
+    decoded.push_back(e);
+  }
+  // The round-trip property: the decoded sequence IS the written one.
+  ASSERT_EQ(decoded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(decoded[i], events[i]) << "event " << i;
+  }
+  fs::remove(path);
+}
+
+TEST(TraceIo, TinyPagesStreamAndDecodeIndependently) {
+  const fs::path path = temp_file("paged.cctrace");
+  const std::vector<TraceEvent> events = sample_events(1000);
+  {
+    // A 64-byte page target forces hundreds of pages.
+    TraceWriter writer(path.string(), TraceMeta{}, /*page_bytes=*/64);
+    for (const TraceEvent& e : events) {
+      writer.on_event(e);
+    }
+    writer.close();
+    EXPECT_GT(writer.pages_written(), 100u);
+  }
+  TraceReader reader(path.string());
+  std::vector<TraceEvent> decoded;
+  TraceEvent e;
+  while (reader.next(&e)) {
+    decoded.push_back(e);
+  }
+  EXPECT_EQ(decoded, events);
+  EXPECT_GT(reader.pages_read(), 100u);
+  fs::remove(path);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer);
+    writer.close();
+  }
+  TraceReader reader(buffer);
+  TraceEvent e;
+  EXPECT_FALSE(reader.next(&e));
+  EXPECT_EQ(reader.events_read(), 0u);
+}
+
+TEST(TraceIo, StreamModeMatchesFileMode) {
+  const std::vector<TraceEvent> events = sample_events(200);
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer);
+    for (const TraceEvent& e : events) {
+      writer.on_event(e);
+    }
+    writer.close();
+  }
+  TraceReader reader(buffer);
+  std::vector<TraceEvent> decoded;
+  TraceEvent e;
+  while (reader.next(&e)) {
+    decoded.push_back(e);
+  }
+  EXPECT_EQ(decoded, events);
+}
+
+TEST(TraceIo, RejectsForeignAndCorruptInput) {
+  {
+    std::stringstream buffer;
+    buffer << "definitely not a trace file at all";
+    EXPECT_THROW(TraceReader reader(buffer), util::PreconditionError);
+  }
+  {
+    std::stringstream buffer;  // empty
+    EXPECT_THROW(TraceReader reader(buffer), util::PreconditionError);
+  }
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer);
+    writer.close();
+  }
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field, little-endian low byte
+  std::stringstream patched(bytes);
+  try {
+    TraceReader reader(patched);
+    FAIL() << "expected a version error";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsTruncatedPage) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer);
+    for (const TraceEvent& e : sample_events(50)) {
+      writer.on_event(e);
+    }
+    writer.close();
+  }
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 7));
+  TraceReader reader(truncated);
+  TraceEvent e;
+  EXPECT_THROW(
+      while (reader.next(&e)) {}, util::PreconditionError);
+}
+
+TEST(TraceIo, WriteAfterCloseThrows) {
+  std::stringstream buffer;
+  TraceWriter writer(buffer);
+  writer.close();
+  EXPECT_THROW(writer.on_event(TraceEvent{}), util::PreconditionError);
+}
+
+TEST(TraceIo, TrainTracePathIsDeterministic) {
+  EXPECT_EQ(train_trace_path("d", 3, 17), "d/cell-00003-rep-000017.cctrace");
+  EXPECT_EQ(train_trace_path("d/", 3, 17),
+            "d/cell-00003-rep-000017.cctrace");
+  EXPECT_EQ(train_trace_path("", 0, 0), "cell-00000-rep-000000.cctrace");
+  EXPECT_THROW((void)train_trace_path("d", -1, 0), util::PreconditionError);
+}
+
+TEST(TraceIo, KindNamesRoundTrip) {
+  for (int k = 1; k <= kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_EQ(parse_kind(kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_kind("no_such_kind"), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::trace
