@@ -10,6 +10,7 @@
 // future changes have a machine-readable perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -49,6 +50,25 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
 
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    // Each schedule cancels its predecessor — the medium's pending-fire
+    // rearm pattern at its most adversarial.  Exercises handle
+    // invalidation, slot recycling and heap compaction.
+    sim::EventHandle prev;
+    for (int i = 0; i < n; ++i) {
+      prev.cancel();
+      prev = sim.schedule_at(TimeNs::ns(100000 + i * 997 % 100000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000);
+
 void BM_DcfSaturatedStation(benchmark::State& state) {
   const int stations = static_cast<int>(state.range(0));
   core::ScenarioConfig cfg;
@@ -66,6 +86,29 @@ void BM_DcfSaturatedStation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 570);
 }
 BENCHMARK(BM_DcfSaturatedStation)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_MediumContention(benchmark::State& state) {
+  // Unsaturated Poisson contenders join and leave contention on every
+  // arrival, so each enqueue triggers a Medium::update_contention — the
+  // path the incremental (cached-minimum) reschedule optimizes.
+  const int stations = static_cast<int>(state.range(0));
+  core::ScenarioConfig cfg;
+  cfg.seed = 9;
+  for (int i = 0; i < stations; ++i) {
+    cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(1.0)));
+  }
+  const core::Scenario sc(cfg);
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    const core::ContentionResult r =
+        sc.run_contention(TimeNs::sec(1), TimeNs::zero());
+    frames = r.medium.successes;
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_MediumContention)->Arg(2)->Arg(5)->Arg(10);
 
 void BM_ProbeTrainRepetition(benchmark::State& state) {
   core::ScenarioConfig cfg;

@@ -27,8 +27,9 @@ int resolve_threads(int requested) {
 Runner::Runner(RunnerOptions opts)
     : threads_(resolve_threads(opts.threads)), progress_(opts.progress) {}
 
-void Runner::for_each(int jobs, const std::function<void(int)>& fn) const {
+void Runner::for_each(int jobs, std::function<void(int)> fn) const {
   CSMABW_REQUIRE(jobs >= 0, "job count must be >= 0");
+  CSMABW_REQUIRE(fn != nullptr, "job function must be callable");
   if (jobs == 0) {
     return;
   }

@@ -34,8 +34,9 @@ class Runner {
 
   [[nodiscard]] int threads() const { return threads_; }
 
-  /// Runs fn(i) for every i in [0, jobs).
-  void for_each(int jobs, const std::function<void(int)>& fn) const;
+  /// Runs fn(i) for every i in [0, jobs).  Taken by value and moved, so
+  /// passing an rvalue lambda never copies its captures.
+  void for_each(int jobs, std::function<void(int)> fn) const;
 
   /// Runs fn(i) for every i and collects the results by job index.
   /// R must be movable; construction happens on the worker threads.

@@ -12,9 +12,11 @@ Medium::Medium(sim::Simulator& sim, const PhyParams& phy)
   phy_.validate();
 }
 
-void Medium::register_station(DcfStation* s) {
+int Medium::register_station(DcfStation* s) {
   CSMABW_REQUIRE(s != nullptr, "null station");
   stations_.push_back(s);
+  contenders_.push_back(Contender{});
+  return static_cast<int>(stations_.size()) - 1;
 }
 
 bool Medium::idle_for_difs(TimeNs now) const {
@@ -26,46 +28,84 @@ TimeNs Medium::fire_time(const DcfStation& s) const {
   return start + s.defer() + phy_.slot_time * s.backoff_slots();
 }
 
-void Medium::update_contention() {
-  if (!busy_) {
-    reschedule();
+void Medium::update_contention(DcfStation& s) {
+  if (busy_) {
+    return;  // the cache is rebuilt wholesale when the occupation ends
+  }
+  refresh_contender(s.medium_slot(), s);
+  sync_pending_fire();
+}
+
+void Medium::refresh_contender(int i, const DcfStation& s) {
+  Contender& c = contenders_[static_cast<std::size_t>(i)];
+  c.active = s.in_contention();
+  if (c.active) {
+    c.fire = fire_time(s);
+  }
+  if (i == min_slot_) {
+    // The minimum's owner changed; it may no longer be the minimum.
+    rescan_min();
+  } else if (c.active &&
+             (min_slot_ < 0 ||
+              c.fire < contenders_[static_cast<std::size_t>(min_slot_)].fire)) {
+    min_slot_ = i;
   }
 }
 
-void Medium::reschedule() {
+void Medium::rescan_min() {
+  min_slot_ = -1;
+  for (std::size_t i = 0; i < contenders_.size(); ++i) {
+    const Contender& c = contenders_[i];
+    if (c.active &&
+        (min_slot_ < 0 ||
+         c.fire < contenders_[static_cast<std::size_t>(min_slot_)].fire)) {
+      min_slot_ = static_cast<int>(i);
+    }
+  }
+}
+
+void Medium::sync_pending_fire() {
   pending_fire_.cancel();
-  if (busy_) {
+  if (min_slot_ < 0) {
     return;
   }
-  bool any = false;
-  TimeNs earliest;
-  for (DcfStation* s : stations_) {
-    if (!s->in_contention()) {
-      continue;
-    }
-    const TimeNs t = fire_time(*s);
-    if (!any || t < earliest) {
-      earliest = t;
-      any = true;
+  const TimeNs earliest = contenders_[static_cast<std::size_t>(min_slot_)].fire;
+  CSMABW_REQUIRE(earliest >= sim_.now(), "fire time in the past");
+  pending_fire_ = sim_.schedule_member_at<&Medium::fire>(earliest, *this);
+}
+
+void Medium::reschedule_all() {
+  min_slot_ = -1;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    Contender& c = contenders_[i];
+    const DcfStation& s = *stations_[i];
+    c.active = s.in_contention();
+    if (c.active) {
+      c.fire = fire_time(s);
+      if (min_slot_ < 0 ||
+          c.fire < contenders_[static_cast<std::size_t>(min_slot_)].fire) {
+        min_slot_ = static_cast<int>(i);
+      }
     }
   }
-  if (any) {
-    CSMABW_REQUIRE(earliest >= sim_.now(), "fire time in the past");
-    pending_fire_ = sim_.schedule_at(earliest, [this] { fire(); });
-  }
+  sync_pending_fire();
 }
 
 void Medium::fire() {
   const TimeNs now = sim_.now();
   CSMABW_REQUIRE(!busy_, "fire while busy");
 
-  // Partition the stations whose countdown completes exactly now.
+  // Partition the stations whose countdown completes exactly now (the
+  // cache is authoritative while the medium is idle: every contention
+  // change while idle refreshed it).
   std::vector<DcfStation*> winners;
   std::vector<DcfStation*> post_backoff_done;
-  for (DcfStation* s : stations_) {
-    if (!s->in_contention() || fire_time(*s) != now) {
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    const Contender& c = contenders_[i];
+    if (!c.active || c.fire != now) {
       continue;
     }
+    DcfStation* s = stations_[i];
     if (s->has_frame()) {
       winners.push_back(s);
     } else {
@@ -76,7 +116,7 @@ void Medium::fire() {
     s->finish_post_backoff();
   }
   if (winners.empty()) {
-    reschedule();
+    reschedule_all();
     return;
   }
 
@@ -140,7 +180,8 @@ void Medium::begin_occupation(std::vector<DcfStation*> transmitters) {
   }
   stats_.busy_time += occupation_end_ - occupation_start_;
 
-  pending_end_ = sim_.schedule_at(occupation_end_, [this] { end_occupation(); });
+  pending_end_ =
+      sim_.schedule_member_at<&Medium::end_occupation>(occupation_end_, *this);
 }
 
 void Medium::end_occupation() {
@@ -173,7 +214,8 @@ void Medium::end_occupation() {
   }
   transmitters_.clear();
   tx_data_ends_.clear();
-  reschedule();
+  // The idle origin moved for every station: full recompute.
+  reschedule_all();
 }
 
 }  // namespace csmabw::mac

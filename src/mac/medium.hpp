@@ -38,6 +38,12 @@ struct MediumStats {
 /// where `contend_from` is the earliest instant s may begin observing the
 /// medium (e.g. the end of its ACK timeout after a collision) and `defer`
 /// is DIFS or EIFS.
+///
+/// Rescheduling is incremental: the medium caches each station's fire
+/// time plus the index of the cached minimum, so a single station's
+/// contention change is O(1) (amortized — a full rescan happens only
+/// when the minimum's owner changes or an occupation ends and the idle
+/// origin moves for everyone).
 class Medium {
  public:
   Medium(sim::Simulator& sim, const PhyParams& phy);
@@ -45,11 +51,14 @@ class Medium {
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
 
-  /// Registers a station.  The station must outlive the medium.
-  void register_station(DcfStation* s);
+  /// Registers a station; returns its slot in the medium's contender
+  /// cache (stations pass it back via DcfStation::medium_slot()).  The
+  /// station must outlive the medium.
+  int register_station(DcfStation* s);
 
-  /// A station's contention state changed; recompute the pending fire.
-  void update_contention();
+  /// `s`'s contention state changed; refresh its cached fire time and
+  /// the pending fire event.
+  void update_contention(DcfStation& s);
 
   [[nodiscard]] bool is_busy() const { return busy_; }
   /// Start of the current idle period.  Meaningful only when !is_busy().
@@ -62,8 +71,22 @@ class Medium {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// Cached contention state of one registered station.
+  struct Contender {
+    TimeNs fire;          ///< valid only while `active`
+    bool active = false;  ///< station is in contention
+  };
+
   [[nodiscard]] TimeNs fire_time(const DcfStation& s) const;
-  void reschedule();
+  void refresh_contender(int i, const DcfStation& s);
+  void rescan_min();
+  /// Re-arms the pending fire event at the cached minimum (cancel +
+  /// fresh schedule, so the event-sequence numbering is identical to a
+  /// full recompute — determinism depends on it).
+  void sync_pending_fire();
+  /// Recomputes every station's fire time (used when the idle origin
+  /// moves for all of them at once).
+  void reschedule_all();
   void fire();
   void begin_occupation(std::vector<DcfStation*> transmitters);
   void end_occupation();
@@ -71,6 +94,8 @@ class Medium {
   sim::Simulator& sim_;
   PhyParams phy_;
   std::vector<DcfStation*> stations_;
+  std::vector<Contender> contenders_;
+  int min_slot_ = -1;  ///< index of the cached earliest fire, -1 = none
 
   bool busy_ = false;
   TimeNs idle_start_ = TimeNs::zero();

@@ -15,7 +15,7 @@ DcfStation::DcfStation(sim::Simulator& sim, Medium& medium, int id,
       phy_(medium.phy()),
       data_rate_bps_(medium.phy().data_rate_bps),
       cw_(medium.phy().cw_min) {
-  medium_.register_station(this);
+  medium_slot_ = medium_.register_station(this);
 }
 
 void DcfStation::set_delivery_callback(DeliveryCallback cb) {
@@ -98,7 +98,7 @@ void DcfStation::join_contention(TimeNs from, bool allow_immediate) {
   }
   emit(trace::EventKind::kBackoffStart, nullptr, backoff_slots_,
        contend_from_);
-  medium_.update_contention();
+  medium_.update_contention(*this);
 }
 
 void DcfStation::tx_started(TimeNs now) {

@@ -69,6 +69,9 @@ class DcfStation {
   [[nodiscard]] bool in_contention() const {
     return state_ == State::kContending;
   }
+  /// This station's slot in the medium's contender cache (assigned at
+  /// registration).
+  [[nodiscard]] int medium_slot() const { return medium_slot_; }
   [[nodiscard]] bool is_transmitting() const {
     return state_ == State::kTransmitting;
   }
@@ -116,6 +119,7 @@ class DcfStation {
   sim::Simulator& sim_;
   Medium& medium_;
   int id_;
+  int medium_slot_ = -1;
   stats::Rng rng_;
   const PhyParams& phy_;
   double data_rate_bps_;

@@ -1,56 +1,97 @@
 #include "sim/event_queue.hpp"
 
-#include "util/require.hpp"
+#include <algorithm>
 
 namespace csmabw::sim {
 
 void EventHandle::cancel() {
-  if (state_ && !state_->fired) {
-    state_->cancelled = true;
+  if (queue_ == nullptr) {
+    return;
+  }
+  EventQueue::Slot& s = queue_->slot(slot_);
+  if (s.gen != gen_ || s.invoke == nullptr) {
+    return;  // already fired, cancelled, or slot recycled — no ABA
+  }
+  queue_->release_slot(slot_);
+  --queue_->live_;
+  ++queue_->stale_;  // its heap record is now dead weight
+  // Schedule/cancel churn must not grow the heap without bound: once
+  // stale records outnumber live ones, sweep them out.
+  if (queue_->stale_ > queue_->live_ + 64) {
+    queue_->compact();
   }
 }
 
 bool EventHandle::scheduled() const {
-  return state_ && !state_->fired && !state_->cancelled;
+  if (queue_ == nullptr) {
+    return false;
+  }
+  const EventQueue::Slot& s = queue_->slot(slot_);
+  return s.gen == gen_ && s.invoke != nullptr;
 }
 
-EventHandle EventQueue::schedule(TimeNs at, std::function<void()> fn) {
-  CSMABW_REQUIRE(fn != nullptr, "cannot schedule a null event");
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
-  ++live_;
-  return EventHandle{std::move(state)};
-}
-
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
-    --live_;
+EventQueue::~EventQueue() {
+  if (live_ == 0) {
+    return;  // nothing scheduled: no callback can need destruction
+  }
+  for (std::uint32_t idx = 0; idx < slots_used_; ++idx) {
+    Slot& s = slot(idx);
+    if (s.invoke != nullptr && s.destroy != nullptr) {
+      s.destroy(s.storage);
+    }
   }
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
+std::uint32_t EventQueue::grow_slab() {
+  CSMABW_REQUIRE(slots_used_ <= kSlotMask, "event slot space exhausted");
+  if (slots_used_ == chunks_.size() * kChunkSlots) {
+    // Default-initialized on purpose: a value-init (`new Slot[n]()`)
+    // would memset 16 KiB per chunk.  Only gen (compared by handles
+    // across a slot's whole lifetime) and invoke (the liveness flag)
+    // need seeding; the other fields are written before first read.
+    chunks_.emplace_back(new Slot[kChunkSlots]);
+    ++allocations_;
+    Slot* fresh = chunks_.back().get();
+    for (std::uint32_t i = 0; i < kChunkSlots; ++i) {
+      fresh[i].gen = 0;
+      fresh[i].invoke = nullptr;
+    }
+  }
+  return slots_used_++;
 }
 
-TimeNs EventQueue::next_time() const {
-  drop_cancelled();
-  CSMABW_REQUIRE(!heap_.empty(), "next_time() on an empty queue");
-  return heap_.top().at;
-}
-
-TimeNs EventQueue::pop_and_run() {
-  drop_cancelled();
-  CSMABW_REQUIRE(!heap_.empty(), "pop_and_run() on an empty queue");
-  // Move the entry out before running: the callback may schedule new
-  // events and reallocate the heap.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  --live_;
-  e.state->fired = true;
-  e.fn();
-  return e.at;
+void EventQueue::compact() {
+  auto dead = [this](const HeapRecord& r) { return stale(r); };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  stale_ = 0;
+  // Floyd heapify: sift down every internal node of the 4-ary heap.
+  const std::size_t n = heap_.size();
+  if (n < 2) {
+    return;
+  }
+  for (std::size_t start = (n - 2) / 4 + 1; start-- > 0;) {
+    const HeapRecord rec = heap_[start];
+    std::size_t pos = start;
+    for (;;) {
+      const std::size_t child = 4 * pos + 1;
+      if (child >= n) {
+        break;
+      }
+      std::size_t m = child;
+      const std::size_t end = child + 4 < n ? child + 4 : n;
+      for (std::size_t c = child + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[m])) {
+          m = c;
+        }
+      }
+      if (!earlier(heap_[m], rec)) {
+        break;
+      }
+      heap_[pos] = heap_[m];
+      pos = m;
+    }
+    heap_[pos] = rec;
+  }
 }
 
 }  // namespace csmabw::sim

@@ -1,19 +1,28 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <vector>
 
+#include "util/require.hpp"
 #include "util/time.hpp"
 
 namespace csmabw::sim {
 
+class EventQueue;
+
 /// Handle to a scheduled event; allows cancellation.
 ///
-/// Cancellation is lazy: the event stays in the heap but is skipped when
-/// popped.  Handles are cheap to copy and safe to outlive the queue.
+/// A handle is a (slot, generation) pair into the queue's slab pool —
+/// two words, no refcounting.  Cancellation and `scheduled()` checks are
+/// O(1); a handle to an event that has fired (or whose slot was recycled
+/// for a later event) reports `scheduled() == false` and its `cancel()`
+/// is a no-op, so stale handles can never cancel a slot's new occupant.
+/// Handles are cheap to copy but must not be used after the queue they
+/// came from is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -24,53 +33,372 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint32_t gen)
+      : queue_(q), slot_(slot), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
-/// Time-ordered event queue.
+/// Time-ordered event queue with a slab-pooled, allocation-free hot path.
 ///
 /// Events at equal times fire in scheduling order (FIFO tie-break via a
 /// monotone sequence number) — deterministic replay requires a total
-/// order.
+/// order on (time, seq), and every operation preserves it exactly.
+///
+/// Storage design: callbacks live inline in 64-byte slots of a chunked
+/// slab (chunks never move, so callbacks may be non-trivially copyable);
+/// a 4-ary binary-hole heap orders lightweight (time, seq, slot)
+/// records.  Freed slots are recycled through a free list and slot
+/// generations are bumped on release, so in steady state — once the slab
+/// and heap have grown to the high-water mark — scheduling, cancelling
+/// and firing perform zero heap allocations.  Callbacks larger than
+/// `kInlineCallbackBytes` are a compile error: there is deliberately no
+/// heap fallback.
+///
+/// Cancellation is lazy in the heap (the (time, seq, slot) record stays
+/// until it surfaces or a compaction sweep removes it) but eager in the
+/// slab: the slot is destroyed and recycled immediately.  When stale
+/// records outnumber live ones the heap is compacted in place, so a
+/// schedule/cancel churn workload stays bounded.
 class EventQueue {
  public:
-  EventHandle schedule(TimeNs at, std::function<void()> fn);
+  /// Inline storage per event; fits every in-tree callback (lambdas
+  /// capturing a few pointers — four words).  Oversized captures are a
+  /// compile error rather than a silent heap fallback.
+  static constexpr std::size_t kInlineCallbackBytes = 32;
 
-  [[nodiscard]] bool empty() const;
-  /// Time of the earliest live event.  Requires !empty().
-  [[nodiscard]] TimeNs next_time() const;
-  /// Pops and runs the earliest live event; returns its time.
-  /// Requires !empty().
-  TimeNs pop_and_run();
+  EventQueue() = default;
+  ~EventQueue();
 
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` at `at`.  `fn` is moved into the slot's inline
+  /// storage — no allocation, no type-erasure through std::function.
+  template <class F>
+  EventHandle schedule(TimeNs at, F fn) {
+    static_assert(std::is_invocable_r_v<void, F&>,
+                  "event callback must be invocable with no arguments");
+    static_assert(sizeof(F) <= kInlineCallbackBytes,
+                  "event callback too large for inline storage "
+                  "(no heap fallback — shrink the capture)");
+    static_assert(alignof(F) <= alignof(std::max_align_t),
+                  "over-aligned event callbacks are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<F>,
+                  "event callback move must not throw");
+    if constexpr (std::is_constructible_v<bool, const F&>) {
+      CSMABW_REQUIRE(static_cast<bool>(fn), "cannot schedule a null event");
+    }
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    ::new (static_cast<void*>(s.storage)) F(std::move(fn));
+    s.invoke = [](void* p) { (*static_cast<F*>(p))(); };
+    if constexpr (std::is_trivially_destructible_v<F>) {
+      s.destroy = nullptr;
+    } else {
+      s.destroy = [](void* p) { static_cast<F*>(p)->~F(); };
+    }
+    return commit(at, idx);
+  }
+
+  /// Schedules a member-function call `(obj.*Method)()` at `at` — direct
+  /// dispatch on the pooled event: the slot stores only the object
+  /// pointer and the trampoline is a per-(Method) function, with no
+  /// lambda or functor object in between.
+  template <auto Method, class T>
+  EventHandle schedule_member(TimeNs at, T& obj) {
+    static_assert(std::is_invocable_r_v<void, decltype(Method), T&>,
+                  "Method must be callable on T with no arguments");
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    ::new (static_cast<void*>(s.storage)) T*(&obj);
+    s.invoke = [](void* p) { ((*static_cast<T**>(p))->*Method)(); };
+    s.destroy = nullptr;
+    return commit(at, idx);
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Live (scheduled, not cancelled) events.
   [[nodiscard]] std::size_t size() const { return live_; }
 
- private:
-  struct Entry {
-    TimeNs at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
+  /// Time of the earliest live event.  Requires !empty().
+  [[nodiscard]] TimeNs next_time() const {
+    CSMABW_REQUIRE(live_ > 0, "next_time() on an empty queue");
+    prune_top();
+    return heap_.front().at;
+  }
+
+  /// Pops and runs the earliest live event; returns its time.
+  /// Requires !empty().
+  TimeNs pop_and_run() {
+    CSMABW_REQUIRE(live_ > 0, "pop_and_run() on an empty queue");
+    for (;;) {
+      const HeapRecord rec = take_top();
+      if (stale_ != 0 && stale(rec)) {
+        --stale_;
+        continue;
       }
-      return a.seq > b.seq;
+      return dispatch(rec);
     }
+  }
+
+  /// Pops and runs the earliest live event, advancing `now` to its time
+  /// first; returns false when the queue is empty.  The single-step
+  /// building block for predicate-checked loops.
+  bool step(TimeNs& now) {
+    while (live_ > 0) {
+      const HeapRecord rec = take_top();
+      if (stale_ != 0 && stale(rec)) {
+        --stale_;
+        continue;
+      }
+      now = rec.at;
+      dispatch(rec);
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs every event with time <= `deadline` in (time, seq) order,
+  /// advancing `now` to each event's time before dispatch.  Returns the
+  /// number of events run.  Batching the loop here (instead of the
+  /// owner's empty()/next_time()/pop_and_run() dance) touches the heap
+  /// top once per event with no indirection.
+  std::uint64_t run_until(TimeNs deadline, TimeNs& now) {
+    std::uint64_t ran = 0;
+    while (live_ > 0) {
+      if (stale_ != 0 && stale(heap_.front())) {
+        --stale_;
+        (void)take_top();
+        continue;
+      }
+      if (heap_.front().at > deadline) {
+        break;
+      }
+      const HeapRecord rec = take_top();
+      now = rec.at;
+      dispatch(rec);
+      ++ran;
+    }
+    return ran;
+  }
+
+  /// Runs until the queue drains; same contract as `run_until`.
+  std::uint64_t run_all(TimeNs& now) {
+    std::uint64_t ran = 0;
+    while (step(now)) {
+      ++ran;
+    }
+    return ran;
+  }
+
+  // --- introspection for tests and benchmarks ---
+  /// Heap records, including stale ones awaiting compaction.  Bounded by
+  /// ~2x the live count plus a small constant.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+  /// Slots the slab has ever allocated (the high-water mark).
+  [[nodiscard]] std::size_t slot_capacity() const {
+    return chunks_.size() * kChunkSlots;
+  }
+  /// Number of heap allocations the queue has performed (slab chunks +
+  /// heap-vector growth).  Constant across steady-state operation.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kChunkSlots = 256;  // 16 KiB chunks
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+
+  /// One pooled event: 64 bytes, a single cache line on common targets.
+  /// `invoke != nullptr` means the slot holds a live (scheduled, not yet
+  /// dispatched, not cancelled) callback.
+  ///
+  /// Deliberately no default member initializers: chunks are allocated
+  /// default-initialized (no 16 KiB memset on slab growth).  grow_slab()
+  /// seeds `gen` and `invoke` for each new chunk (512 B of writes);
+  /// every other field is written by schedule()/commit() before it is
+  /// first read.
+  struct Slot {
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
+    std::uint64_t seq;  ///< unique per event; stale-record check
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    std::uint32_t gen;  ///< bumped on release; handle validity
+    std::uint32_t next_free;
   };
 
-  void drop_cancelled() const;
+  // The heap record packs (seq, slot) into one u64 — `key = seq << 24 |
+  // slot` — so a record is 16 bytes and the FIFO tie-break is a single
+  // integer compare: seq is unique per event, so comparing keys compares
+  // seqs and the slot bits can never decide an ordering.  The packing
+  // caps one queue instance at 2^24 concurrent slots (1 GiB of live
+  // events) and 2^40 total events (~10^12); both are enforced loudly.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// What the heap orders: trivially movable, 16 bytes.
+  struct HeapRecord {
+    TimeNs at;
+    std::uint64_t key;  ///< seq << kSlotBits | slot
+  };
+
+  static bool earlier(const HeapRecord& a, const HeapRecord& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.key < b.key;
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+  [[nodiscard]] bool stale(const HeapRecord& r) const {
+    const Slot& s = slot(static_cast<std::uint32_t>(r.key) & kSlotMask);
+    return s.invoke == nullptr || s.seq != r.key >> kSlotBits;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kInvalidSlot) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slot(idx).next_free;
+      return idx;
+    }
+    return grow_slab();
+  }
+
+  /// Inserts the freshly filled slot `idx` into the heap (hole-based
+  /// 4-ary sift-up) and hands out the handle.
+  EventHandle commit(TimeNs at, std::uint32_t idx) {
+    Slot& s = slot(idx);
+    const std::uint64_t seq = next_seq_++;
+    CSMABW_REQUIRE(seq < kMaxSeq, "event sequence space exhausted");
+    s.seq = seq;
+    if (heap_.size() == heap_.capacity()) {
+      ++allocations_;  // the push below grows the heap vector
+    }
+    std::size_t pos = heap_.size();
+    const HeapRecord rec{at, seq << kSlotBits | idx};
+    heap_.push_back(rec);
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!earlier(rec, heap_[parent])) {
+        break;
+      }
+      heap_[pos] = heap_[parent];
+      pos = parent;
+    }
+    heap_[pos] = rec;
+    ++live_;
+    return EventHandle{this, idx, s.gen};
+  }
+
+  /// Removes and returns the heap's top record (hole-based 4-ary
+  /// sift-down).  `const` so the lazy pruning in next_time() can use it;
+  /// the heap is mutable state either way.
+  HeapRecord take_top() const {
+    const HeapRecord top = heap_.front();
+    const HeapRecord last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      HeapRecord* h = heap_.data();
+      std::size_t pos = 0;
+      for (;;) {
+        const std::size_t child = 4 * pos + 1;
+        if (child + 4 <= n) {
+          // Full fan-out: pairwise tournament for the minimum child —
+          // two independent compares, then one, instead of a serial
+          // dependency chain of three.
+          const std::size_t m01 = earlier(h[child + 1], h[child])
+                                      ? child + 1
+                                      : child;
+          const std::size_t m23 = earlier(h[child + 3], h[child + 2])
+                                      ? child + 3
+                                      : child + 2;
+          const std::size_t m = earlier(h[m23], h[m01]) ? m23 : m01;
+          if (!earlier(h[m], last)) {
+            break;
+          }
+          h[pos] = h[m];
+          pos = m;
+          continue;
+        }
+        if (child >= n) {
+          break;
+        }
+        std::size_t m = child;
+        for (std::size_t c = child + 1; c < n; ++c) {
+          if (earlier(h[c], h[m])) {
+            m = c;
+          }
+        }
+        if (!earlier(h[m], last)) {
+          break;
+        }
+        h[pos] = h[m];
+        pos = m;
+      }
+      h[pos] = last;
+    }
+    return top;
+  }
+
+  /// Runs the (live) record's callback and recycles its slot.
+  TimeNs dispatch(const HeapRecord& rec) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(rec.key) & kSlotMask;
+    Slot& s = slot(idx);
+    void (*fn)(void*) = s.invoke;
+    // Mark not-live before running: the callback observes its own handle
+    // as unscheduled, and a self-cancel is a harmless no-op.  The slot is
+    // recycled only after the callback returns, so the callback object
+    // stays valid even if the callback schedules new events.
+    s.invoke = nullptr;
+    --live_;
+    fn(s.storage);
+    release_slot(idx);
+    return rec.at;
+  }
+
+  /// Destroys the callback and returns the slot to the free list,
+  /// bumping its generation so outstanding handles go stale.
+  void release_slot(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    if (s.destroy != nullptr) {
+      s.destroy(s.storage);
+    }
+    s.invoke = nullptr;
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  /// Pops stale records off the heap top (so front() is live).
+  void prune_top() const {
+    while (!heap_.empty() && stale(heap_.front())) {
+      (void)take_top();
+      --stale_;
+    }
+  }
+
+  std::uint32_t grow_slab();
+  /// Removes every stale record and re-heapifies; O(heap size).
+  void compact();
+
+  mutable std::vector<HeapRecord> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t free_head_ = kInvalidSlot;
+  std::uint32_t slots_used_ = 0;  ///< slots handed out at least once
   std::uint64_t next_seq_ = 0;
-  mutable std::size_t live_ = 0;
+  std::size_t live_ = 0;
+  mutable std::size_t stale_ = 0;  ///< stale records still in the heap
+  std::uint64_t allocations_ = 0;
 };
 
 }  // namespace csmabw::sim

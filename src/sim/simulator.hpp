@@ -1,8 +1,10 @@
 #pragma once
 
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.hpp"
+#include "util/require.hpp"
 #include "util/time.hpp"
 
 namespace csmabw::trace {
@@ -17,25 +19,65 @@ namespace csmabw::sim {
 /// `run_until` / `run`.  The clock never moves backwards; scheduling in
 /// the past is a contract violation (it would silently reorder
 /// causality).
+///
+/// Scheduling is allocation-free: callbacks are moved into the pooled
+/// event queue's inline slots (see EventQueue), so the hot path of a
+/// large ensemble performs no per-event heap work.
 class Simulator {
  public:
   [[nodiscard]] TimeNs now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (>= now()).
-  EventHandle schedule_at(TimeNs at, std::function<void()> fn);
+  template <class F>
+  EventHandle schedule_at(TimeNs at, F fn) {
+    CSMABW_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    return queue_.schedule(at, std::move(fn));
+  }
   /// Schedules `fn` after `delay` (>= 0).
-  EventHandle schedule_in(TimeNs delay, std::function<void()> fn);
+  template <class F>
+  EventHandle schedule_in(TimeNs delay, F fn) {
+    CSMABW_REQUIRE(delay >= TimeNs::zero(), "delay must be non-negative");
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+  /// Schedules `(obj.*Method)()` at `at` — direct member-function
+  /// dispatch on the pooled event, e.g.
+  /// `sim.schedule_member_at<&Medium::fire>(t, *this)`.
+  template <auto Method, class T>
+  EventHandle schedule_member_at(TimeNs at, T& obj) {
+    CSMABW_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    return queue_.schedule_member<Method>(at, obj);
+  }
 
   /// Runs events with time <= `deadline`; afterwards now() == deadline.
-  void run_until(TimeNs deadline);
+  void run_until(TimeNs deadline) {
+    CSMABW_REQUIRE(deadline >= now_, "deadline is in the past");
+    processed_ += queue_.run_until(deadline, now_);
+    now_ = deadline;
+  }
   /// Runs until the event queue drains.
-  void run();
-  /// Runs until `pred()` becomes true (checked after each event) or the
+  void run() { processed_ += queue_.run_all(now_); }
+  /// Runs until `done()` becomes true (checked after each event) or the
   /// queue drains.  Returns whether the predicate was satisfied.
-  bool run_while_pending(const std::function<bool()>& done);
+  template <class Pred>
+  bool run_while_pending(Pred done) {
+    static_assert(std::is_invocable_r_v<bool, Pred&>,
+                  "predicate must be callable and return bool");
+    while (queue_.step(now_)) {
+      ++processed_;
+      if (done()) {
+        return true;
+      }
+    }
+    return done();
+  }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  /// Heap allocations the event queue has performed so far (slab chunks
+  /// + heap-vector growth); constant across steady-state operation.
+  [[nodiscard]] std::uint64_t event_allocations() const {
+    return queue_.allocations();
+  }
 
   /// The simulation's event tap (nullptr = tracing disabled).  Owned by
   /// the caller; components sharing this simulator (stations, medium,

@@ -36,8 +36,8 @@ void PoissonSource::start(TimeNs at) {
   running_ = true;
   // Memorylessness: the first arrival is one exponential gap after `at`,
   // which is exactly a stationary Poisson process started at `at`.
-  sim_.schedule_at(at + TimeNs::from_seconds(rng_.exponential(mean_gap_s_)),
-                   [this] { schedule_next(); });
+  sim_.schedule_member_at<&PoissonSource::schedule_next>(
+      at + TimeNs::from_seconds(rng_.exponential(mean_gap_s_)), *this);
 }
 
 void PoissonSource::schedule_next() {
@@ -45,8 +45,8 @@ void PoissonSource::schedule_next() {
     return;
   }
   emit(static_cast<int>(generated_));
-  sim_.schedule_in(TimeNs::from_seconds(rng_.exponential(mean_gap_s_)),
-                   [this] { schedule_next(); });
+  sim_.schedule_member_at<&PoissonSource::schedule_next>(
+      sim_.now() + TimeNs::from_seconds(rng_.exponential(mean_gap_s_)), *this);
 }
 
 // --- CbrSource ---
@@ -66,18 +66,20 @@ void CbrSource::start(TimeNs at) {
 }
 
 void CbrSource::schedule_next(TimeNs at) {
-  sim_.schedule_at(at, [this] {
-    if (!running_) {
-      return;
-    }
-    if (max_packets_ != 0 && generated_ >= max_packets_) {
-      return;
-    }
-    emit(static_cast<int>(generated_));
-    if (max_packets_ == 0 || generated_ < max_packets_) {
-      schedule_next(sim_.now() + gap_);
-    }
-  });
+  sim_.schedule_member_at<&CbrSource::on_timer>(at, *this);
+}
+
+void CbrSource::on_timer() {
+  if (!running_) {
+    return;
+  }
+  if (max_packets_ != 0 && generated_ >= max_packets_) {
+    return;
+  }
+  emit(static_cast<int>(generated_));
+  if (max_packets_ == 0 || generated_ < max_packets_) {
+    schedule_next(sim_.now() + gap_);
+  }
 }
 
 // --- SaturatedSource ---
@@ -100,11 +102,13 @@ SaturatedSource::SaturatedSource(sim::Simulator& sim,
 void SaturatedSource::start(TimeNs at) {
   CSMABW_REQUIRE(!running_, "source already started");
   running_ = true;
-  sim_.schedule_at(at, [this] {
-    for (int k = 0; k < backlog_ && running_; ++k) {
-      emit(static_cast<int>(generated_));
-    }
-  });
+  sim_.schedule_member_at<&SaturatedSource::fill>(at, *this);
+}
+
+void SaturatedSource::fill() {
+  for (int k = 0; k < backlog_ && running_; ++k) {
+    emit(static_cast<int>(generated_));
+  }
 }
 
 // --- OnOffSource ---
@@ -127,7 +131,7 @@ void OnOffSource::start(TimeNs at) {
   running_ = true;
   on_ = true;
   phase_end_ = at + TimeNs::from_seconds(rng_.exponential(mean_on_s_));
-  sim_.schedule_at(at, [this] { schedule_next(); });
+  sim_.schedule_member_at<&OnOffSource::schedule_next>(at, *this);
 }
 
 void OnOffSource::schedule_next() {
@@ -142,10 +146,10 @@ void OnOffSource::schedule_next() {
   }
   if (on_) {
     emit(static_cast<int>(generated_));
-    sim_.schedule_in(on_gap_, [this] { schedule_next(); });
+    sim_.schedule_member_at<&OnOffSource::schedule_next>(now + on_gap_, *this);
   } else {
     // Sleep until the off phase ends.
-    sim_.schedule_at(phase_end_, [this] { schedule_next(); });
+    sim_.schedule_member_at<&OnOffSource::schedule_next>(phase_end_, *this);
   }
 }
 

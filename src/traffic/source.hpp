@@ -69,6 +69,7 @@ class CbrSource : public Source {
 
  private:
   void schedule_next(TimeNs at);
+  void on_timer();
 
   TimeNs gap_;
   std::uint64_t max_packets_;
@@ -94,6 +95,8 @@ class SaturatedSource : public Source {
   void start(TimeNs at) override;
 
  private:
+  void fill();
+
   int backlog_;
 };
 
