@@ -31,8 +31,12 @@
 // and/or inline scenario grammars (core::ScenarioSpec) becomes the
 // OUTERMOST axis, replacing --contenders/--cross-mbps/--phy/--fifo:
 // heterogeneous-rate and non-Poisson cells sweep like any other
-// coordinate.  --list-scenarios and --list-methods print the registries
-// (names + option keys) and exit.
+// coordinate.  --topologies adds a conflict-graph axis under it: each
+// scenario entry is expanded once per topology spec
+// (clique|grid:3x3|pairs-hidden:2, '|'-separated like --scenarios),
+// labelling cells with the full grammar including `topology=`.
+// --list-scenarios, --list-methods and --list-topologies print the
+// registries (names + option keys) and exit.
 //
 // Examples:
 //   campaign_sweep --contenders=1,2,3 --cross-mbps=1,2,4
@@ -43,6 +47,9 @@
 //     --format=json
 //   campaign_sweep --reps=50 --train=60
 //     --scenarios='paper_fig2|rate_anomaly|contenders=2x onoff:rate=3M,duty=0.3'
+//   campaign_sweep --reps=50 --train=60
+//     --scenarios='contenders=8x poisson:rate=400k'
+//     --topologies='clique|grid:3x3'
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -52,6 +59,7 @@
 #include "core/scenario.hpp"
 #include "exp/collector.hpp"
 #include "exp/engine.hpp"
+#include "topo/registry.hpp"
 #include "traffic/model.hpp"
 #include "util/require.hpp"
 
@@ -77,8 +85,9 @@ int list_scenarios() {
   const core::ScenarioRegistry& registry = core::ScenarioRegistry::global();
   std::cout << "# registered scenarios (--scenarios also accepts inline "
                "grammar: [name=<label>;][phy=<preset>;]"
-               "contenders=<group> + ...[;fifo=<spec>]; "
-               "phy defaults to dot11b_short)\n";
+               "[topology=<topo-spec>;]contenders=<group> + ..."
+               "[;fifo=<spec>]; phy defaults to dot11b_short, topology "
+               "to clique — see --list-topologies)\n";
   for (const std::string& name : registry.names()) {
     std::cout << name << "  =  " << registry.get(name).describe() << "\n";
   }
@@ -88,6 +97,21 @@ int list_scenarios() {
   for (const std::string& name : models.names()) {
     std::cout << name;
     const std::string& help = models.help(name);
+    if (!help.empty()) {
+      std::cout << "  [" << help << "]";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int list_topologies() {
+  const topo::TopologyRegistry& registry = topo::TopologyRegistry::global();
+  std::cout << "# topology generators (spec: name[:arg]; use as a "
+               "scenario's `topology=` field or as --topologies entries)\n";
+  for (const std::string& name : registry.names()) {
+    std::cout << name;
+    const std::string& help = registry.help(name);
     if (!help.empty()) {
       std::cout << "  [" << help << "]";
     }
@@ -151,6 +175,9 @@ int main(int argc, char** argv) {
   if (args.get("list-scenarios", false)) {
     return list_scenarios();
   }
+  if (args.get("list-topologies", false)) {
+    return list_topologies();
+  }
 
   const std::string format = args.get("format", "table");
   CSMABW_REQUIRE(format == "table" || format == "json",
@@ -183,7 +210,16 @@ int main(int argc, char** argv) {
       CSMABW_REQUIRE(!args.has(flag), message);
     }
     spec.scenarios = exp::split_scenario_list(scenarios);
+    const std::string topologies = args.get("topologies", "");
+    if (!topologies.empty()) {
+      // Same '|' separator as --scenarios (topology args use ':').
+      spec.topologies = exp::split_scenario_list(topologies);
+    }
   } else {
+    CSMABW_REQUIRE(!args.has("topologies"),
+                   "--topologies multiplies the --scenarios axis; give "
+                   "--scenarios at least one entry (station counts come "
+                   "from the scenario)");
     spec.contender_counts = args.get_ints("contenders", {1, 2, 3});
     spec.cross_mbps = args.get_doubles("cross-mbps", {1.0, 2.0, 4.0});
     spec.phy_presets =

@@ -30,8 +30,8 @@ namespace {
 /// The sim-core benchmark families the gate protects by default.
 const char* kDefaultFamilies =
     "BM_EventQueueScheduleRun,BM_EventQueueCancelHeavy,"
-    "BM_DcfSaturatedStation,BM_MediumContention,BM_ProbeTrainRepetition,"
-    "BM_CampaignEngine";
+    "BM_DcfSaturatedStation,BM_MediumContention,BM_ConflictGraphMedium,"
+    "BM_ProbeTrainRepetition,BM_CampaignEngine";
 
 /// Extracts {name -> items_per_second} from google-benchmark JSON.
 ///

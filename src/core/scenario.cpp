@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "stats/rng.hpp"
+#include "topo/conflict_medium.hpp"
+#include "topo/registry.hpp"
 #include "traffic/flow_meter.hpp"
 #include "traffic/source.hpp"
 #include "util/options.hpp"
@@ -141,6 +143,7 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
   ScenarioSpec spec;
   bool saw_name = false;
   bool saw_phy = false;
+  bool saw_topology = false;
   bool saw_contenders = false;
   bool saw_fifo = false;
   CSMABW_REQUIRE(!trim(text).empty(), "scenario spec is empty");
@@ -169,6 +172,12 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
       // Throws on unknown presets.
       (void)core::phy_preset(std::string(value));
       spec.phy_preset = std::string(value);
+    } else if (key == "topology") {
+      CSMABW_REQUIRE(!saw_topology, "duplicate scenario field `topology`");
+      saw_topology = true;
+      // Canonicalization doubles as eager validation of the arg
+      // grammar; the station-count check waits for build time.
+      spec.topology = topo::TopologyRegistry::global().canonical(value);
     } else if (key == "contenders") {
       CSMABW_REQUIRE(!saw_contenders,
                      "duplicate scenario field `contenders`");
@@ -205,7 +214,7 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
     } else {
       throw util::PreconditionError(
           "unknown scenario field `" + std::string(key) +
-          "` (known: name, phy, contenders, fifo)");
+          "` (known: name, phy, topology, contenders, fifo)");
     }
     if (semi == std::string_view::npos) {
       break;
@@ -221,6 +230,9 @@ std::string ScenarioSpec::describe() const {
     out += "name=" + name + ";";
   }
   out += "phy=" + phy_preset;
+  if (topology != topo::kDefaultTopology) {
+    out += ";topology=" + topology;
+  }
   if (!contenders.empty()) {
     out += ";contenders=";
     std::size_t i = 0;
@@ -251,6 +263,7 @@ std::string ScenarioSpec::label() const {
 ScenarioConfig ScenarioSpec::to_config(std::uint64_t seed) const {
   ScenarioConfig cfg;
   cfg.phy = core::phy_preset(this->phy_preset);
+  cfg.topology = topology;
   cfg.contenders = contenders;
   cfg.fifo_cross = fifo;
   cfg.seed = seed;
@@ -366,6 +379,30 @@ std::vector<TrafficModelPtr> parse_contender_models(
   return models;
 }
 
+/// Selects the cell's medium.  The default single collision domain —
+/// bare `clique`, plus any explicit clique that matches the cell —
+/// keeps the classic dense mac::Medium, the fast path whose outputs
+/// existing campaigns are byte-identical on; every other topology runs
+/// on a topo::ConflictGraphMedium over the registry-built graph.
+mac::WlanNetwork::MediumFactory medium_factory(const ScenarioConfig& cfg) {
+  const auto dense = [](sim::Simulator& sim, const mac::PhyParams& phy) {
+    return std::make_unique<mac::Medium>(sim, phy);
+  };
+  if (cfg.topology == topo::kDefaultTopology) {
+    return dense;
+  }
+  const int stations = 1 + static_cast<int>(cfg.contenders.size());
+  topo::Topology t =
+      topo::TopologyRegistry::global().build(cfg.topology, stations);
+  if (t.is_clique()) {
+    return dense;
+  }
+  return [t = std::move(t)](sim::Simulator& sim, const mac::PhyParams& phy)
+             -> std::unique_ptr<mac::MediumBase> {
+    return std::make_unique<topo::ConflictGraphMedium>(sim, phy, t);
+  };
+}
+
 TrafficModelPtr parse_fifo_model(const ScenarioConfig& cfg) {
   if (!cfg.fifo_cross.has_value()) {
     return nullptr;
@@ -390,7 +427,8 @@ ScenarioCell::ScenarioCell(
     const ScenarioConfig& cfg, std::uint64_t repetition,
     const std::vector<TrafficModelPtr>& contender_models,
     const TrafficModelPtr& fifo_model)
-    : net_(cfg.phy, stats::Rng(cfg.seed).fork(repetition).seed()) {
+    : net_(cfg.phy, stats::Rng(cfg.seed).fork(repetition).seed(),
+           medium_factory(cfg)) {
   CSMABW_REQUIRE(contender_models.size() == cfg.contenders.size() &&
                      fifo_model.operator bool() ==
                          cfg.fifo_cross.has_value(),
@@ -457,6 +495,12 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
   // here, not mid-campaign, and every repetition reuses these models.
   contender_models_ = parse_contender_models(cfg_);
   fifo_model_ = parse_fifo_model(cfg_);
+  if (cfg_.topology != topo::kDefaultTopology) {
+    // Same eagerness for the topology: surfaces unknown names, bad
+    // args and station-count mismatches before any repetition runs.
+    (void)topo::TopologyRegistry::global().build(
+        cfg_.topology, 1 + static_cast<int>(cfg_.contenders.size()));
+  }
 }
 
 TrainRun Scenario::run_train(const traffic::TrainSpec& spec,

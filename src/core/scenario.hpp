@@ -46,6 +46,14 @@ struct StationSpec {
 /// probing station's FIFO queue.
 struct ScenarioConfig {
   mac::PhyParams phy = mac::PhyParams::dot11b_short();
+  /// Carrier-sense/interference topology of the cell — a
+  /// topo::TopologyRegistry spec over 1 + contenders.size() stations
+  /// (station 0 is the probe).  The default bare `clique` is the
+  /// paper's single collision domain and runs on the classic
+  /// mac::Medium; any other topology (including pinned `clique:N`,
+  /// which must match the station count) is validated against the
+  /// registry and non-clique graphs run on topo::ConflictGraphMedium.
+  std::string topology = "clique";
   /// One entry per contending station.
   std::vector<StationSpec> contenders;
   /// FIFO cross-traffic on the probing station (Fig 3); disabled when
@@ -72,8 +80,8 @@ struct ScenarioConfig {
 /// Text form: `;`-separated `key=value` fields, each optional (`phy`
 /// defaults to dot11b_short, `contenders` to none)
 ///
-///   [name=<label>;][phy=<preset>;]contenders=<group>[ + <group>...]
-///   [;fifo=<traffic-spec>[/<size>]]
+///   [name=<label>;][phy=<preset>;][topology=<topo-spec>;]
+///   contenders=<group>[ + <group>...][;fifo=<traffic-spec>[/<size>]]
 ///
 /// where a contender group is `[<count>x ]<traffic-spec>[/<size>][@<rate>]`:
 /// `count` repeats the station spec, `/<size>` sets StationSpec::
@@ -83,16 +91,21 @@ struct ScenarioConfig {
 ///   phy=dot11b_short;contenders=3x onoff:rate=6M,duty=0.3,burst=50ms
 ///   contenders=2x saturated + 1x saturated@2M          (rate anomaly)
 ///   name=fig3;phy=dot11b_short;contenders=1x poisson:rate=2M;fifo=poisson:rate=1M
+///   topology=grid:3x3;contenders=8x poisson:rate=400k  (hidden terminals)
 ///
 /// parse() canonicalizes every traffic spec through the global
-/// TrafficModelRegistry, so `parse(describe(s)) == s` for any spec
-/// produced by parse() or describe() — the round-trip contract campaigns
-/// and CI build on.
+/// TrafficModelRegistry (and `topology` through topo::TopologyRegistry),
+/// so `parse(describe(s)) == s` for any spec produced by parse() or
+/// describe() — the round-trip contract campaigns and CI build on.
 struct ScenarioSpec {
   /// Optional label (the `name=` field); used as the campaign coordinate
   /// when set.
   std::string name;
   std::string phy_preset = "dot11b_short";
+  /// Conflict-graph topology spec (topo::TopologyRegistry); the
+  /// default bare `clique` — today's single collision domain — is
+  /// omitted from describe(), keeping pre-topology spellings stable.
+  std::string topology = "clique";
   std::vector<StationSpec> contenders;
   std::optional<StationSpec> fifo;
 

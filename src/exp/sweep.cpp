@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/method.hpp"
+#include "topo/registry.hpp"
 #include "util/require.hpp"
 
 namespace csmabw::exp {
@@ -47,9 +48,25 @@ void SweepSpec::validate() const {
     for (const auto& entry : scenarios) {
       // Throws on unknown names and malformed grammar — and validates
       // every traffic spec — before any campaign work starts.
-      (void)registry.resolve(entry);
+      const core::ScenarioSpec scenario = registry.resolve(entry);
+      if (!topologies.empty()) {
+        CSMABW_REQUIRE(scenario.topology == topo::kDefaultTopology,
+                       "scenario `" + entry + "` sets its own topology; "
+                       "the topologies axis replaces the scenario's "
+                       "`topology=` field — set one or the other");
+        const int stations = 1 + static_cast<int>(scenario.contenders.size());
+        for (const auto& topology : topologies) {
+          // Grammar AND node-count validation: a grid:3x3 entry over a
+          // 4-station scenario fails here, not mid-campaign.
+          (void)topo::TopologyRegistry::global().build(topology, stations);
+        }
+      }
     }
   }
+  CSMABW_REQUIRE(topologies.empty() || !scenarios.empty(),
+                 "the topologies axis multiplies the scenarios axis; "
+                 "give --scenarios/SweepSpec::scenarios at least one "
+                 "entry (station counts come from the scenario)");
   for (int c : contender_counts) {
     CSMABW_REQUIRE(c >= 0, "contender counts must be >= 0");
   }
@@ -82,7 +99,9 @@ std::int64_t SweepSpec::grid_size() const {
                 static_cast<std::int64_t>(cross_mbps.size()) *
                 static_cast<std::int64_t>(phy_presets.size()) *
                 static_cast<std::int64_t>(fifo_cross.size())
-          : static_cast<std::int64_t>(scenarios.size());
+          : static_cast<std::int64_t>(scenarios.size()) *
+                static_cast<std::int64_t>(
+                    topologies.empty() ? 1 : topologies.size());
   return scenario_axes * static_cast<std::int64_t>(train_lengths.size()) *
          static_cast<std::int64_t>(probe_mbps.size()) *
          static_cast<std::int64_t>(methods.empty() ? 1 : methods.size());
@@ -111,28 +130,48 @@ Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
   };
 
   if (!spec_.scenarios.empty()) {
-    // Scenario axis: scenario (outermost) > train length > probe rate >
-    // method; the scenario entry fixes phy/contenders/cross/fifo.
+    // Scenario axis: scenario (outermost) > topology > train length >
+    // probe rate > method; the scenario entry fixes
+    // phy/contenders/cross/fifo and, when the topologies axis is set,
+    // each topology entry overrides the scenario's conflict graph.
+    // Without a topologies axis the expansion is exactly the pre-axis
+    // one (a single pass-through entry leaves labels and configs
+    // untouched).
+    const std::vector<std::string> topology_axis =
+        spec_.topologies.empty() ? std::vector<std::string>{std::string()}
+                                 : spec_.topologies;
     const core::ScenarioRegistry& registry = scenario_registry_of(spec_);
     for (const std::string& entry : spec_.scenarios) {
-      const core::ScenarioSpec scenario = registry.resolve(entry);
-      const std::optional<BitRate> load = scenario.offered_load();
-      for (int train_length : spec_.train_lengths) {
-        for (double probe : spec_.probe_mbps) {
-          for (const std::string& method : method_axis) {
-            Cell cell;
-            cell.scenario_name = scenario.label();
-            cell.contenders = static_cast<int>(scenario.contenders.size());
-            cell.cross_mbps =
-                load.has_value() ? load->to_mbps()
-                                 : std::numeric_limits<double>::quiet_NaN();
-            cell.phy_preset = scenario.phy_preset;
-            cell.train_length = train_length;
-            cell.probe_mbps = probe;
-            cell.fifo = scenario.fifo.has_value();
-            cell.method = method;
-            cell.scenario = scenario.to_config(/*seed=*/0);
-            finish_cell(std::move(cell));
+      const core::ScenarioSpec base = registry.resolve(entry);
+      const std::optional<BitRate> load = base.offered_load();
+      for (const std::string& topology : topology_axis) {
+        core::ScenarioSpec scenario = base;
+        if (!topology.empty()) {
+          scenario.topology =
+              topo::TopologyRegistry::global().canonical(topology);
+        }
+        // Topology-axis cells are labelled with the full grammar string
+        // (topology included): (scenario, topology) stays a distinct
+        // coordinate without growing the collector's column set.
+        const std::string label =
+            topology.empty() ? scenario.label() : scenario.describe();
+        for (int train_length : spec_.train_lengths) {
+          for (double probe : spec_.probe_mbps) {
+            for (const std::string& method : method_axis) {
+              Cell cell;
+              cell.scenario_name = label;
+              cell.contenders = static_cast<int>(scenario.contenders.size());
+              cell.cross_mbps =
+                  load.has_value() ? load->to_mbps()
+                                   : std::numeric_limits<double>::quiet_NaN();
+              cell.phy_preset = scenario.phy_preset;
+              cell.train_length = train_length;
+              cell.probe_mbps = probe;
+              cell.fifo = scenario.fifo.has_value();
+              cell.method = method;
+              cell.scenario = scenario.to_config(/*seed=*/0);
+              finish_cell(std::move(cell));
+            }
           }
         }
       }

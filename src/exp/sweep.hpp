@@ -31,6 +31,16 @@ struct SweepSpec {
   /// Registry the scenario entries are resolved against (must outlive
   /// the spec); nullptr means core::ScenarioRegistry::global().
   const core::ScenarioRegistry* scenario_registry = nullptr;
+  /// Conflict-graph topology axis (topo::TopologyRegistry specs such as
+  /// `clique`, `grid:3x3`, `pairs-hidden:2`).  Requires a non-empty
+  /// scenarios axis — each scenario entry is expanded once per topology
+  /// — and every scenario entry must leave its own `topology=` field at
+  /// the default, so the axis is the single source of truth.  Cells on
+  /// this axis are labelled with the full scenario grammar including
+  /// the topology, keeping (scenario, topology) coordinates distinct
+  /// without a new collector column.  Node counts are validated against
+  /// each scenario's station count before any campaign work starts.
+  std::vector<std::string> topologies{};
   /// Number of contending stations (each carries one Poisson flow).
   std::vector<int> contender_counts{1};
   /// Per-contender Poisson rate in Mb/s.
@@ -108,7 +118,8 @@ struct Cell {
 class Campaign {
  public:
   /// Expands the grid; order: scenario (outermost, when the scenarios
-  /// axis is non-empty) > phy preset > contenders > cross rate > train
+  /// axis is non-empty) > topology (when the topologies axis is
+  /// non-empty) > phy preset > contenders > cross rate > train
   /// length > probe rate > fifo > method (innermost; only present when
   /// the methods axis is non-empty).  With a scenarios axis the
   /// phy/contenders/cross/fifo loops collapse to the scenario's values.

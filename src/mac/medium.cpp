@@ -8,9 +8,7 @@
 namespace csmabw::mac {
 
 Medium::Medium(sim::Simulator& sim, const PhyParams& phy)
-    : sim_(sim), phy_(phy) {
-  phy_.validate();
-}
+    : MediumBase(sim, phy) {}
 
 int Medium::register_station(DcfStation* s) {
   CSMABW_REQUIRE(s != nullptr, "null station");

@@ -20,6 +20,51 @@ struct MediumStats {
   TimeNs busy_time;                    ///< cumulative occupation time
 };
 
+/// Station-facing contract of a CSMA/CA medium.
+///
+/// A medium owns the contention clock: stations report contention-state
+/// changes through update_contention() and are driven back through the
+/// DcfStation callbacks (tx_started, medium_seized, tx_succeeded,
+/// tx_collided, occupation_observed, finish_post_backoff).  Carrier
+/// sense is a per-station question — sensed_busy(s) asks whether *s*
+/// currently hears an ongoing transmission, which in a conflict-graph
+/// medium (topo::ConflictGraphMedium) depends on who its sensing
+/// neighbors are.  The classic single-collision-domain Medium answers
+/// it globally.
+class MediumBase {
+ public:
+  MediumBase(sim::Simulator& sim, const PhyParams& phy)
+      : sim_(sim), phy_(phy) {
+    phy_.validate();
+  }
+  virtual ~MediumBase() = default;
+
+  MediumBase(const MediumBase&) = delete;
+  MediumBase& operator=(const MediumBase&) = delete;
+
+  /// Registers a station; returns its slot in the medium's contender
+  /// cache (stations pass it back via DcfStation::medium_slot()).  The
+  /// station must outlive the medium.
+  virtual int register_station(DcfStation* s) = 0;
+
+  /// `s`'s contention state changed; refresh its cached fire time and
+  /// the pending fire event.
+  virtual void update_contention(DcfStation& s) = 0;
+
+  /// Whether `s` currently senses the channel busy (an ongoing
+  /// transmission it can hear).
+  [[nodiscard]] virtual bool sensed_busy(const DcfStation& s) const = 0;
+
+  [[nodiscard]] const PhyParams& phy() const { return phy_; }
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ protected:
+  sim::Simulator& sim_;
+  PhyParams phy_;
+  MediumStats stats_;
+};
+
 /// Single-collision-domain CSMA/CA medium.
 ///
 /// All stations hear each other perfectly (no hidden terminals, no
@@ -44,31 +89,22 @@ struct MediumStats {
 /// contention change is O(1) (amortized — a full rescan happens only
 /// when the minimum's owner changes or an occupation ends and the idle
 /// origin moves for everyone).
-class Medium {
+class Medium : public MediumBase {
  public:
   Medium(sim::Simulator& sim, const PhyParams& phy);
 
-  Medium(const Medium&) = delete;
-  Medium& operator=(const Medium&) = delete;
-
-  /// Registers a station; returns its slot in the medium's contender
-  /// cache (stations pass it back via DcfStation::medium_slot()).  The
-  /// station must outlive the medium.
-  int register_station(DcfStation* s);
-
-  /// `s`'s contention state changed; refresh its cached fire time and
-  /// the pending fire event.
-  void update_contention(DcfStation& s);
+  int register_station(DcfStation* s) override;
+  void update_contention(DcfStation& s) override;
+  /// One collision domain: every station hears every transmission.
+  [[nodiscard]] bool sensed_busy(const DcfStation&) const override {
+    return busy_;
+  }
 
   [[nodiscard]] bool is_busy() const { return busy_; }
   /// Start of the current idle period.  Meaningful only when !is_busy().
   [[nodiscard]] TimeNs idle_since() const { return idle_start_; }
   /// True when the medium has been idle for at least DIFS at `now`.
   [[nodiscard]] bool idle_for_difs(TimeNs now) const;
-
-  [[nodiscard]] const PhyParams& phy() const { return phy_; }
-  [[nodiscard]] const MediumStats& stats() const { return stats_; }
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
   /// Cached contention state of one registered station.
@@ -91,8 +127,6 @@ class Medium {
   void begin_occupation(std::vector<DcfStation*> transmitters);
   void end_occupation();
 
-  sim::Simulator& sim_;
-  PhyParams phy_;
   std::vector<DcfStation*> stations_;
   std::vector<Contender> contenders_;
   int min_slot_ = -1;  ///< index of the cached earliest fire, -1 = none
@@ -109,8 +143,6 @@ class Medium {
   TimeNs occupation_data_end_;
   TimeNs occupation_end_;
   bool occupation_success_ = false;
-
-  MediumStats stats_;
 };
 
 }  // namespace csmabw::mac

@@ -6,7 +6,7 @@
 
 namespace csmabw::mac {
 
-DcfStation::DcfStation(sim::Simulator& sim, Medium& medium, int id,
+DcfStation::DcfStation(sim::Simulator& sim, MediumBase& medium, int id,
                        stats::Rng rng)
     : sim_(sim),
       medium_(medium),
@@ -88,7 +88,7 @@ void DcfStation::join_contention(TimeNs from, bool allow_immediate) {
   state_ = State::kContending;
   contend_from_ = from;
   defer_ = phy_.difs();
-  if (allow_immediate && phy_.immediate_access && !medium_.is_busy()) {
+  if (allow_immediate && phy_.immediate_access && !medium_.sensed_busy(*this)) {
     // Idle medium: transmit after DIFS without a random backoff.
     backoff_slots_ = 0;
     awaiting_immediate_ = true;

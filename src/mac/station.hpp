@@ -39,7 +39,7 @@ class DcfStation {
   /// Called when a packet exhausts its retry limit.
   using DropCallback = std::function<void(const Packet&)>;
 
-  DcfStation(sim::Simulator& sim, Medium& medium, int id, stats::Rng rng);
+  DcfStation(sim::Simulator& sim, MediumBase& medium, int id, stats::Rng rng);
 
   DcfStation(const DcfStation&) = delete;
   DcfStation& operator=(const DcfStation&) = delete;
@@ -117,7 +117,7 @@ class DcfStation {
             TimeNs aux);
 
   sim::Simulator& sim_;
-  Medium& medium_;
+  MediumBase& medium_;
   int id_;
   int medium_slot_ = -1;
   stats::Rng rng_;

@@ -1,9 +1,17 @@
 #include "mac/wlan.hpp"
 
+#include "util/require.hpp"
+
 namespace csmabw::mac {
 
 WlanNetwork::WlanNetwork(const PhyParams& phy, std::uint64_t seed)
     : root_rng_(seed), medium_(std::make_unique<Medium>(sim_, phy)) {}
+
+WlanNetwork::WlanNetwork(const PhyParams& phy, std::uint64_t seed,
+                         const MediumFactory& make_medium)
+    : root_rng_(seed), medium_(make_medium(sim_, phy)) {
+  CSMABW_REQUIRE(medium_ != nullptr, "medium factory returned null");
+}
 
 DcfStation& WlanNetwork::add_station() {
   const int id = static_cast<int>(stations_.size());

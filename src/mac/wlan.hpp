@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -18,7 +19,16 @@ namespace csmabw::mac {
 /// `traffic/`) attach to stations by reference.
 class WlanNetwork {
  public:
+  /// Builds the cell's medium.  The default constructor installs the
+  /// classic single-collision-domain Medium; a factory injects any
+  /// MediumBase implementation (e.g. topo::ConflictGraphMedium) without
+  /// mac/ depending on the layer that defines it.
+  using MediumFactory = std::function<std::unique_ptr<MediumBase>(
+      sim::Simulator&, const PhyParams&)>;
+
   WlanNetwork(const PhyParams& phy, std::uint64_t seed);
+  WlanNetwork(const PhyParams& phy, std::uint64_t seed,
+              const MediumFactory& make_medium);
 
   WlanNetwork(const WlanNetwork&) = delete;
   WlanNetwork& operator=(const WlanNetwork&) = delete;
@@ -28,7 +38,7 @@ class WlanNetwork {
   DcfStation& add_station();
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] Medium& medium() { return *medium_; }
+  [[nodiscard]] MediumBase& medium() { return *medium_; }
   [[nodiscard]] const PhyParams& phy() const { return medium_->phy(); }
   [[nodiscard]] DcfStation& station(int i) { return *stations_.at(i); }
   [[nodiscard]] int num_stations() const {
@@ -49,7 +59,7 @@ class WlanNetwork {
  private:
   sim::Simulator sim_;
   stats::Rng root_rng_;
-  std::unique_ptr<Medium> medium_;
+  std::unique_ptr<MediumBase> medium_;
   std::vector<std::unique_ptr<DcfStation>> stations_;
 };
 

@@ -1,0 +1,351 @@
+#include "topo/conflict_medium.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "mac/station.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::topo {
+
+ConflictGraphMedium::ConflictGraphMedium(sim::Simulator& sim,
+                                         const mac::PhyParams& phy,
+                                         Topology topology)
+    : MediumBase(sim, phy), topo_(std::move(topology)) {
+  topo_.validate();
+  const std::size_t n = static_cast<std::size_t>(topo_.num_nodes());
+  nodes_.resize(n);
+  stations_.reserve(n);
+  txs_.reserve(n);
+  winners_.reserve(n);
+  post_backoff_.reserve(n);
+  went_busy_.reserve(n);
+  went_idle_.reserve(n);
+  ended_.reserve(n);
+  newly_corrupted_.reserve(n);
+  ended_txs_.reserve(n);
+  ended_now_.assign(n, 0);
+}
+
+int ConflictGraphMedium::register_station(mac::DcfStation* s) {
+  CSMABW_REQUIRE(s != nullptr, "null station");
+  CSMABW_REQUIRE(static_cast<int>(stations_.size()) < topo_.num_nodes(),
+                 "topology `" + topo_.spec + "` has " +
+                     std::to_string(topo_.num_nodes()) +
+                     " nodes; cannot register another station");
+  stations_.push_back(s);
+  return static_cast<int>(stations_.size()) - 1;
+}
+
+bool ConflictGraphMedium::sensed_busy(const mac::DcfStation& s) const {
+  return nodes_[static_cast<std::size_t>(s.medium_slot())].sensed_tx > 0;
+}
+
+TimeNs ConflictGraphMedium::fire_time(const mac::DcfStation& s,
+                                      const Node& n) const {
+  const TimeNs start = std::max(n.idle_start, s.contend_from());
+  return start + s.defer() + phy_.slot_time * s.backoff_slots();
+}
+
+void ConflictGraphMedium::update_contention(mac::DcfStation& s) {
+  const int i = s.medium_slot();
+  if (nodes_[static_cast<std::size_t>(i)].sensed_tx > 0) {
+    return;  // the entry is rebuilt when i's channel goes idle
+  }
+  refresh_node(i);
+  sync_pending_fire();
+}
+
+void ConflictGraphMedium::refresh_node(int i) {
+  Node& n = nodes_[static_cast<std::size_t>(i)];
+  const mac::DcfStation& s = *stations_[static_cast<std::size_t>(i)];
+  n.can_fire = s.in_contention() && n.sensed_tx == 0 && n.tx == -1;
+  if (n.can_fire) {
+    n.fire = fire_time(s, n);
+  }
+  if (i == min_slot_) {
+    // The minimum's owner changed; it may no longer be the minimum.
+    rescan_min();
+  } else if (n.can_fire &&
+             (min_slot_ < 0 ||
+              n.fire < nodes_[static_cast<std::size_t>(min_slot_)].fire)) {
+    min_slot_ = i;
+  }
+}
+
+void ConflictGraphMedium::rescan_min() {
+  min_slot_ = -1;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.can_fire &&
+        (min_slot_ < 0 ||
+         n.fire < nodes_[static_cast<std::size_t>(min_slot_)].fire)) {
+      min_slot_ = static_cast<int>(i);
+    }
+  }
+}
+
+void ConflictGraphMedium::sync_pending_fire() {
+  pending_fire_.cancel();
+  if (min_slot_ < 0) {
+    return;
+  }
+  const TimeNs earliest = nodes_[static_cast<std::size_t>(min_slot_)].fire;
+  CSMABW_REQUIRE(earliest >= sim_.now(), "fire time in the past");
+  pending_fire_ =
+      sim_.schedule_member_at<&ConflictGraphMedium::fire>(earliest, *this);
+}
+
+void ConflictGraphMedium::sync_pending_end() {
+  pending_end_.cancel();
+  if (txs_.empty()) {
+    return;
+  }
+  TimeNs earliest = tx_end(txs_.front());
+  for (const Tx& t : txs_) {
+    earliest = std::min(earliest, tx_end(t));
+  }
+  CSMABW_REQUIRE(earliest >= sim_.now(), "transmission end in the past");
+  pending_end_ =
+      sim_.schedule_member_at<&ConflictGraphMedium::advance>(earliest, *this);
+}
+
+void ConflictGraphMedium::mark_corrupted(Tx& t) {
+  if (!t.corrupted) {
+    t.corrupted = true;  // retargets the end from ACK end to frame end
+    newly_corrupted_.push_back(t.station);
+  }
+}
+
+void ConflictGraphMedium::fire() {
+  const TimeNs now = sim_.now();
+
+  // The cache is authoritative for idle-channel stations: collect every
+  // countdown completing exactly now.
+  winners_.clear();
+  post_backoff_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (!n.can_fire || n.fire != now) {
+      continue;
+    }
+    n.can_fire = false;
+    if (stations_[i]->has_frame()) {
+      winners_.push_back(static_cast<int>(i));
+    } else {
+      post_backoff_.push_back(static_cast<int>(i));
+    }
+  }
+  CSMABW_REQUIRE(!winners_.empty() || !post_backoff_.empty(),
+                 "fire event with no station due");
+  for (int i : post_backoff_) {
+    stations_[static_cast<std::size_t>(i)]->finish_post_backoff();
+  }
+  if (winners_.empty()) {
+    for (int i : post_backoff_) {
+      refresh_node(i);
+    }
+    sync_pending_fire();
+    return;
+  }
+
+  // Mark the winners before the seize pass so a neighbor that is about
+  // to transmit itself is not frozen.
+  for (int w : winners_) {
+    nodes_[static_cast<std::size_t>(w)].tx = -2;
+  }
+
+  // Pass A: carrier-sense transitions.  A station whose channel goes
+  // busy (0 -> 1 sensed transmissions) freezes against the idle period
+  // that is ending now; ascending station order matches mac::Medium's
+  // registration-order freeze loop.
+  went_busy_.clear();
+  for (int w : winners_) {
+    for (int nb : topo_.sense[static_cast<std::size_t>(w)]) {
+      if (nodes_[static_cast<std::size_t>(nb)].sensed_tx++ == 0) {
+        went_busy_.push_back(nb);
+      }
+    }
+  }
+  std::sort(went_busy_.begin(), went_busy_.end());
+  for (int nb : went_busy_) {
+    Node& n = nodes_[static_cast<std::size_t>(nb)];
+    n.can_fire = false;
+    if (n.tx != -1) {
+      continue;  // about to transmit (or already on the air)
+    }
+    stations_[static_cast<std::size_t>(nb)]->medium_seized(now, n.idle_start);
+  }
+
+  // Pass B: put the winners' first frames on the air (ascending).
+  for (int w : winners_) {
+    mac::DcfStation* s = stations_[static_cast<std::size_t>(w)];
+    const bool rts = phy_.uses_rts(s->head_frame_bytes());
+    const TimeNs first_dur =
+        rts ? phy_.rts_tx_time() : s->head_frame_airtime();
+    Tx t;
+    t.station = w;
+    t.rts = rts;
+    t.start = now;
+    t.first_end = now + first_dur;
+    t.data_end = rts ? now + phy_.rts_tx_time() + phy_.sifs +
+                           phy_.cts_tx_time() + phy_.sifs +
+                           s->head_frame_airtime()
+                     : t.first_end;
+    t.success_end = t.data_end + phy_.sifs + phy_.ack_tx_time();
+    s->tx_started(now);
+    nodes_[static_cast<std::size_t>(w)].tx = static_cast<int>(txs_.size());
+    txs_.push_back(t);
+  }
+
+  // Pass C: corruption.  A new transmission is corrupted by any
+  // interferer currently on the air (its first frame starts inside
+  // foreign airtime); an ongoing interferer is corrupted in return only
+  // while its own first frame is still in flight.
+  newly_corrupted_.clear();
+  for (int w : winners_) {
+    Tx& wt = txs_[static_cast<std::size_t>(
+        nodes_[static_cast<std::size_t>(w)].tx)];
+    for (int j : topo_.interfere[static_cast<std::size_t>(w)]) {
+      const int jt_idx = nodes_[static_cast<std::size_t>(j)].tx;
+      if (jt_idx < 0) {
+        continue;  // j is not on the air
+      }
+      Tx& jt = txs_[static_cast<std::size_t>(jt_idx)];
+      if (&jt == &wt || tx_end(jt) <= now) {
+        continue;  // self, or ending exactly now: no overlap
+      }
+      mark_corrupted(wt);
+      if (now < jt.first_end) {
+        mark_corrupted(jt);
+      }
+    }
+  }
+  if (!newly_corrupted_.empty()) {
+    std::sort(newly_corrupted_.begin(), newly_corrupted_.end());
+    ++stats_.collisions;
+    stats_.collided_frames += newly_corrupted_.size();
+    if (trace::TraceSink* sink = sim_.trace()) {
+      trace::TraceEvent e;
+      e.time = now;
+      e.kind = trace::EventKind::kCollision;
+      e.station = trace::kChannelStation;
+      TimeNs end = now;
+      for (int st : newly_corrupted_) {
+        end = std::max(
+            end, txs_[static_cast<std::size_t>(
+                          nodes_[static_cast<std::size_t>(st)].tx)]
+                     .first_end);
+      }
+      e.aux = end;
+      e.value = static_cast<std::int32_t>(newly_corrupted_.size());
+      sink->on_event(e);
+    }
+  }
+
+  rescan_min();
+  sync_pending_fire();
+  sync_pending_end();
+}
+
+void ConflictGraphMedium::advance() {
+  const TimeNs now = sim_.now();
+  ended_.clear();
+  for (std::size_t i = 0; i < txs_.size(); ++i) {
+    if (tx_end(txs_[i]) == now) {
+      ended_.push_back(static_cast<int>(i));
+    }
+  }
+  CSMABW_REQUIRE(!ended_.empty(), "transmission end event with nothing ending");
+
+  // Channel transitions first, before any callback (mac::Medium clears
+  // busy_ and moves the idle origin before notifying): every sensing
+  // neighbor of an ended transmission decrements its busy count, and a
+  // corrupted ending poisons the next idle period (EIFS) of everyone
+  // who heard it.
+  went_idle_.clear();
+  for (int idx : ended_) {
+    const Tx& t = txs_[static_cast<std::size_t>(idx)];
+    ended_now_[static_cast<std::size_t>(t.station)] = 1;
+    nodes_[static_cast<std::size_t>(t.station)].tx = -1;
+    for (int nb : topo_.sense[static_cast<std::size_t>(t.station)]) {
+      Node& n = nodes_[static_cast<std::size_t>(nb)];
+      if (t.corrupted) {
+        n.saw_corrupt = true;
+      }
+      if (--n.sensed_tx == 0) {
+        n.idle_start = now;
+        went_idle_.push_back(nb);
+      }
+    }
+  }
+
+  // Copy the ended records out (ascending station order, as
+  // mac::Medium's transmitter loop) and compact the active slab before
+  // any callback runs.
+  ended_txs_.clear();
+  for (int idx : ended_) {
+    ended_txs_.push_back(txs_[static_cast<std::size_t>(idx)]);
+  }
+  std::sort(ended_txs_.begin(), ended_txs_.end(),
+            [](const Tx& a, const Tx& b) { return a.station < b.station; });
+  std::sort(ended_.begin(), ended_.end(), std::greater<>());
+  for (int idx : ended_) {  // descending, so swap-erase stays valid
+    const int last = static_cast<int>(txs_.size()) - 1;
+    if (idx != last) {
+      txs_[static_cast<std::size_t>(idx)] =
+          txs_[static_cast<std::size_t>(last)];
+      nodes_[static_cast<std::size_t>(
+                 txs_[static_cast<std::size_t>(idx)].station)]
+          .tx = idx;
+    }
+    txs_.pop_back();
+  }
+
+  // Transmitter outcomes: retry backoff behind the CTS/ACK timeout, or
+  // next-packet / post-backoff after a success.
+  for (const Tx& t : ended_txs_) {
+    mac::DcfStation* s = stations_[static_cast<std::size_t>(t.station)];
+    if (t.corrupted) {
+      s->tx_collided(t.first_end +
+                     (t.rts ? phy_.cts_timeout() : phy_.ack_timeout()));
+    } else {
+      ++stats_.successes;
+      s->tx_succeeded(t.data_end, now);
+    }
+    stats_.busy_time += tx_end(t) - t.start;
+  }
+
+  // Bystanders whose channel just went idle defer DIFS after a clean
+  // period, EIFS when a corrupted transmission ended in it.  Stations
+  // that transmitted until this instant set their own deference in
+  // their outcome callback; stations still transmitting have no
+  // countdown to resume.
+  std::sort(went_idle_.begin(), went_idle_.end());
+  for (int nb : went_idle_) {
+    Node& n = nodes_[static_cast<std::size_t>(nb)];
+    const bool corrupt = n.saw_corrupt;
+    n.saw_corrupt = false;
+    if (ended_now_[static_cast<std::size_t>(nb)] || n.tx >= 0) {
+      continue;
+    }
+    stations_[static_cast<std::size_t>(nb)]->occupation_observed(corrupt);
+  }
+
+  // The idle origin moved for every station that went idle, and the
+  // ended transmitters changed contention state: refresh exactly those
+  // entries (everyone else's channel did not change).
+  for (const Tx& t : ended_txs_) {
+    refresh_node(t.station);
+  }
+  for (int nb : went_idle_) {
+    refresh_node(nb);
+  }
+  for (const Tx& t : ended_txs_) {
+    ended_now_[static_cast<std::size_t>(t.station)] = 0;
+  }
+  sync_pending_fire();
+  sync_pending_end();
+}
+
+}  // namespace csmabw::topo

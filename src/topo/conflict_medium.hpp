@@ -1,0 +1,120 @@
+#pragma once
+
+#include <vector>
+
+#include "mac/medium.hpp"
+#include "topo/topology.hpp"
+
+namespace csmabw::topo {
+
+/// CSMA/CA medium over a carrier-sense/interference conflict graph —
+/// the spatial generalization of the classic single-collision-domain
+/// mac::Medium.
+///
+/// Station i's channel is the set of its sensing neighbors: i defers,
+/// freezes its backoff and applies EIFS against transmissions of
+/// j in sense[i] only.  A transmission of i is corrupted iff the
+/// airtime of some j in interfere[i] overlaps i's *first* frame (the
+/// data frame, or the RTS above the RTS threshold) — once the first
+/// frame survives, the exchange completes.  Both hidden terminals
+/// (interferers outside the sensing set collide on any temporal
+/// overlap, not just slot coincidences) and exposed terminals
+/// (non-neighbors reuse the channel concurrently) fall out of the two
+/// edge sets.
+///
+/// On a complete graph this reduces exactly to mac::Medium: fire
+/// times, callback order, RNG draws and trace emission are
+/// bit-identical for uniform frame airtimes (the conflict graph ends
+/// each transmission at its own frame boundary, the legacy medium
+/// batches all of a collision's ends at the latest one — the two
+/// coincide when colliding frames share size and rate, and production
+/// clique scenarios route to mac::Medium anyway; see
+/// core::ScenarioCell).  Known accounting difference:
+/// MediumStats::busy_time sums per-transmitter airtime (spatially
+/// there is no single channel to take a union over) and successes are
+/// counted when the exchange *ends*, not when it starts.
+///
+/// The hot path stays allocation-free after construction: fire-time
+/// caches and scratch lists are preallocated, rescheduling is the same
+/// cancel + re-arm single-pending-event pattern as mac::Medium, and
+/// transmission records live in a fixed-capacity slab.
+class ConflictGraphMedium : public mac::MediumBase {
+ public:
+  /// `topology.num_nodes()` fixes the station count: exactly that many
+  /// stations must be registered before the simulation starts.
+  ConflictGraphMedium(sim::Simulator& sim, const mac::PhyParams& phy,
+                      Topology topology);
+
+  int register_station(mac::DcfStation* s) override;
+  void update_contention(mac::DcfStation& s) override;
+  [[nodiscard]] bool sensed_busy(const mac::DcfStation& s) const override;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  /// Transmissions currently on the air anywhere in the graph.
+  [[nodiscard]] int active_transmissions() const {
+    return static_cast<int>(txs_.size());
+  }
+  /// Start of station i's current idle period (meaningful while i's
+  /// channel is idle).
+  [[nodiscard]] TimeNs idle_since(int i) const {
+    return nodes_[static_cast<std::size_t>(i)].idle_start;
+  }
+
+ private:
+  /// Per-station channel state.
+  struct Node {
+    TimeNs fire;            ///< valid only while `can_fire`
+    bool can_fire = false;  ///< in contention and sensing an idle channel
+    int sensed_tx = 0;      ///< sensing neighbors currently on the air
+    TimeNs idle_start;      ///< last busy->idle transition of i's channel
+    bool saw_corrupt = false;  ///< a corrupted neighbor tx ended this period
+    int tx = -1;            ///< index into txs_ while transmitting
+  };
+
+  /// One transmission on the air.
+  struct Tx {
+    int station = -1;
+    TimeNs start;
+    TimeNs first_end;    ///< end of the first frame (data, or RTS)
+    TimeNs data_end;     ///< end of the data exchange if it succeeds
+    TimeNs success_end;  ///< end of the ACK exchange if it succeeds
+    bool corrupted = false;
+    bool rts = false;
+  };
+
+  [[nodiscard]] TimeNs tx_end(const Tx& t) const {
+    return t.corrupted ? t.first_end : t.success_end;
+  }
+  [[nodiscard]] TimeNs fire_time(const mac::DcfStation& s,
+                                 const Node& n) const;
+  void refresh_node(int i);
+  void rescan_min();
+  /// Re-arms the pending fire event at the cached minimum (cancel +
+  /// fresh schedule — the event-sequence discipline of mac::Medium).
+  void sync_pending_fire();
+  /// Re-arms the pending end event at the earliest active tx_end.
+  void sync_pending_end();
+  void fire();
+  void advance();
+  void mark_corrupted(Tx& t);
+
+  Topology topo_;
+  std::vector<mac::DcfStation*> stations_;
+  std::vector<Node> nodes_;
+  std::vector<Tx> txs_;
+  int min_slot_ = -1;  ///< index of the cached earliest fire, -1 = none
+  sim::EventHandle pending_fire_;
+  sim::EventHandle pending_end_;
+
+  // Preallocated scratch (station ids / tx indices); reused per event.
+  std::vector<int> winners_;
+  std::vector<int> post_backoff_;
+  std::vector<int> went_busy_;
+  std::vector<int> went_idle_;
+  std::vector<int> ended_;
+  std::vector<int> newly_corrupted_;
+  std::vector<Tx> ended_txs_;
+  std::vector<char> ended_now_;  ///< station transmitted until this instant
+};
+
+}  // namespace csmabw::topo

@@ -1,0 +1,237 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace csmabw::topo {
+
+namespace {
+
+bool adjacent(const std::vector<std::vector<int>>& adj, int a, int b) {
+  if (a < 0 || a >= static_cast<int>(adj.size())) {
+    return false;
+  }
+  const std::vector<int>& row = adj[static_cast<std::size_t>(a)];
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+void add_edge(std::vector<std::vector<int>>& adj, int a, int b) {
+  adj[static_cast<std::size_t>(a)].push_back(b);
+  adj[static_cast<std::size_t>(b)].push_back(a);
+}
+
+void sort_unique(std::vector<std::vector<int>>& adj) {
+  for (std::vector<int>& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+}
+
+void check_adjacency(const std::vector<std::vector<int>>& adj, int n,
+                     const char* what) {
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int>& row = adj[static_cast<std::size_t>(i)];
+    CSMABW_REQUIRE(std::is_sorted(row.begin(), row.end()) &&
+                       std::adjacent_find(row.begin(), row.end()) == row.end(),
+                   std::string(what) + " adjacency must be sorted and unique");
+    for (int j : row) {
+      CSMABW_REQUIRE(j >= 0 && j < n,
+                     std::string(what) + " edge endpoint out of range");
+      CSMABW_REQUIRE(j != i, std::string(what) + " self-loop");
+      CSMABW_REQUIRE(adjacent(adj, j, i),
+                     std::string(what) + " adjacency must be symmetric");
+    }
+  }
+}
+
+}  // namespace
+
+bool Topology::is_clique() const {
+  const int n = num_nodes();
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<int>(sense[static_cast<std::size_t>(i)].size()) != n - 1 ||
+        static_cast<int>(interfere[static_cast<std::size_t>(i)].size()) !=
+            n - 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Topology::senses(int a, int b) const { return adjacent(sense, a, b); }
+
+bool Topology::interferes(int a, int b) const {
+  return adjacent(interfere, a, b);
+}
+
+std::vector<int> Topology::hidden_from(int i) const {
+  std::vector<int> out;
+  for (int j : interfere[static_cast<std::size_t>(i)]) {
+    if (!senses(i, j)) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+void Topology::validate() const {
+  const int n = num_nodes();
+  CSMABW_REQUIRE(n >= 1, "topology must have at least one node");
+  CSMABW_REQUIRE(static_cast<int>(interfere.size()) == n,
+                 "sense/interfere node counts differ");
+  check_adjacency(sense, n, "sense");
+  check_adjacency(interfere, n, "interfere");
+  for (int i = 0; i < n; ++i) {
+    for (int j : sense[static_cast<std::size_t>(i)]) {
+      CSMABW_REQUIRE(adjacent(interfere, i, j),
+                     "sensing implies interference: sense edge " +
+                         std::to_string(i) + "-" + std::to_string(j) +
+                         " missing from the interference set");
+    }
+  }
+}
+
+Topology Topology::clique(int n) {
+  CSMABW_REQUIRE(n >= 1, "clique size must be >= 1");
+  Topology t;
+  t.spec = "clique:" + std::to_string(n);
+  t.sense.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (j != i) {
+        t.sense[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
+  t.interfere = t.sense;
+  t.validate();
+  return t;
+}
+
+Topology Topology::grid(int rows, int cols) {
+  CSMABW_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
+  const int n = rows * cols;
+  Topology t;
+  t.spec = "grid:" + std::to_string(rows) + "x" + std::to_string(cols);
+  t.sense.resize(static_cast<std::size_t>(n));
+  t.interfere.resize(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const int ra = a / cols;
+    const int ca = a % cols;
+    for (int b = a + 1; b < n; ++b) {
+      const int rb = b / cols;
+      const int cb = b % cols;
+      const int dist = std::abs(ra - rb) + std::abs(ca - cb);
+      if (dist <= 1) {
+        add_edge(t.sense, a, b);
+      }
+      if (dist <= 2) {
+        add_edge(t.interfere, a, b);
+      }
+    }
+  }
+  sort_unique(t.sense);
+  sort_unique(t.interfere);
+  t.validate();
+  return t;
+}
+
+Topology Topology::ring(int n) {
+  CSMABW_REQUIRE(n >= 1, "ring size must be >= 1");
+  Topology t;
+  t.spec = "ring:" + std::to_string(n);
+  t.sense.resize(static_cast<std::size_t>(n));
+  t.interfere.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int step : {1, 2}) {
+      const int j = (i + step) % n;
+      if (j == i) {
+        continue;  // tiny rings: a step that wraps onto itself is no edge
+      }
+      if (step == 1) {
+        add_edge(t.sense, i, j);
+      }
+      add_edge(t.interfere, i, j);
+    }
+  }
+  sort_unique(t.sense);
+  sort_unique(t.interfere);
+  t.validate();
+  return t;
+}
+
+Topology Topology::hidden_pairs(int n) {
+  CSMABW_REQUIRE(n >= 2, "pairs-hidden needs >= 2 stations");
+  Topology t;
+  t.spec = "pairs-hidden:" + std::to_string(n);
+  t.sense.resize(static_cast<std::size_t>(n));
+  t.interfere.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (j != i) {
+        t.interfere[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
+  t.validate();
+  return t;
+}
+
+Topology Topology::from_file(const std::string& path) {
+  std::ifstream in(path);
+  CSMABW_REQUIRE(in.is_open(), "cannot open topology file `" + path + "`");
+  Topology t;
+  t.spec = "file:" + path;
+  int n = -1;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) {
+      continue;  // blank / comment-only line
+    }
+    const std::string where =
+        "topology file `" + path + "` line " + std::to_string(lineno);
+    if (tag == "nodes:") {
+      CSMABW_REQUIRE(n < 0, where + ": duplicate nodes: directive");
+      CSMABW_REQUIRE(static_cast<bool>(ls >> n) && n >= 1,
+                     where + ": nodes: needs a positive count");
+      t.sense.resize(static_cast<std::size_t>(n));
+      t.interfere.resize(static_cast<std::size_t>(n));
+      continue;
+    }
+    CSMABW_REQUIRE(n >= 1, where + ": nodes: must come first");
+    CSMABW_REQUIRE(tag == "sense:" || tag == "interfere:",
+                   where + ": unknown directive `" + tag +
+                       "` (expected nodes:/sense:/interfere:)");
+    int a = -1;
+    int b = -1;
+    CSMABW_REQUIRE(static_cast<bool>(ls >> a >> b),
+                   where + ": expected two node ids");
+    std::string extra;
+    CSMABW_REQUIRE(!(ls >> extra), where + ": trailing tokens");
+    CSMABW_REQUIRE(a >= 0 && a < n && b >= 0 && b < n && a != b,
+                   where + ": edge endpoints out of range");
+    if (tag == "sense:") {
+      add_edge(t.sense, a, b);
+    }
+    add_edge(t.interfere, a, b);  // sensing implies interference
+  }
+  CSMABW_REQUIRE(n >= 1,
+                 "topology file `" + path + "` has no nodes: directive");
+  sort_unique(t.sense);
+  sort_unique(t.interfere);
+  t.validate();
+  return t;
+}
+
+}  // namespace csmabw::topo

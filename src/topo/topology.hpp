@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csmabw::topo {
+
+/// A carrier-sense/interference conflict graph over the stations of one
+/// cell.
+///
+/// Node i is station i (station 0 is conventionally the probe).  Two
+/// symmetric edge sets describe the radio geometry:
+///
+///  - `sense`:     j in sense[i] means i hears j's transmissions —
+///                 carrier sense defers, backoff freezes, EIFS applies.
+///  - `interfere`: j in interfere[i] means a frame of i overlapping a
+///                 transmission of j is corrupted at the receiver.
+///
+/// Sensing implies interference (sense[i] is a subset of interfere[i]):
+/// a signal strong enough to trip carrier sense is strong enough to
+/// corrupt.  The interesting regimes live in the gap between the two
+/// sets:
+///
+///  - hidden terminal:  j in interfere[i] but not in sense[i] — i cannot
+///    defer to j, so their frames collide whenever they overlap in time,
+///    not just on slot-boundary coincidences.
+///  - exposed terminal: j in sense[i] but i's and j's own neighborhoods
+///    barely overlap — i defers to j although their receivers would both
+///    survive; spatial reuse is what the conflict graph gives back when
+///    the edge is absent.
+///
+/// A complete graph on both sets (`is_clique()`) is exactly the paper's
+/// single collision domain.
+struct Topology {
+  /// Canonical generator spec this topology was built from
+  /// ("grid:3x3", "clique", ...); diagnostic only.
+  std::string spec;
+  /// Sorted, symmetric, self-loop-free adjacency lists.
+  std::vector<std::vector<int>> sense;
+  std::vector<std::vector<int>> interfere;
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(sense.size());
+  }
+  /// True when both edge sets are complete — one collision domain,
+  /// byte-for-byte the behavior of the classic mac::Medium.
+  [[nodiscard]] bool is_clique() const;
+  [[nodiscard]] bool senses(int a, int b) const;
+  [[nodiscard]] bool interferes(int a, int b) const;
+  /// Nodes j interfering with i that i cannot sense (hidden from i).
+  [[nodiscard]] std::vector<int> hidden_from(int i) const;
+
+  /// Throws util::PreconditionError unless both adjacency structures are
+  /// sorted, unique, symmetric, self-loop-free, in range, and
+  /// sense[i] is a subset of interfere[i] for every i.
+  void validate() const;
+
+  /// Complete graph on n >= 1 nodes: today's single collision domain.
+  [[nodiscard]] static Topology clique(int n);
+  /// rows x cols lattice: stations sense their Manhattan-distance-1
+  /// neighbors and interfere out to distance 2, so straight-line
+  /// distance-2 pairs are classic hidden terminals sharing a middle
+  /// neighbor.
+  [[nodiscard]] static Topology grid(int rows, int cols);
+  /// n-cycle: sense the two ring neighbors, interfere out to ring
+  /// distance 2.
+  [[nodiscard]] static Topology ring(int n);
+  /// n mutually hidden stations: complete interference, empty sensing —
+  /// every pair collides on any temporal overlap and nobody ever
+  /// defers.  n = 2 is the textbook hidden-terminal pair.
+  [[nodiscard]] static Topology hidden_pairs(int n);
+  /// Parses an adjacency-list file: lines `sense: i j` / `interfere: i j`
+  /// (one undirected edge each, '#' comments, `nodes: N` mandatory
+  /// first directive); sense edges imply interference.
+  [[nodiscard]] static Topology from_file(const std::string& path);
+};
+
+}  // namespace csmabw::topo

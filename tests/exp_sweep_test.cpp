@@ -176,6 +176,59 @@ TEST(Campaign, ScenarioAxisComposesWithMethods) {
   EXPECT_EQ(campaign.cells()[2].scenario_name, "bursty");
 }
 
+TEST(Campaign, TopologyAxisMultipliesScenarios) {
+  SweepSpec spec;
+  spec.scenarios = {"contenders=8x poisson:rate=400k"};
+  spec.topologies = {"clique", "grid:03x3", "ring:9"};
+  spec.train_lengths = {40};
+  spec.repetitions = 2;
+  EXPECT_EQ(spec.grid_size(), 3);
+  const Campaign campaign(spec);
+  ASSERT_EQ(campaign.size(), 3);
+
+  // Topology-axis cells carry the full grammar (canonicalized) as
+  // their label; the default clique stays omitted so the label equals
+  // the plain scenario's.
+  EXPECT_EQ(campaign.cells()[0].scenario_name,
+            "phy=dot11b_short;contenders=8x poisson:rate=400k");
+  EXPECT_EQ(campaign.cells()[0].scenario.topology, "clique");
+  EXPECT_EQ(campaign.cells()[1].scenario_name,
+            "phy=dot11b_short;topology=grid:3x3;"
+            "contenders=8x poisson:rate=400k");
+  EXPECT_EQ(campaign.cells()[1].scenario.topology, "grid:3x3");
+  EXPECT_EQ(campaign.cells()[2].scenario.topology, "ring:9");
+  // Shared coordinates are untouched by the axis.
+  for (const Cell& cell : campaign.cells()) {
+    EXPECT_EQ(cell.contenders, 8);
+    EXPECT_EQ(cell.phy_preset, "dot11b_short");
+  }
+}
+
+TEST(SweepSpec, TopologyAxisValidatesEagerly) {
+  // Needs a scenarios axis: station counts come from the scenario.
+  SweepSpec spec;
+  spec.topologies = {"grid:3x3"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  // Node-count mismatch fails at validate, not mid-campaign.
+  spec = SweepSpec{};
+  spec.scenarios = {"contenders=2x poisson:rate=2M"};
+  spec.topologies = {"grid:3x3"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  // Malformed topology arg.
+  spec = SweepSpec{};
+  spec.scenarios = {"paper_fig2"};
+  spec.topologies = {"grid:two"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  // A scenario with its own topology= field conflicts with the axis.
+  spec = SweepSpec{};
+  spec.scenarios = {"topology=pairs-hidden:2;contenders=1x saturated"};
+  spec.topologies = {"clique"};
+  EXPECT_THROW(spec.validate(), util::PreconditionError);
+  // ...but is fine without the axis.
+  spec.topologies.clear();
+  spec.validate();
+}
+
 TEST(SweepSpec, ScenarioAxisRejectsClassicAxisMix) {
   SweepSpec spec;
   spec.scenarios = {"paper_fig2"};

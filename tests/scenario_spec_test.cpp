@@ -18,6 +18,10 @@ TEST(ScenarioSpec, ParseDescribeRoundTrips) {
            "fifo=poisson:rate=1M",
            "contenders=1x cbr:rate=2M/1000 + 2x poisson:rate=1M",
            "contenders=1x poisson:rate=2M/1000@5.5M",
+           "phy=dot11b_short;topology=grid:3x3;"
+           "contenders=8x poisson:rate=400k",
+           "topology=pairs-hidden:2;contenders=1x poisson:rate=2M",
+           "name=ring;topology=ring:4;contenders=3x saturated",
        }) {
     const ScenarioSpec spec = ScenarioSpec::parse(text);
     EXPECT_EQ(ScenarioSpec::parse(spec.describe()), spec) << text;
@@ -47,6 +51,49 @@ TEST(ScenarioSpec, ParseReadsEveryField) {
   ASSERT_TRUE(spec.fifo.has_value());
   EXPECT_EQ(spec.fifo->traffic, "cbr:rate=1M");
   EXPECT_EQ(spec.fifo->size_bytes, 800);
+}
+
+TEST(ScenarioSpec, TopologyDefaultsToCliqueAndIsOmittedFromDescribe) {
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("contenders=1x poisson:rate=2M");
+  EXPECT_EQ(spec.topology, "clique");
+  EXPECT_EQ(spec.describe().find("topology"), std::string::npos);
+  // An explicit bare clique canonicalizes to the default and is also
+  // omitted — pre-topology spellings stay stable byte for byte.
+  const ScenarioSpec explicit_clique =
+      ScenarioSpec::parse("topology=clique;contenders=1x poisson:rate=2M");
+  EXPECT_EQ(explicit_clique, spec);
+  EXPECT_EQ(explicit_clique.describe(), spec.describe());
+}
+
+TEST(ScenarioSpec, TopologyFieldCanonicalizesAndRoundTrips) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=grid:03x3;contenders=8x poisson:rate=400k");
+  EXPECT_EQ(spec.topology, "grid:3x3");
+  // Placed right after phy in the canonical spelling.
+  EXPECT_EQ(spec.describe(),
+            "phy=dot11b_short;topology=grid:3x3;"
+            "contenders=8x poisson:rate=400k");
+  EXPECT_EQ(ScenarioSpec::parse(spec.describe()), spec);
+  // Station-count checking is deliberately deferred to build time:
+  // grid:3x3 over 3 stations parses, then Scenario rejects it eagerly.
+  const ScenarioSpec mismatched = ScenarioSpec::parse(
+      "topology=grid:3x3;contenders=2x poisson:rate=2M");
+  EXPECT_THROW(Scenario scenario(mismatched.to_config(1)),
+               util::PreconditionError);
+}
+
+TEST(ScenarioSpec, TopologyFieldRejectsBadSpecs) {
+  EXPECT_THROW(
+      (void)ScenarioSpec::parse("topology=mesh:3;contenders=1x saturated"),
+      util::PreconditionError);
+  EXPECT_THROW(
+      (void)ScenarioSpec::parse("topology=grid:3;contenders=1x saturated"),
+      util::PreconditionError);
+  EXPECT_THROW((void)ScenarioSpec::parse(
+                   "topology=grid:2x2;topology=grid:2x2;"
+                   "contenders=3x saturated"),
+               util::PreconditionError);
 }
 
 TEST(ScenarioSpec, DescribeGroupsAdjacentEqualStations) {

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "topo/registry.hpp"
+#include "topo/topology.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::topo {
+namespace {
+
+TEST(Topology, CliqueIsCompleteAndSymmetric) {
+  const Topology t = Topology::clique(4);
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_TRUE(t.is_clique());
+  t.validate();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.sense[static_cast<std::size_t>(i)].size(), 3u);
+    EXPECT_EQ(t.interfere[static_cast<std::size_t>(i)].size(), 3u);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(t.senses(i, j), i != j);
+      EXPECT_EQ(t.interferes(i, j), i != j);
+    }
+  }
+  EXPECT_TRUE(t.hidden_from(0).empty());
+}
+
+TEST(Topology, SingleNodeCliqueIsValid) {
+  const Topology t = Topology::clique(1);
+  t.validate();
+  EXPECT_TRUE(t.is_clique());
+  EXPECT_TRUE(t.sense[0].empty());
+}
+
+TEST(Topology, GridSensesDistanceOneInterferesDistanceTwo) {
+  // 3x3 lattice, row-major:  0 1 2 / 3 4 5 / 6 7 8.
+  const Topology t = Topology::grid(3, 3);
+  t.validate();
+  EXPECT_EQ(t.num_nodes(), 9);
+  EXPECT_FALSE(t.is_clique());
+  // Corner 0 hears its lattice neighbors only...
+  EXPECT_EQ(t.sense[0], (std::vector<int>{1, 3}));
+  // ...but interferes out to Manhattan distance 2.
+  EXPECT_EQ(t.interfere[0], (std::vector<int>{1, 2, 3, 4, 6}));
+  // 0 and 2 are the textbook hidden pair: mutual interference without
+  // carrier sense.
+  EXPECT_FALSE(t.senses(0, 2));
+  EXPECT_TRUE(t.interferes(0, 2));
+  EXPECT_EQ(t.hidden_from(0), (std::vector<int>{2, 4, 6}));
+  // Opposite corners are out of interference range: spatial reuse.
+  EXPECT_FALSE(t.interferes(0, 8));
+  // Center 4 hears the full cross and interferes with everyone.
+  EXPECT_EQ(t.sense[4], (std::vector<int>{1, 3, 5, 7}));
+  EXPECT_EQ(t.interfere[4].size(), 8u);
+}
+
+TEST(Topology, RingSensesNeighborsInterferesTwoHops) {
+  const Topology t = Topology::ring(6);
+  t.validate();
+  EXPECT_FALSE(t.is_clique());
+  EXPECT_EQ(t.sense[0], (std::vector<int>{1, 5}));
+  EXPECT_EQ(t.interfere[0], (std::vector<int>{1, 2, 4, 5}));
+  EXPECT_EQ(t.hidden_from(0), (std::vector<int>{2, 4}));
+}
+
+TEST(Topology, SmallRingsDegenerateGracefully) {
+  // ring(3) is a clique (distance 1 already reaches everyone).
+  const Topology three = Topology::ring(3);
+  three.validate();
+  EXPECT_TRUE(three.is_clique());
+  // ring(4): everyone interferes, opposite nodes are hidden.
+  const Topology four = Topology::ring(4);
+  four.validate();
+  EXPECT_FALSE(four.senses(0, 2));
+  EXPECT_TRUE(four.interferes(0, 2));
+}
+
+TEST(Topology, HiddenPairsHaveNoCarrierSense) {
+  const Topology t = Topology::hidden_pairs(3);
+  t.validate();
+  EXPECT_FALSE(t.is_clique());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(t.sense[static_cast<std::size_t>(i)].empty());
+    EXPECT_EQ(t.interfere[static_cast<std::size_t>(i)].size(), 2u);
+  }
+  EXPECT_EQ(t.hidden_from(0), (std::vector<int>{1, 2}));
+}
+
+TEST(Topology, FromFileParsesAndSenseImpliesInterference) {
+  const std::string path = testing::TempDir() + "/topo_test_graph.topo";
+  {
+    std::ofstream f(path);
+    f << "# A sensing edge and a bare interference edge.\n"
+      << "nodes: 3\n"
+      << "sense: 0 1\n"
+      << "interfere: 1 2\n";
+  }
+  const Topology t = Topology::from_file(path);
+  t.validate();
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_TRUE(t.senses(0, 1));
+  EXPECT_TRUE(t.interferes(0, 1));  // implied by the sense edge
+  EXPECT_FALSE(t.senses(1, 2));
+  EXPECT_TRUE(t.interferes(1, 2));
+  EXPECT_FALSE(t.interferes(0, 2));
+  std::remove(path.c_str());
+}
+
+TEST(Topology, FromFileRejectsMalformedInput) {
+  const std::string path = testing::TempDir() + "/topo_test_bad.topo";
+  {
+    std::ofstream f(path);
+    f << "sense: 0 1\n";  // missing the nodes: header
+  }
+  EXPECT_THROW((void)Topology::from_file(path), util::PreconditionError);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)Topology::from_file("/nonexistent/graph.topo"),
+               util::PreconditionError);
+}
+
+TEST(Topology, ValidateRejectsBrokenInvariants) {
+  // Asymmetric sensing.
+  Topology t;
+  t.sense = {{1}, {}};
+  t.interfere = {{1}, {0}};
+  EXPECT_THROW(t.validate(), util::PreconditionError);
+  // Sensing without interference (sense must be a subset).
+  Topology u;
+  u.sense = {{1}, {0}};
+  u.interfere = {{}, {}};
+  EXPECT_THROW(u.validate(), util::PreconditionError);
+  // Self loop.
+  Topology v;
+  v.sense = {{0}};
+  v.interfere = {{0}};
+  EXPECT_THROW(v.validate(), util::PreconditionError);
+}
+
+TEST(TopologyRegistry, BuiltinsAreRegistered) {
+  const TopologyRegistry& reg = TopologyRegistry::global();
+  for (const char* name :
+       {"clique", "grid", "ring", "pairs-hidden", "file"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_FALSE(reg.help(name).empty()) << name;
+  }
+  EXPECT_FALSE(reg.contains("mesh"));
+}
+
+TEST(TopologyRegistry, CanonicalNormalizesSpelling) {
+  const TopologyRegistry& reg = TopologyRegistry::global();
+  EXPECT_EQ(reg.canonical("clique"), "clique");
+  EXPECT_EQ(reg.canonical("clique:04"), "clique:4");
+  EXPECT_EQ(reg.canonical("grid:03x3"), "grid:3x3");
+  EXPECT_EQ(reg.canonical("ring:8"), "ring:8");
+  EXPECT_EQ(reg.canonical("pairs-hidden:2"), "pairs-hidden:2");
+  // canonical() is idempotent — the round-trip contract scenario
+  // describe()/parse() builds on.
+  for (const char* spec : {"clique", "clique:4", "grid:3x3", "ring:8"}) {
+    EXPECT_EQ(reg.canonical(reg.canonical(spec)), reg.canonical(spec));
+  }
+}
+
+TEST(TopologyRegistry, RejectsUnknownNamesAndBadArgs) {
+  const TopologyRegistry& reg = TopologyRegistry::global();
+  EXPECT_THROW((void)reg.canonical("mesh:3"), util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("grid"), util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("grid:3"), util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("grid:3x"), util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("ring:0"), util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("ring:abc"), util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("pairs-hidden:1"),
+               util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical(":3"), util::PreconditionError);
+}
+
+TEST(TopologyRegistry, BuildMatchesStationCounts) {
+  const TopologyRegistry& reg = TopologyRegistry::global();
+  // Bare clique adapts to any cell.
+  EXPECT_EQ(reg.build("clique", 5).num_nodes(), 5);
+  EXPECT_EQ(reg.build("clique", 1).num_nodes(), 1);
+  // Explicit node counts must match exactly.
+  EXPECT_EQ(reg.build("clique:5", 5).num_nodes(), 5);
+  EXPECT_THROW((void)reg.build("clique:5", 4), util::PreconditionError);
+  EXPECT_EQ(reg.build("grid:3x3", 9).num_nodes(), 9);
+  EXPECT_THROW((void)reg.build("grid:3x3", 8), util::PreconditionError);
+  EXPECT_THROW((void)reg.build("ring:6", 5), util::PreconditionError);
+  EXPECT_THROW((void)reg.build("pairs-hidden:2", 3),
+               util::PreconditionError);
+  EXPECT_THROW((void)reg.build("clique", 0), util::PreconditionError);
+}
+
+TEST(TopologyRegistry, AddRejectsDuplicatesAndEmptyGenerators) {
+  TopologyRegistry reg;
+  TopologyRegistry::register_builtins(reg);
+  EXPECT_THROW(reg.add("clique", TopologyRegistry::Generator{}),
+               util::PreconditionError);
+  EXPECT_THROW(reg.add("", TopologyRegistry::Generator{}),
+               util::PreconditionError);
+  reg.add("custom",
+          TopologyRegistry::Generator{
+              [](std::string_view) { return std::string(); },
+              [](std::string_view, int n) { return Topology::clique(n); },
+              "test-only"});
+  EXPECT_EQ(reg.build("custom", 3).num_nodes(), 3);
+}
+
+}  // namespace
+}  // namespace csmabw::topo
