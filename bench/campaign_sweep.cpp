@@ -27,6 +27,23 @@
 // campaigns into different directories (trace_tool replay-stats rejects
 // mixed recordings).
 //
+// Fleet-scale serving (src/serve/):
+//   --cache=DIR           consult/fill a content-addressed result cache;
+//                         repetitions already cached are served instead
+//                         of simulated (byte-identical output either way)
+//   --checkpoint=FILE     persist every completed repetition to a
+//                         .ccshard file, atomically flushed every
+//                         --checkpoint-every=N records (default 64)
+//   --resume              reload --checkpoint=FILE (tolerating a torn
+//                         tail from a crash) and only run what's missing
+//   --shard=I/N           run every N-th work shard in this process and
+//                         emit only the --checkpoint shard file (no
+//                         rows); run N processes with I = 0..N-1
+//   --merge=f1,f2,...     load finished shard files and produce the
+//                         normal output without simulating anything
+// The serve stats line "# serve: computed=... cache_hits=... resumed=..."
+// goes to stderr.  A warm-cache or merge run reports computed=0.
+//
 // With --scenarios the '|'-separated list of registered scenario names
 // and/or inline scenario grammars (core::ScenarioSpec) becomes the
 // OUTERMOST axis, replacing --contenders/--cross-mbps/--phy/--fifo:
@@ -50,9 +67,11 @@
 //   campaign_sweep --reps=50 --train=60
 //     --scenarios='contenders=8x poisson:rate=400k'
 //     --topologies='clique|grid:3x3'
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/method.hpp"
@@ -120,16 +139,142 @@ int list_topologies() {
   return 0;
 }
 
+/// Owning counterpart of exp::CampaignServeOptions, built from the
+/// --cache/--checkpoint/--resume/--shard/--merge flags.
+struct ServeState {
+  std::unique_ptr<serve::ResultCache> cache;
+  std::unique_ptr<serve::CheckpointWriter> checkpoint;
+  serve::ResultSet resume_set;
+  serve::ServeCounters counters;
+  serve::CampaignServeOptions io;
+  bool active = false;      // any serve flag present
+  bool shard_only = false;  // emit the shard file instead of rows
+};
+
+bool serve_flags_present(const util::Args& args) {
+  return args.has("cache") || args.has("checkpoint") || args.has("resume") ||
+         args.has("shard") || args.has("merge");
+}
+
+// Out-param rather than a return value: `st.io` points back into `st`
+// (counters, resume set), so the object must never move.
+void init_serve_state(ServeState& st, const util::Args& args,
+                      serve::CampaignKind kind, std::uint64_t fingerprint,
+                      std::uint64_t seed, exp::Progress* progress) {
+  st.active = serve_flags_present(args);
+  if (!st.active) {
+    return;
+  }
+
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  CSMABW_REQUIRE(!args.has("checkpoint-every") || !checkpoint_path.empty(),
+                 "--checkpoint-every tunes --checkpoint=FILE; give the flag");
+  const int flush_every = args.get("checkpoint-every", 64);
+  CSMABW_REQUIRE(flush_every > 0, "--checkpoint-every must be > 0");
+
+  if (args.has("merge")) {
+    CSMABW_REQUIRE(!args.has("shard") && !args.has("resume") &&
+                       checkpoint_path.empty(),
+                   "--merge loads finished shard files; it cannot be "
+                   "combined with --shard, --resume or --checkpoint");
+    const std::vector<std::string> paths = args.get_strings("merge", {});
+    CSMABW_REQUIRE(!paths.empty(), "--merge needs at least one shard file");
+    for (const std::string& path : paths) {
+      serve::load_shard_file(path, kind, fingerprint, &st.resume_set);
+    }
+    // Merge never simulates: a repetition missing from every shard file
+    // is an incomplete fleet run and must fail loudly, not silently
+    // recompute into a partially-fresh result.
+    st.io.forbid_compute = true;
+  } else {
+    const std::string shard_text = args.get("shard", "");
+    if (!shard_text.empty()) {
+      st.io.shard = serve::parse_shard(shard_text);
+      CSMABW_REQUIRE(!checkpoint_path.empty(),
+                     "--shard writes this process's slice to a shard "
+                     "file; give --checkpoint=FILE");
+      st.shard_only = true;
+    }
+    if (args.get("resume", false)) {
+      CSMABW_REQUIRE(!checkpoint_path.empty(),
+                     "--resume reloads --checkpoint=FILE; give the flag");
+      // A checkpoint that never got its first flush is a fresh run.
+      if (std::filesystem::exists(checkpoint_path)) {
+        serve::load_shard_file(checkpoint_path, kind, fingerprint,
+                               &st.resume_set);
+      }
+    }
+    if (!checkpoint_path.empty()) {
+      st.checkpoint = std::make_unique<serve::CheckpointWriter>(
+          checkpoint_path, kind, fingerprint,
+          "campaign_sweep seed=" + std::to_string(seed), flush_every);
+      if (st.resume_set.size() > 0) {
+        st.checkpoint->preload(st.resume_set);
+      }
+      st.io.checkpoint = st.checkpoint.get();
+    }
+  }
+
+  const std::string cache_dir = args.get("cache", "");
+  if (!cache_dir.empty()) {
+    st.cache = std::make_unique<serve::ResultCache>(cache_dir);
+    st.io.cache = st.cache.get();
+  }
+  if (st.resume_set.size() > 0) {
+    st.io.resume = &st.resume_set;
+  }
+  st.io.progress = progress;
+  st.io.counters = &st.counters;
+}
+
+// stderr, like progress: stdout stays byte-identical whether results
+// were computed, cached or resumed.
+void print_serve_stats(const ServeState& st) {
+  if (!st.active) {
+    return;
+  }
+  std::cerr << "# serve: computed=" << st.counters.computed.load()
+            << " cache_hits=" << st.counters.cache_hits.load()
+            << " resumed=" << st.counters.resumed.load();
+  if (st.cache != nullptr) {
+    std::cerr << " cache_stores=" << st.cache->counters().stores.load();
+  }
+  if (st.checkpoint != nullptr) {
+    std::cerr << " checkpoint_records=" << st.checkpoint->records();
+  }
+  std::cerr << "\n";
+}
+
 int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
-                     bool json, std::ostream& out) {
+                     bool json, std::ostream& out, std::uint64_t seed) {
+  const bool serving = serve_flags_present(args);
   exp::Progress progress(exp::count_method_runs(campaign), "methods",
                          bench::progress_enabled(args));
-  const exp::Runner runner = bench::runner_from(args, &progress);
+  // When serving, the engine ticks per repetition (cached vs computed);
+  // the runner must not tick the same jobs again.
+  const exp::Runner runner =
+      bench::runner_from(args, serving ? nullptr : &progress);
   // stderr, not stdout: stdout must stay byte-identical across --threads.
   std::cerr << "# threads: " << runner.threads() << "\n";
+  ServeState st;
+  init_serve_state(st, args, serve::CampaignKind::kMethod,
+                   serving ? exp::method_campaign_fingerprint(campaign) : 0,
+                   seed, &progress);
   const std::vector<exp::MethodRun> runs =
-      exp::run_method_campaign(campaign, exp::MethodCampaignConfig{}, runner);
+      serving ? exp::run_method_campaign(campaign,
+                                         exp::MethodCampaignConfig{}, runner,
+                                         st.io)
+              : exp::run_method_campaign(
+                    campaign, exp::MethodCampaignConfig{}, runner);
   progress.finish();
+  print_serve_stats(st);
+  if (st.shard_only) {
+    std::cerr << "# shard " << st.io.shard.index << "/"
+              << st.io.shard.count << " written: "
+              << args.get("checkpoint", "") << " ("
+              << st.checkpoint->records() << " records)\n";
+    return 0;
+  }
 
   exp::CollectorOptions copts;
   copts.csv_path = args.get("csv", "");
@@ -183,6 +328,15 @@ int main(int argc, char** argv) {
   CSMABW_REQUIRE(format == "table" || format == "json",
                  "--format must be table or json");
   const bool json = format == "json";
+
+  const bool shard_run = args.has("shard");
+  if (shard_run) {
+    CSMABW_REQUIRE(!json && !args.has("csv") && !args.has("jsonl") &&
+                       !args.has("out"),
+                   "--shard runs emit a shard file, not rows; drop "
+                   "--csv/--jsonl/--out/--format=json and --merge the "
+                   "shard files instead");
+  }
 
   // --out=FILE redirects the stdout payload (table or JSONL) to a file;
   // --csv/--jsonl sinks and the stderr progress stream are unaffected.
@@ -242,9 +396,13 @@ int main(int argc, char** argv) {
                  "--trace records probe-train campaigns; method runs "
                  "drive their own transports and are not recorded — drop "
                  "--trace or --methods");
+  CSMABW_REQUIRE(spec.trace_dir.empty() || !serve_flags_present(args),
+                 "--trace records a repetition only when it simulates; "
+                 "cached/resumed repetitions would leave holes in the "
+                 "trace directory — drop --trace or the serve flags");
   const exp::Campaign campaign(spec);
 
-  if (!json) {
+  if (!json && !shard_run) {
     bench::announce_to(
         *out, "Campaign sweep",
         spec.methods.empty()
@@ -257,18 +415,39 @@ int main(int argc, char** argv) {
   }
 
   if (!spec.methods.empty()) {
-    return run_method_sweep(campaign, args, json, *out);
+    return run_method_sweep(campaign, args, json, *out, spec.campaign_seed);
   }
 
   exp::TrainCampaignConfig tcfg;
   tcfg.ks_prefix = 1;  // KS of the first packet vs the steady pool
-  exp::Progress progress(exp::count_train_shards(campaign, tcfg),
+  const bool serving = serve_flags_present(args);
+  // Serving runs tick per repetition from inside the engine (so cached
+  // repetitions stay out of the ETA); classic runs keep the coarser
+  // per-work-shard ticks through the runner.
+  exp::Progress progress(serving ? campaign.total_repetitions()
+                                 : exp::count_train_shards(campaign, tcfg),
                          "campaign", bench::progress_enabled(args));
-  const exp::Runner runner = bench::runner_from(args, &progress);
+  const exp::Runner runner =
+      bench::runner_from(args, serving ? nullptr : &progress);
   // stderr, not stdout: stdout must stay byte-identical across --threads.
   std::cerr << "# threads: " << runner.threads() << "\n";
-  const auto results = exp::run_train_campaign(campaign, tcfg, runner);
+  ServeState st;
+  init_serve_state(
+      st, args, serve::CampaignKind::kTrain,
+      serving ? exp::train_campaign_fingerprint(campaign, tcfg) : 0,
+      spec.campaign_seed, &progress);
+  const auto results =
+      serving ? exp::run_train_campaign(campaign, tcfg, runner, st.io)
+              : exp::run_train_campaign(campaign, tcfg, runner);
   progress.finish();
+  print_serve_stats(st);
+  if (st.shard_only) {
+    std::cerr << "# shard " << st.io.shard.index << "/"
+              << st.io.shard.count << " written: "
+              << args.get("checkpoint", "") << " ("
+              << st.checkpoint->records() << " records)\n";
+    return 0;
+  }
 
   std::vector<std::string> columns = exp::Collector::cell_columns();
   for (const char* metric :

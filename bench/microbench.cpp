@@ -18,9 +18,14 @@
 #include <sstream>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/scenario.hpp"
 #include "exp/engine.hpp"
 #include "mac/wlan.hpp"
+#include "serve/cache_key.hpp"
+#include "serve/record.hpp"
+#include "serve/result_cache.hpp"
 #include "queueing/fifo_trace.hpp"
 #include "sim/simulator.hpp"
 #include "stats/ks_test.hpp"
@@ -194,6 +199,62 @@ void BM_CampaignEngine(benchmark::State& state) {
 }
 // Wall time is the relevant metric: the work runs on pool threads.
 BENCHMARK(BM_CampaignEngine)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ResultCacheKey(benchmark::State& state) {
+  // Full content-addressed key derivation: canonical scenario string +
+  // two-lane FNV over it.  Paid once per (cell, repetition) on every
+  // cache-enabled campaign, so it must stay negligible next to the
+  // repetition's simulation (~ms).
+  core::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0)));
+  cfg.contenders.push_back(core::StationSpec::saturated(1500));
+  traffic::TrainSpec spec;
+  spec.n = 400;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(5.0).gap_for(1500);
+  int rep = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        serve::train_rep_key(cfg, spec, false, rep++ & 1023));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResultCacheKey);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  // The warm-campaign hot path: key -> entry file -> read -> verify ->
+  // payload.  A fleet re-run does this for every repetition instead of
+  // simulating it, so lookup throughput bounds warm-cache speedup.
+  const auto root =
+      std::filesystem::temp_directory_path() / "csmabw-bench-cache";
+  std::filesystem::remove_all(root);
+  core::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0)));
+  traffic::TrainSpec spec;
+  spec.n = 400;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(5.0).gap_for(1500);
+  serve::ResultCache cache(root.string());
+  serve::TrainRepRecord record;
+  record.access_delays_s.assign(400, 1.25e-3);
+  record.output_gap_s = 2.5e-3;
+  std::vector<unsigned char> payload;
+  serve::encode_train_record(record, payload);
+  const serve::CacheKey key = serve::train_rep_key(cfg, spec, false, 0);
+  cache.store(key, payload);
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    auto hit = cache.lookup(key);
+    bytes = static_cast<std::int64_t>(hit ? hit->size() : 0);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_CacheLookupHit);
 
 void BM_KsStatistic(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

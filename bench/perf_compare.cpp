@@ -31,7 +31,8 @@ namespace {
 const char* kDefaultFamilies =
     "BM_EventQueueScheduleRun,BM_EventQueueCancelHeavy,"
     "BM_DcfSaturatedStation,BM_MediumContention,BM_ConflictGraphMedium,"
-    "BM_ProbeTrainRepetition,BM_CampaignEngine";
+    "BM_ProbeTrainRepetition,BM_CampaignEngine,"
+    "BM_ResultCacheKey,BM_CacheLookupHit";
 
 /// Extracts {name -> items_per_second} from google-benchmark JSON.
 ///

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <optional>
 
 #include "core/scenario.hpp"
+#include "serve/cache_key.hpp"
+#include "serve/record.hpp"
 #include "stats/rng.hpp"
 #include "trace/writer.hpp"
 #include "util/require.hpp"
@@ -51,6 +54,92 @@ std::vector<Shard> make_shards(const Campaign& campaign,
   return shards;
 }
 
+void validate_serve_options(const serve::CampaignServeOptions& io) {
+  CSMABW_REQUIRE(io.shard.count >= 1 && io.shard.index >= 0 &&
+                     io.shard.index < io.shard.count,
+                 "shard selection needs 0 <= index < count");
+  CSMABW_REQUIRE(!io.forbid_compute || io.resume != nullptr ||
+                     io.cache != nullptr,
+                 "forbid_compute without a resume set or cache could "
+                 "never produce a result");
+}
+
+/// Serves a (cell, repetition) record: resume set first, then the
+/// content-addressed cache, else nullopt (the caller simulates).  Hits
+/// are counted, per-repetition progress is ticked as cached, and cache
+/// hits are forwarded to the checkpoint so the persisted file converges
+/// to full coverage.
+template <typename Record>
+std::optional<Record> serve_record(
+    const serve::CampaignServeOptions& io, int cell, int rep,
+    const serve::CacheKey& key,
+    bool (*decode)(const unsigned char*, std::size_t, Record*)) {
+  Record record;
+  if (io.resume != nullptr) {
+    if (const std::vector<unsigned char>* payload =
+            io.resume->find(cell, rep)) {
+      CSMABW_REQUIRE(decode(payload->data(), payload->size(), &record),
+                     "corrupt record for cell " + std::to_string(cell) +
+                         " rep " + std::to_string(rep) +
+                         " in the resume/merge set");
+      if (io.counters != nullptr) {
+        io.counters->resumed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (io.progress != nullptr) {
+        io.progress->tick_cached();
+      }
+      return record;
+    }
+  }
+  if (io.cache != nullptr) {
+    if (std::optional<std::vector<unsigned char>> payload =
+            io.cache->lookup(key)) {
+      // A payload that fails to decode is a corrupt entry: treat as a
+      // miss, the recompute below overwrites it.
+      if (decode(payload->data(), payload->size(), &record)) {
+        if (io.counters != nullptr) {
+          io.counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (io.checkpoint != nullptr) {
+          io.checkpoint->add(cell, rep, std::move(*payload));
+        }
+        if (io.progress != nullptr) {
+          io.progress->tick_cached();
+        }
+        return record;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Persists a freshly computed record to the cache and checkpoint and
+/// ticks it as computed work.
+void persist_record(const serve::CampaignServeOptions& io, int cell, int rep,
+                    const serve::CacheKey& key,
+                    std::vector<unsigned char> payload) {
+  if (io.cache != nullptr) {
+    io.cache->store(key, payload);
+  }
+  if (io.checkpoint != nullptr) {
+    io.checkpoint->add(cell, rep, std::move(payload));
+  }
+  if (io.counters != nullptr) {
+    io.counters->computed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (io.progress != nullptr) {
+    io.progress->tick();
+  }
+}
+
+[[noreturn]] void missing_record(int cell, int rep) {
+  throw util::PreconditionError(
+      "merge/serve: no record for cell " + std::to_string(cell) + " rep " +
+      std::to_string(rep) +
+      " and computing is forbidden — are all shard files present and "
+      "complete?");
+}
+
 }  // namespace
 
 core::TransientConfig train_transient_config(int train_length,
@@ -84,6 +173,23 @@ int count_method_runs(const Campaign& campaign) {
 std::vector<MethodRun> run_method_campaign(const Campaign& campaign,
                                            const MethodCampaignConfig& cfg,
                                            const Runner& runner) {
+  return run_method_campaign(campaign, cfg, runner,
+                             serve::CampaignServeOptions{});
+}
+
+std::uint64_t method_campaign_fingerprint(const Campaign& campaign) {
+  return serve::campaign_fingerprint(campaign, serve::CampaignKind::kMethod,
+                                     "");
+}
+
+std::vector<MethodRun> run_method_campaign(
+    const Campaign& campaign, const MethodCampaignConfig& cfg,
+    const Runner& runner, const serve::CampaignServeOptions& io) {
+  validate_serve_options(io);
+  CSMABW_REQUIRE(io.cache == nullptr || !cfg.make_transport,
+                 "the result cache content-addresses the cell's scenario; "
+                 "a custom make_transport is invisible to the key — drop "
+                 "the cache or the custom transport");
   const core::MethodRegistry& registry =
       cfg.registry != nullptr ? *cfg.registry : core::MethodRegistry::global();
 
@@ -105,30 +211,57 @@ std::vector<MethodRun> run_method_campaign(const Campaign& campaign,
 
   // One job per repetition; runner.map places results by job index, so
   // the returned order is (cell, repetition) for any thread count.
-  return runner.map(static_cast<int>(jobs.size()), [&](int j) {
-    const Job& job = jobs[static_cast<std::size_t>(j)];
-    const Cell& cell =
-        campaign.cells()[static_cast<std::size_t>(job.cell_index)];
-    const std::uint64_t seed = method_rep_seed(campaign.campaign_seed(),
-                                               job.cell_index,
-                                               job.repetition);
-    std::unique_ptr<core::ProbeTransport> transport;
-    if (cfg.make_transport) {
-      transport = cfg.make_transport(cell, seed);
-    } else {
-      core::ScenarioConfig scenario = cell.scenario;
-      scenario.seed = seed;
-      transport = std::make_unique<core::SimTransport>(scenario);
-    }
-    CSMABW_REQUIRE(transport != nullptr, "make_transport returned null");
-    const std::unique_ptr<core::MeasurementMethod> method =
-        registry.create(cell.method);
-    MethodRun run;
-    run.cell_index = job.cell_index;
-    run.repetition = job.repetition;
-    run.report = method->run(*transport, seed);
-    return run;
-  });
+  std::vector<MethodRun> runs =
+      runner.map(static_cast<int>(jobs.size()), [&](int j) {
+        const Job& job = jobs[static_cast<std::size_t>(j)];
+        const Cell& cell =
+            campaign.cells()[static_cast<std::size_t>(job.cell_index)];
+        MethodRun run;
+        run.cell_index = job.cell_index;
+        run.repetition = job.repetition;
+        if (!io.shard.selects(j)) {
+          return run;  // another process's slice; placeholder entry
+        }
+        const std::uint64_t seed = method_rep_seed(campaign.campaign_seed(),
+                                                   job.cell_index,
+                                                   job.repetition);
+        serve::CacheKey key;
+        if (io.cache != nullptr) {  // keys are only ever used by the cache
+          key = serve::method_rep_key(cell.scenario, cell.method, seed,
+                                      job.repetition);
+        }
+        if (std::optional<core::MeasurementReport> served =
+                serve_record<core::MeasurementReport>(
+                    io, job.cell_index, job.repetition, key,
+                    &serve::decode_method_record)) {
+          run.report = std::move(*served);
+          return run;
+        }
+        if (io.forbid_compute) {
+          missing_record(job.cell_index, job.repetition);
+        }
+        std::unique_ptr<core::ProbeTransport> transport;
+        if (cfg.make_transport) {
+          transport = cfg.make_transport(cell, seed);
+        } else {
+          core::ScenarioConfig scenario = cell.scenario;
+          scenario.seed = seed;
+          transport = std::make_unique<core::SimTransport>(scenario);
+        }
+        CSMABW_REQUIRE(transport != nullptr, "make_transport returned null");
+        const std::unique_ptr<core::MeasurementMethod> method =
+            registry.create(cell.method);
+        run.report = method->run(*transport, seed);
+        std::vector<unsigned char> payload;
+        serve::encode_method_record(run.report, payload);
+        persist_record(io, job.cell_index, job.repetition, key,
+                       std::move(payload));
+        return run;
+      });
+  if (io.checkpoint != nullptr) {
+    io.checkpoint->flush();
+  }
+  return runs;
 }
 
 int count_train_shards(const Campaign& campaign,
@@ -139,6 +272,27 @@ int count_train_shards(const Campaign& campaign,
 std::vector<TrainCellStats> run_train_campaign(const Campaign& campaign,
                                                const TrainCampaignConfig& cfg,
                                                const Runner& runner) {
+  return run_train_campaign(campaign, cfg, runner,
+                            serve::CampaignServeOptions{});
+}
+
+std::uint64_t train_campaign_fingerprint(const Campaign& campaign,
+                                         const TrainCampaignConfig& cfg) {
+  // shard_size shapes the accumulation (and therefore floating-point
+  // association) order; sample_contender_queue shapes record content.
+  // Analysis knobs (ks_prefix, steady_tail, raw_indices, queue_prefix)
+  // post-process the raw records and stay out of the fingerprint.
+  std::string extra = "shard_size=" + std::to_string(cfg.shard_size) +
+                      ";sample_queue=" +
+                      (cfg.sample_contender_queue ? "1" : "0");
+  return serve::campaign_fingerprint(campaign, serve::CampaignKind::kTrain,
+                                     extra);
+}
+
+std::vector<TrainCellStats> run_train_campaign(
+    const Campaign& campaign, const TrainCampaignConfig& cfg,
+    const Runner& runner, const serve::CampaignServeOptions& io) {
+  validate_serve_options(io);
   const std::vector<Shard> shards = make_shards(campaign, cfg);
   const std::string& trace_dir = campaign.trace_dir();
   if (!trace_dir.empty()) {
@@ -148,7 +302,10 @@ std::vector<TrainCellStats> run_train_campaign(const Campaign& campaign,
 
   // Each shard accumulates independently; merging in shard order keeps
   // raw-sample order identical to a serial run and the merged moments
-  // independent of which worker ran which shard.
+  // independent of which worker ran which shard.  Repetitions served
+  // from the resume set or the cache feed the accumulators the exact
+  // double bits a live run would have, so where a record came from
+  // never shows in the output.
   std::vector<std::unique_ptr<TrainCellStats>> shard_stats(shards.size());
   runner.for_each(static_cast<int>(shards.size()), [&](int s) {
     const Shard& shard = shards[static_cast<std::size_t>(s)];
@@ -160,34 +317,75 @@ std::vector<TrainCellStats> run_train_campaign(const Campaign& campaign,
       stats->queue_at_arrival.resize(static_cast<std::size_t>(
           std::min(cfg.queue_prefix, cell.train.n)));
     }
+    if (!io.shard.selects(s)) {
+      // Another process's slice: contribute an empty accumulator so the
+      // shard-ordered merge below stays uniform.
+      shard_stats[static_cast<std::size_t>(s)] = std::move(stats);
+      return;
+    }
 
-    const core::Scenario scenario(cell.scenario);
+    // Built lazily: a fully served shard never constructs the scenario.
+    std::optional<core::Scenario> scenario;
     for (int rep = shard.rep_begin; rep < shard.rep_end; ++rep) {
-      std::unique_ptr<trace::TraceWriter> writer;
-      if (!trace_dir.empty()) {
-        writer = std::make_unique<trace::TraceWriter>(
-            trace::train_trace_path(trace_dir, cell.index, rep),
-            trace_meta_for(cell, rep));
+      serve::CacheKey key;
+      if (io.cache != nullptr) {  // keys are only ever used by the cache
+        key = serve::train_rep_key(cell.scenario, cell.train,
+                                   cfg.sample_contender_queue, rep);
       }
-      const core::TrainRun run =
-          scenario.run_train(cell.train, static_cast<std::uint64_t>(rep),
-                             cfg.sample_contender_queue, writer.get());
-      if (writer != nullptr) {
-        writer->close();  // surface write errors here, not in ~TraceWriter
+      serve::TrainRepRecord record;
+      if (std::optional<serve::TrainRepRecord> served =
+              serve_record<serve::TrainRepRecord>(
+                  io, cell.index, rep, key, &serve::decode_train_record)) {
+        record = std::move(*served);
+      } else {
+        if (io.forbid_compute) {
+          missing_record(cell.index, rep);
+        }
+        if (!scenario.has_value()) {
+          scenario.emplace(cell.scenario);
+        }
+        std::unique_ptr<trace::TraceWriter> writer;
+        if (!trace_dir.empty()) {
+          writer = std::make_unique<trace::TraceWriter>(
+              trace::train_trace_path(trace_dir, cell.index, rep),
+              trace_meta_for(cell, rep));
+        }
+        const core::TrainRun run =
+            scenario->run_train(cell.train, static_cast<std::uint64_t>(rep),
+                                cfg.sample_contender_queue, writer.get());
+        if (writer != nullptr) {
+          writer->close();  // surface write errors here, not in ~TraceWriter
+        }
+        record.dropped = run.any_dropped;
+        if (!run.any_dropped) {
+          record.access_delays_s = run.access_delays_s();
+          record.output_gap_s = run.output_gap_s();
+          record.queue_at_arrival = run.contender_queue_at_arrival;
+        }
+        std::vector<unsigned char> payload;
+        serve::encode_train_record(record, payload);
+        persist_record(io, cell.index, rep, key, std::move(payload));
       }
-      if (run.any_dropped) {
+      if (record.dropped) {
         ++stats->dropped;
         continue;
       }
-      stats->analyzer.add_repetition(run.access_delays_s());
-      stats->output_gap_s.add(run.output_gap_s());
+      stats->analyzer.add_repetition(record.access_delays_s);
+      stats->output_gap_s.add(record.output_gap_s);
+      CSMABW_REQUIRE(
+          record.queue_at_arrival.size() >= stats->queue_at_arrival.size(),
+          "served record has fewer queue samples than the campaign "
+          "config expects");
       for (std::size_t i = 0; i < stats->queue_at_arrival.size(); ++i) {
-        stats->queue_at_arrival[i].add(run.contender_queue_at_arrival[i]);
+        stats->queue_at_arrival[i].add(record.queue_at_arrival[i]);
       }
       ++stats->used;
     }
     shard_stats[static_cast<std::size_t>(s)] = std::move(stats);
   });
+  if (io.checkpoint != nullptr) {
+    io.checkpoint->flush();
+  }
 
   std::vector<TrainCellStats> merged;
   merged.reserve(campaign.cells().size());

@@ -10,6 +10,7 @@
 #include "core/transient.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "serve/campaign_io.hpp"
 #include "stats/summary.hpp"
 
 namespace csmabw::exp {
@@ -76,6 +77,28 @@ struct TrainCellStats {
     const Campaign& campaign, const TrainCampaignConfig& cfg,
     const Runner& runner);
 
+/// The serving variant: before simulating a (cell, repetition), the
+/// engine consults `io.resume` (loaded checkpoint / merged shard
+/// files), then `io.cache` (content-addressed result cache), and only
+/// executes the misses; every completed repetition is persisted through
+/// `io.checkpoint` and cache misses are stored back.  With
+/// `io.shard = I/N` only every N-th work shard (the same fixed ordering
+/// the thread runner uses) runs in this process.  Wherever a record
+/// comes from, the accumulation arithmetic is identical — records carry
+/// the exact double bits the accumulators consume — so the merged
+/// statistics (and any CSV/JSONL derived from them) are byte-identical
+/// to an uninterrupted single-process run.  The default-constructed
+/// options reproduce the classic overload exactly.
+[[nodiscard]] std::vector<TrainCellStats> run_train_campaign(
+    const Campaign& campaign, const TrainCampaignConfig& cfg,
+    const Runner& runner, const serve::CampaignServeOptions& io);
+
+/// Fingerprint binding checkpoint/shard files to this train campaign
+/// (includes the config knobs that shape record content and
+/// accumulation order: shard_size, sample_contender_queue).
+[[nodiscard]] std::uint64_t train_campaign_fingerprint(
+    const Campaign& campaign, const TrainCampaignConfig& cfg);
+
 /// Counts the work shards `run_train_campaign` will execute (the job
 /// total to hand a Progress reporter).
 [[nodiscard]] int count_train_shards(const Campaign& campaign,
@@ -122,6 +145,20 @@ struct MethodCampaignConfig {
 [[nodiscard]] std::vector<MethodRun> run_method_campaign(
     const Campaign& campaign, const MethodCampaignConfig& cfg,
     const Runner& runner);
+
+/// Serving variant (see the train overload).  Jobs not selected by
+/// `io.shard` return placeholder MethodRun entries with an empty
+/// report.method — shard processes emit shard files, not rows, so
+/// callers in shard mode ignore the return value.  A non-null
+/// `io.cache` requires the default transport (content addressing hashes
+/// the cell's scenario; a custom make_transport is invisible to it).
+[[nodiscard]] std::vector<MethodRun> run_method_campaign(
+    const Campaign& campaign, const MethodCampaignConfig& cfg,
+    const Runner& runner, const serve::CampaignServeOptions& io);
+
+/// Fingerprint binding checkpoint/shard files to this method campaign.
+[[nodiscard]] std::uint64_t method_campaign_fingerprint(
+    const Campaign& campaign);
 
 /// Runs an arbitrary per-cell function across the pool and collects the
 /// results by cell index (for campaigns whose cells are not train

@@ -39,6 +39,20 @@ void Progress::tick(std::int64_t n) {
   }
 }
 
+void Progress::tick_cached(std::int64_t n) {
+  std::scoped_lock lock(mu_);
+  done_ += n;
+  cached_ += n;
+  if (!enabled_) {
+    return;
+  }
+  const auto now = Clock::now();
+  if (now - last_print_ >= kPrintInterval) {
+    last_print_ = now;
+    print_locked(/*final_line=*/false);
+  }
+}
+
 void Progress::finish() {
   std::scoped_lock lock(mu_);
   if (finished_) {
@@ -55,6 +69,11 @@ std::int64_t Progress::done() const {
   return done_;
 }
 
+std::int64_t Progress::cached() const {
+  std::scoped_lock lock(mu_);
+  return cached_;
+}
+
 void Progress::print_locked(bool final_line) {
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start_).count();
@@ -65,11 +84,18 @@ void Progress::print_locked(bool final_line) {
   *os_ << '\r' << label_ << ' ' << done_ << '/' << total_ << " ("
        << util::Table::format(pct, 1) << "%) elapsed "
        << util::Table::format(elapsed_s, 1) << "s";
-  if (!final_line && done_ > 0 && done_ < total_) {
+  // ETA extrapolates from *computed* units only: pre-completed
+  // (cached/resumed) repetitions finish in microseconds and would
+  // otherwise make the remaining simulation work look nearly free.
+  const std::int64_t computed = done_ - cached_;
+  if (!final_line && computed > 0 && done_ < total_) {
     const double eta_s =
         elapsed_s * static_cast<double>(total_ - done_) /
-        static_cast<double>(done_);
+        static_cast<double>(computed);
     *os_ << " eta " << util::Table::format(eta_s, 1) << "s";
+  }
+  if (final_line && cached_ > 0) {
+    *os_ << " cached=" << cached_ << " computed=" << computed;
   }
   *os_ << "   ";
   if (final_line) {

@@ -27,10 +27,18 @@ class Progress {
   Progress& operator=(const Progress&) = delete;
 
   void tick(std::int64_t n = 1);
+  /// Ticks `n` units that were pre-completed (served from a result
+  /// cache or a resumed checkpoint) rather than computed.  They count
+  /// toward `done()` but are excluded from the ETA's rate estimate —
+  /// near-instantaneous cache hits must not make the remaining real
+  /// work look instantaneous too.  The final line reports them as
+  /// `cached=X computed=Y`.
+  void tick_cached(std::int64_t n = 1);
   /// Prints the final line (with newline) once; idempotent.
   void finish();
 
   [[nodiscard]] std::int64_t done() const;
+  [[nodiscard]] std::int64_t cached() const;
   [[nodiscard]] std::int64_t total() const { return total_; }
 
  private:
@@ -44,6 +52,7 @@ class Progress {
   std::ostream* os_;
   mutable std::mutex mu_;
   std::int64_t done_ = 0;
+  std::int64_t cached_ = 0;
   bool finished_ = false;
   Clock::time_point start_;
   Clock::time_point last_print_;

@@ -1,0 +1,123 @@
+#include "serve/cache_key.hpp"
+
+#include "serve/version.hpp"
+#include "util/json.hpp"
+
+namespace csmabw::serve {
+
+namespace {
+
+void append_field(std::string& out, std::string_view key,
+                  std::string_view value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += '|';
+}
+
+void append_field(std::string& out, std::string_view key, double value) {
+  append_field(out, key, util::json_number(value));
+}
+
+void append_field(std::string& out, std::string_view key, std::int64_t value) {
+  append_field(out, key, std::to_string(value));
+}
+
+void append_station(std::string& out, std::string_view key,
+                    const core::StationSpec& station) {
+  out += key;
+  out += "={";
+  out += station.traffic;
+  out += '/';
+  out += std::to_string(station.size_bytes);
+  if (station.data_rate_bps.has_value()) {
+    out += '@';
+    out += util::json_number(*station.data_rate_bps);
+  }
+  out += "}|";
+}
+
+[[nodiscard]] std::string_view salt_or_default(std::string_view salt) {
+  return salt.empty() ? kEngineVersionSalt : salt;
+}
+
+[[nodiscard]] CacheKey finish(std::string desc) {
+  CacheKey key;
+  key.digest = util::StableHash128().add(std::string_view(desc)).digest();
+  key.desc = std::move(desc);
+  return key;
+}
+
+}  // namespace
+
+std::string canonical_scenario(const core::ScenarioConfig& cfg) {
+  std::string out = "scenario{";
+  const mac::PhyParams& phy = cfg.phy;
+  append_field(out, "slot_ns", phy.slot_time.count());
+  append_field(out, "sifs_ns", phy.sifs.count());
+  append_field(out, "phy_header_ns", phy.phy_header.count());
+  append_field(out, "data_rate_bps", phy.data_rate_bps);
+  append_field(out, "basic_rate_bps", phy.basic_rate_bps);
+  append_field(out, "cw_min", static_cast<std::int64_t>(phy.cw_min));
+  append_field(out, "cw_max", static_cast<std::int64_t>(phy.cw_max));
+  append_field(out, "retry_limit", static_cast<std::int64_t>(phy.retry_limit));
+  append_field(out, "mac_header_bytes",
+               static_cast<std::int64_t>(phy.mac_header_bytes));
+  append_field(out, "ack_bytes", static_cast<std::int64_t>(phy.ack_bytes));
+  append_field(out, "rts_bytes", static_cast<std::int64_t>(phy.rts_bytes));
+  append_field(out, "cts_bytes", static_cast<std::int64_t>(phy.cts_bytes));
+  append_field(out, "rts_threshold_bytes",
+               static_cast<std::int64_t>(phy.rts_threshold_bytes));
+  append_field(out, "immediate_access",
+               static_cast<std::int64_t>(phy.immediate_access ? 1 : 0));
+  append_field(out, "post_backoff",
+               static_cast<std::int64_t>(phy.post_backoff ? 1 : 0));
+  append_field(out, "use_eifs",
+               static_cast<std::int64_t>(phy.use_eifs ? 1 : 0));
+  append_field(out, "topology", cfg.topology);
+  append_field(out, "contenders",
+               static_cast<std::int64_t>(cfg.contenders.size()));
+  for (const core::StationSpec& station : cfg.contenders) {
+    append_station(out, "c", station);
+  }
+  if (cfg.fifo_cross.has_value()) {
+    append_station(out, "fifo", *cfg.fifo_cross);
+  }
+  append_field(out, "seed", static_cast<std::int64_t>(cfg.seed));
+  append_field(out, "warmup_ns", cfg.warmup.count());
+  append_field(out, "probe_phase_mean_ns", cfg.probe_phase_mean.count());
+  out += '}';
+  return out;
+}
+
+CacheKey train_rep_key(const core::ScenarioConfig& scenario,
+                       const traffic::TrainSpec& train,
+                       bool sample_contender_queue, int repetition,
+                       std::string_view salt) {
+  std::string desc;
+  append_field(desc, "salt", salt_or_default(salt));
+  append_field(desc, "kind", "train");
+  append_field(desc, "scenario", canonical_scenario(scenario));
+  append_field(desc, "train_n", static_cast<std::int64_t>(train.n));
+  append_field(desc, "train_size", static_cast<std::int64_t>(train.size_bytes));
+  append_field(desc, "train_gap_ns", train.gap.count());
+  append_field(desc, "sample_queue",
+               static_cast<std::int64_t>(sample_contender_queue ? 1 : 0));
+  append_field(desc, "rep", static_cast<std::int64_t>(repetition));
+  return finish(std::move(desc));
+}
+
+CacheKey method_rep_key(const core::ScenarioConfig& scenario,
+                        std::string_view method_spec, std::uint64_t rep_seed,
+                        int repetition, std::string_view salt) {
+  std::string desc;
+  append_field(desc, "salt", salt_or_default(salt));
+  append_field(desc, "kind", "method");
+  append_field(desc, "scenario", canonical_scenario(scenario));
+  append_field(desc, "method", method_spec);
+  append_field(desc, "rep_seed", static_cast<std::int64_t>(rep_seed));
+  append_field(desc, "rep", static_cast<std::int64_t>(repetition));
+  return finish(std::move(desc));
+}
+
+}  // namespace csmabw::serve

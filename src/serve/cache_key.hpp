@@ -1,0 +1,60 @@
+#pragma once
+
+// Content-addressed cache keys for campaign results.
+//
+// A key is a 128-bit stable hash (util::StableHash128 — no std::hash,
+// identical across platforms and compilers) over a *canonical
+// description* of everything a (cell, repetition) result depends on:
+// the engine version salt, the fully resolved scenario configuration
+// (PHY numerics, topology, every station's traffic spec, warm-up and
+// phase parameters, the cell's scenario seed — which already encodes
+// campaign_seed + cell index), the probe-train or method spec, and the
+// repetition index.  The description string itself is kept alongside
+// the digest: the cache stores it in every entry and compares it on
+// lookup, so a 128-bit collision degrades to a miss, never to a wrong
+// result.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/scenario.hpp"
+#include "traffic/probe_train.hpp"
+#include "util/hash.hpp"
+
+namespace csmabw::serve {
+
+struct CacheKey {
+  util::Digest128 digest;
+  /// The canonical description the digest was computed over.
+  std::string desc;
+
+  /// 32 lowercase hex chars — the on-disk entry name.
+  [[nodiscard]] std::string hex() const { return digest.hex(); }
+};
+
+/// Canonical, unambiguous text form of a fully resolved scenario
+/// configuration: every field that influences the simulation, spelled
+/// numerically (round-trip double formatting), including the seed.
+/// Unlike ScenarioSpec::describe() this covers configs that never came
+/// from the grammar (e.g. programmatic PHY overrides).
+[[nodiscard]] std::string canonical_scenario(const core::ScenarioConfig& cfg);
+
+/// Key of probe-train repetition `repetition` of a cell.
+/// `sample_contender_queue` is part of the key because it changes the
+/// record's content (the queue-at-arrival samples).  `salt` defaults to
+/// the engine version salt; tests override it to prove that bumping the
+/// salt invalidates every entry.
+[[nodiscard]] CacheKey train_rep_key(
+    const core::ScenarioConfig& scenario, const traffic::TrainSpec& train,
+    bool sample_contender_queue, int repetition,
+    std::string_view salt = {});
+
+/// Key of measurement-method repetition `repetition` of a cell.
+/// `rep_seed` is the repetition's transport/method seed
+/// (exp::method_rep_seed); the scenario carries the cell seed.
+[[nodiscard]] CacheKey method_rep_key(
+    const core::ScenarioConfig& scenario, std::string_view method_spec,
+    std::uint64_t rep_seed, int repetition, std::string_view salt = {});
+
+}  // namespace csmabw::serve

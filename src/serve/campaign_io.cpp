@@ -1,0 +1,29 @@
+#include "serve/campaign_io.hpp"
+
+#include "serve/cache_key.hpp"
+#include "serve/version.hpp"
+#include "util/hash.hpp"
+
+namespace csmabw::serve {
+
+std::uint64_t campaign_fingerprint(const exp::Campaign& campaign,
+                                   CampaignKind kind,
+                                   std::string_view extra) {
+  util::StableHash128 hash;
+  hash.add(kEngineVersionSalt);
+  hash.add(static_cast<std::int64_t>(kind));
+  hash.add(static_cast<std::int64_t>(campaign.campaign_seed()));
+  hash.add(extra);
+  hash.add(static_cast<std::int64_t>(campaign.cells().size()));
+  for (const exp::Cell& cell : campaign.cells()) {
+    hash.add(std::string_view(canonical_scenario(cell.scenario)));
+    hash.add(cell.train.n);
+    hash.add(cell.train.size_bytes);
+    hash.add(cell.train.gap.count());
+    hash.add(std::string_view(cell.method));
+    hash.add(cell.repetitions);
+  }
+  return hash.digest().lo;
+}
+
+}  // namespace csmabw::serve

@@ -1,0 +1,75 @@
+#pragma once
+
+// Serving options a campaign run carries into exp::run_train_campaign /
+// exp::run_method_campaign: where to look results up (resume set, then
+// content-addressed cache), where to persist completed repetitions
+// (checkpoint writer), which slice of the work grid this process owns
+// (--shard=I/N), and the counters/progress surface.
+//
+// All layers compose: a sharded process can simultaneously consult the
+// cache, resume from its own checkpoint and persist new work.  Every
+// combination preserves the engine's byte-identity contract, because
+// records store the exact bits the accumulators consume and the
+// accumulation order never depends on where a record came from.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "exp/progress.hpp"
+#include "exp/sweep.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/shard_file.hpp"
+
+namespace csmabw::serve {
+
+struct ServeCounters {
+  /// Repetitions simulated in this process.
+  std::atomic<std::int64_t> computed{0};
+  /// Repetitions served from the content-addressed cache.
+  std::atomic<std::int64_t> cache_hits{0};
+  /// Repetitions served from the resume/merge record set.
+  std::atomic<std::int64_t> resumed{0};
+};
+
+/// Serving configuration of one campaign run.  Everything optional and
+/// non-owning; the default object reproduces the classic engine
+/// behaviour exactly (compute every repetition, no persistence).
+struct CampaignServeOptions {
+  /// Content-addressed result cache; consulted per (cell, repetition)
+  /// after the resume set, filled on every computed miss.
+  ResultCache* cache = nullptr;
+  /// Already-completed records (loaded checkpoint or merged shard
+  /// files); served without touching cache or simulator.
+  const ResultSet* resume = nullptr;
+  /// Every completed repetition (computed or cache-served) is added
+  /// here; the writer flushes atomically every N records.
+  CheckpointWriter* checkpoint = nullptr;
+  /// This process's slice of the fixed work ordering; {0, 1} = all.
+  ShardSel shard{};
+  /// Merge mode: throw instead of simulating when a repetition is
+  /// covered by neither the resume set nor the cache.
+  bool forbid_compute = false;
+  /// Per-repetition progress: computed reps tick(), served reps
+  /// tick_cached() — the reporter's ETA then reflects real work only.
+  /// When set, the Runner must NOT also carry a progress pointer.
+  exp::Progress* progress = nullptr;
+  ServeCounters* counters = nullptr;
+
+  [[nodiscard]] bool passthrough() const {
+    return cache == nullptr && resume == nullptr && checkpoint == nullptr &&
+           !shard.partitioned() && !forbid_compute && progress == nullptr &&
+           counters == nullptr;
+  }
+};
+
+/// Fingerprint binding a checkpoint/shard file to one campaign: hashes
+/// the engine version salt, the campaign kind, the campaign seed,
+/// every cell's canonical scenario + train/method spec + repetition
+/// count, and `extra` (kind-specific knobs that change record content
+/// or accumulation order, e.g. the train config's shard_size).
+[[nodiscard]] std::uint64_t campaign_fingerprint(const exp::Campaign& campaign,
+                                                 CampaignKind kind,
+                                                 std::string_view extra);
+
+}  // namespace csmabw::serve

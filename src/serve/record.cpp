@@ -1,0 +1,168 @@
+#include "serve/record.hpp"
+
+#include <cstring>
+
+#include "trace/format.hpp"
+
+namespace csmabw::serve {
+
+namespace {
+
+using trace::format::get_u32;
+using trace::format::get_u64;
+using trace::format::put_u32;
+using trace::format::put_u64;
+
+/// Record payloads cap every element count at this; a corrupt length
+/// field must fail decoding, not attempt a multi-GiB allocation.
+constexpr std::uint32_t kMaxElements = 64u * 1024u * 1024u;
+
+void put_f64(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<unsigned char>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked sequential reader over a payload.
+struct Cursor {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool u32(std::uint32_t* out) {
+    if (size - pos < 4) {
+      return false;
+    }
+    *out = get_u32(data + pos);
+    pos += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool f64(double* out) {
+    if (size - pos < 8) {
+      return false;
+    }
+    const std::uint64_t bits = get_u64(data + pos);
+    std::memcpy(out, &bits, sizeof(*out));
+    pos += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool f64_vec(std::vector<double>* out) {
+    std::uint32_t n = 0;
+    if (!u32(&n) || n > kMaxElements || size - pos < 8u * n) {
+      return false;
+    }
+    out->resize(n);
+    for (double& v : *out) {
+      if (!f64(&v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool str(std::string* out) {
+    std::uint32_t n = 0;
+    if (!u32(&n) || n > kMaxElements || size - pos < n) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+
+  [[nodiscard]] bool done() const { return pos == size; }
+};
+
+}  // namespace
+
+void encode_train_record(const TrainRepRecord& record,
+                         std::vector<unsigned char>& out) {
+  put_u32(out, record.dropped ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(record.access_delays_s.size()));
+  for (double v : record.access_delays_s) {
+    put_f64(out, v);
+  }
+  put_f64(out, record.output_gap_s);
+  put_u32(out, static_cast<std::uint32_t>(record.queue_at_arrival.size()));
+  for (double v : record.queue_at_arrival) {
+    put_f64(out, v);
+  }
+}
+
+bool decode_train_record(const unsigned char* data, std::size_t size,
+                         TrainRepRecord* out) {
+  Cursor c{data, size};
+  std::uint32_t dropped = 0;
+  *out = TrainRepRecord{};
+  if (!c.u32(&dropped) || dropped > 1) {
+    return false;
+  }
+  out->dropped = dropped != 0;
+  return c.f64_vec(&out->access_delays_s) && c.f64(&out->output_gap_s) &&
+         c.f64_vec(&out->queue_at_arrival) && c.done();
+}
+
+void encode_method_record(const core::MeasurementReport& report,
+                          std::vector<unsigned char>& out) {
+  put_str(out, report.method);
+  put_f64(out, report.estimate_bps);
+  put_u32(out, static_cast<std::uint32_t>(report.trains_sent));
+  put_u32(out, static_cast<std::uint32_t>(report.probes_sent));
+  put_u32(out, static_cast<std::uint32_t>(report.trains_lost));
+  put_u32(out, static_cast<std::uint32_t>(report.curve.points.size()));
+  for (const core::RateResponsePoint& p : report.curve.points) {
+    put_f64(out, p.input_bps);
+    put_f64(out, p.output_bps);
+  }
+  put_u32(out, static_cast<std::uint32_t>(report.metrics.size()));
+  for (const auto& [key, value] : report.metrics) {
+    put_str(out, key);
+    put_f64(out, value);
+  }
+}
+
+bool decode_method_record(const unsigned char* data, std::size_t size,
+                          core::MeasurementReport* out) {
+  Cursor c{data, size};
+  *out = core::MeasurementReport{};
+  std::uint32_t trains = 0;
+  std::uint32_t probes = 0;
+  std::uint32_t lost = 0;
+  if (!c.str(&out->method) || !c.f64(&out->estimate_bps) || !c.u32(&trains) ||
+      !c.u32(&probes) || !c.u32(&lost)) {
+    return false;
+  }
+  out->trains_sent = static_cast<int>(trains);
+  out->probes_sent = static_cast<int>(probes);
+  out->trains_lost = static_cast<int>(lost);
+  std::uint32_t points = 0;
+  if (!c.u32(&points) || points > kMaxElements) {
+    return false;
+  }
+  out->curve.points.resize(points);
+  for (core::RateResponsePoint& p : out->curve.points) {
+    if (!c.f64(&p.input_bps) || !c.f64(&p.output_bps)) {
+      return false;
+    }
+  }
+  std::uint32_t metrics = 0;
+  if (!c.u32(&metrics) || metrics > kMaxElements) {
+    return false;
+  }
+  out->metrics.resize(metrics);
+  for (auto& [key, value] : out->metrics) {
+    if (!c.str(&key) || !c.f64(&value)) {
+      return false;
+    }
+  }
+  return c.done();
+}
+
+}  // namespace csmabw::serve

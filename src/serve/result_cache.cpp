@@ -1,0 +1,161 @@
+#include "serve/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/format.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::serve {
+
+namespace {
+
+constexpr char kCacheMagic[4] = {'C', 'C', 'R', 'S'};
+constexpr std::uint16_t kCacheFormatVersion = 1;
+/// Plausibility cap enforced before allocating from a length field.
+constexpr std::uint32_t kMaxEntryBytes = 256u * 1024u * 1024u;
+
+using trace::format::get_u16;
+using trace::format::get_u32;
+using trace::format::get_u64;
+using trace::format::put_u16;
+using trace::format::put_u32;
+using trace::format::put_u64;
+
+/// Reads a whole file; returns false when it does not exist or cannot
+/// be read (both are cache misses).
+bool read_file(const std::string& path, std::vector<unsigned char>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return false;
+  }
+  out->resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(out->size()));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+  CSMABW_REQUIRE(!root_.empty(), "cache root must be non-empty");
+  std::filesystem::create_directories(root_);
+}
+
+std::string ResultCache::entry_path(const CacheKey& key) const {
+  const std::string hex = key.hex();
+  std::string path = root_;
+  if (path.back() != '/') {
+    path += '/';
+  }
+  path += hex.substr(0, 2);
+  path += '/';
+  path += hex.substr(2);
+  path += ".ccres";
+  return path;
+}
+
+std::optional<std::vector<unsigned char>> ResultCache::lookup(
+    const CacheKey& key) {
+  std::vector<unsigned char> bytes;
+  if (!read_file(entry_path(key), &bytes)) {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Fixed prefix: magic(4) version(2) reserved(2) key(16) desc_len(4).
+  if (bytes.size() >= 8) {
+    CSMABW_REQUIRE(std::equal(kCacheMagic, kCacheMagic + 4, bytes.begin()),
+                   "not a csmabw result-cache entry: " + entry_path(key));
+    const std::uint16_t version = get_u16(bytes.data() + 4);
+    CSMABW_REQUIRE(version == kCacheFormatVersion,
+                   "result-cache entry format version " +
+                       std::to_string(version) + " != " +
+                       std::to_string(kCacheFormatVersion) +
+                       " — clear the cache directory: " + entry_path(key));
+  }
+  const auto miss = [&]() -> std::optional<std::vector<unsigned char>> {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  if (bytes.size() < 28) {
+    return miss();  // torn header
+  }
+  if (get_u64(bytes.data() + 8) != key.digest.hi ||
+      get_u64(bytes.data() + 16) != key.digest.lo) {
+    return miss();  // entry written for a different key (corruption)
+  }
+  const std::uint32_t desc_len = get_u32(bytes.data() + 24);
+  if (desc_len > kMaxEntryBytes || bytes.size() < 32u + desc_len) {
+    return miss();
+  }
+  const std::string_view desc(
+      reinterpret_cast<const char*>(bytes.data() + 28), desc_len);
+  if (desc != key.desc) {
+    return miss();  // 128-bit collision: degrade to a miss, never serve
+  }
+  const std::size_t payload_at = 28u + desc_len;
+  const std::uint32_t payload_len = get_u32(bytes.data() + payload_at);
+  if (payload_len > kMaxEntryBytes ||
+      bytes.size() != payload_at + 4u + payload_len) {
+    return miss();  // truncated or trailing garbage
+  }
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_read.fetch_add(static_cast<std::int64_t>(bytes.size()),
+                                 std::memory_order_relaxed);
+  return std::vector<unsigned char>(
+      bytes.begin() + static_cast<std::ptrdiff_t>(payload_at + 4),
+      bytes.end());
+}
+
+void ResultCache::store(const CacheKey& key,
+                        const std::vector<unsigned char>& payload) {
+  CSMABW_REQUIRE(payload.size() <= kMaxEntryBytes,
+                 "cache payload exceeds the entry size cap");
+  std::vector<unsigned char> bytes;
+  bytes.reserve(32 + key.desc.size() + payload.size());
+  for (char c : kCacheMagic) {
+    bytes.push_back(static_cast<unsigned char>(c));
+  }
+  put_u16(bytes, kCacheFormatVersion);
+  put_u16(bytes, 0);  // reserved
+  put_u64(bytes, key.digest.hi);
+  put_u64(bytes, key.digest.lo);
+  put_u32(bytes, static_cast<std::uint32_t>(key.desc.size()));
+  bytes.insert(bytes.end(), key.desc.begin(), key.desc.end());
+  put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const std::string path = entry_path(key);
+  const std::filesystem::path target(path);
+  std::filesystem::create_directories(target.parent_path());
+  // Unique temp name per store: concurrent writers never collide, and
+  // the final rename is atomic within the shard directory.
+  const std::uint64_t n =
+      temp_counter_.fetch_add(1, std::memory_order_relaxed);
+  const std::string temp =
+      path + ".tmp." + std::to_string(::getpid()) + "." + std::to_string(n);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    CSMABW_REQUIRE(static_cast<bool>(out),
+                   "cannot open cache temp file: " + temp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    CSMABW_REQUIRE(static_cast<bool>(out),
+                   "cache write failed: " + temp);
+  }
+  std::filesystem::rename(temp, target);
+  counters_.stores.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_written.fetch_add(static_cast<std::int64_t>(bytes.size()),
+                                    std::memory_order_relaxed);
+}
+
+}  // namespace csmabw::serve

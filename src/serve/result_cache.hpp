@@ -1,0 +1,77 @@
+#pragma once
+
+// Content-addressed on-disk result cache.
+//
+// Layout: one file per entry, sharded by the first key byte —
+//
+//   <root>/ab/cdef0123...89.ccres
+//
+// where "abcdef...89" is the key's 32-hex-char 128-bit digest.  Entry
+// format (all little-endian):
+//
+//   magic "CCRS" | u16 version | u16 reserved
+//   | u64 key_hi | u64 key_lo
+//   | u32 desc_len | desc bytes       (the full canonical key string)
+//   | u32 payload_len | payload       (a serve/record.hpp payload)
+//
+// Stores are atomic (write to a unique temp file in the same shard
+// directory, then rename), so readers never observe a torn entry.
+// Lookup verifies the stored canonical description against the probe
+// key: a 128-bit collision therefore degrades to a miss, never to a
+// wrong result.  A magic/version mismatch is a hard error (the format
+// changed; clear the cache directory), while a truncated or otherwise
+// corrupt entry counts as a miss and is overwritten by the next store.
+//
+// Thread-safe: lookups and stores may run concurrently from campaign
+// worker threads; concurrent stores of the same key both write
+// identical bytes and the atomic rename picks one.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/cache_key.hpp"
+
+namespace csmabw::serve {
+
+struct CacheCounters {
+  std::atomic<std::int64_t> hits{0};
+  std::atomic<std::int64_t> misses{0};
+  std::atomic<std::int64_t> stores{0};
+  std::atomic<std::int64_t> bytes_read{0};
+  std::atomic<std::int64_t> bytes_written{0};
+};
+
+class ResultCache {
+ public:
+  /// Opens (and creates if missing) the cache rooted at `root`.
+  explicit ResultCache(std::string root);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The entry's payload on a hit; nullopt on a miss (absent, truncated
+  /// or description-mismatched entry).  Throws util::PreconditionError
+  /// when the entry's magic or format version does not match — a
+  /// different or newer cache format must never be silently re-read.
+  [[nodiscard]] std::optional<std::vector<unsigned char>> lookup(
+      const CacheKey& key);
+
+  /// Atomically persists `payload` under `key` (write-temp + rename).
+  void store(const CacheKey& key, const std::vector<unsigned char>& payload);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] const CacheCounters& counters() const { return counters_; }
+
+  /// The entry path for a key: `<root>/<hex[0:2]>/<hex[2:]>.ccres`.
+  [[nodiscard]] std::string entry_path(const CacheKey& key) const;
+
+ private:
+  std::string root_;
+  CacheCounters counters_;
+  std::atomic<std::uint64_t> temp_counter_{0};
+};
+
+}  // namespace csmabw::serve

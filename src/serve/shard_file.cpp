@@ -1,0 +1,212 @@
+#include "serve/shard_file.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/format.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::serve {
+
+namespace {
+
+constexpr char kShardMagic[4] = {'C', 'C', 'S', 'H'};
+constexpr std::uint16_t kShardFormatVersion = 1;
+constexpr std::uint32_t kRecordMagic = 0x44525343;  // "CSRD"
+constexpr std::uint32_t kMaxRecordBytes = 256u * 1024u * 1024u;
+constexpr std::uint32_t kMaxLabelBytes = 1024u * 1024u;
+
+using trace::format::get_i32;
+using trace::format::get_u16;
+using trace::format::get_u32;
+using trace::format::get_u64;
+using trace::format::put_i32;
+using trace::format::put_u16;
+using trace::format::put_u32;
+using trace::format::put_u64;
+
+}  // namespace
+
+void ResultSet::put(int cell, int repetition,
+                    std::vector<unsigned char> payload) {
+  records_[{cell, repetition}] = std::move(payload);
+}
+
+const std::vector<unsigned char>* ResultSet::find(int cell,
+                                                  int repetition) const {
+  const auto it = records_.find({cell, repetition});
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void load_shard_file(const std::string& path, CampaignKind expected_kind,
+                     std::uint64_t expected_fingerprint, ResultSet* into) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CSMABW_REQUIRE(static_cast<bool>(in),
+                 "cannot open shard/checkpoint file: " + path);
+  const std::streamoff stream_size = in.tellg();
+  CSMABW_REQUIRE(stream_size >= 0, "cannot stat shard file: " + path);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(stream_size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  CSMABW_REQUIRE(static_cast<bool>(in), "cannot read shard file: " + path);
+
+  // Header: magic(4) version(2) kind(2) fingerprint(8) label_len(4).
+  CSMABW_REQUIRE(bytes.size() >= 20,
+                 "shard file too short for a header: " + path);
+  CSMABW_REQUIRE(std::equal(kShardMagic, kShardMagic + 4, bytes.begin()),
+                 "not a csmabw shard/checkpoint file: " + path);
+  const std::uint16_t version = get_u16(bytes.data() + 4);
+  CSMABW_REQUIRE(version == kShardFormatVersion,
+                 "shard file format version " + std::to_string(version) +
+                     " != " + std::to_string(kShardFormatVersion) + ": " +
+                     path);
+  const std::uint16_t kind = get_u16(bytes.data() + 6);
+  CSMABW_REQUIRE(kind == static_cast<std::uint16_t>(expected_kind),
+                 "shard file records a different campaign kind: " + path);
+  const std::uint64_t fingerprint = get_u64(bytes.data() + 8);
+  CSMABW_REQUIRE(
+      fingerprint == expected_fingerprint,
+      "shard file belongs to a different campaign (fingerprint mismatch "
+      "— grid, seed, spec or engine version salt changed): " +
+          path);
+  const std::uint32_t label_len = get_u32(bytes.data() + 16);
+  CSMABW_REQUIRE(label_len <= kMaxLabelBytes,
+                 "shard file label length implausible: " + path);
+  std::size_t pos = 20u + label_len;
+  CSMABW_REQUIRE(bytes.size() >= pos, "shard file label truncated: " + path);
+
+  // Records: a torn tail (crash mid-write of a non-atomic copy, or a
+  // deliberately truncated file) ends the load at the last complete
+  // record — resume then recomputes the remainder.
+  while (bytes.size() - pos >= 16) {
+    if (get_u32(bytes.data() + pos) != kRecordMagic) {
+      break;  // trailing garbage: stop at the last clean record
+    }
+    const int cell = get_i32(bytes.data() + pos + 4);
+    const int rep = get_i32(bytes.data() + pos + 8);
+    const std::uint32_t payload_len = get_u32(bytes.data() + pos + 12);
+    if (payload_len > kMaxRecordBytes ||
+        bytes.size() - pos - 16 < payload_len) {
+      break;  // torn record
+    }
+    if (cell < 0 || rep < 0) {
+      break;
+    }
+    into->put(cell, rep,
+              std::vector<unsigned char>(
+                  bytes.begin() + static_cast<std::ptrdiff_t>(pos + 16),
+                  bytes.begin() +
+                      static_cast<std::ptrdiff_t>(pos + 16 + payload_len)));
+    pos += 16u + payload_len;
+  }
+}
+
+CheckpointWriter::CheckpointWriter(std::string path, CampaignKind kind,
+                                   std::uint64_t fingerprint,
+                                   std::string label, int flush_every)
+    : path_(std::move(path)),
+      kind_(kind),
+      fingerprint_(fingerprint),
+      label_(std::move(label)),
+      flush_every_(flush_every) {
+  CSMABW_REQUIRE(!path_.empty(), "checkpoint path must be non-empty");
+  CSMABW_REQUIRE(flush_every_ >= 1, "checkpoint flush_every must be >= 1");
+  CSMABW_REQUIRE(label_.size() <= kMaxLabelBytes, "checkpoint label too long");
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+}
+
+void CheckpointWriter::preload(const ResultSet& completed) {
+  std::scoped_lock lock(mu_);
+  for (const auto& [id, payload] : completed.records()) {
+    set_.put(id.first, id.second, payload);
+  }
+}
+
+void CheckpointWriter::add(int cell, int repetition,
+                           std::vector<unsigned char> payload) {
+  std::scoped_lock lock(mu_);
+  set_.put(cell, repetition, std::move(payload));
+  if (++pending_ >= flush_every_) {
+    flush_locked();
+  }
+}
+
+void CheckpointWriter::flush() {
+  std::scoped_lock lock(mu_);
+  if (pending_ > 0 || flushes_ == 0) {
+    flush_locked();
+  }
+}
+
+std::size_t CheckpointWriter::records() const {
+  std::scoped_lock lock(mu_);
+  return set_.size();
+}
+
+void CheckpointWriter::flush_locked() {
+  std::vector<unsigned char> bytes;
+  for (char c : kShardMagic) {
+    bytes.push_back(static_cast<unsigned char>(c));
+  }
+  put_u16(bytes, kShardFormatVersion);
+  put_u16(bytes, static_cast<std::uint16_t>(kind_));
+  put_u64(bytes, fingerprint_);
+  put_u32(bytes, static_cast<std::uint32_t>(label_.size()));
+  bytes.insert(bytes.end(), label_.begin(), label_.end());
+  for (const auto& [id, payload] : set_.records()) {
+    put_u32(bytes, kRecordMagic);
+    put_i32(bytes, id.first);
+    put_i32(bytes, id.second);
+    put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+  const std::string temp =
+      path_ + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    CSMABW_REQUIRE(static_cast<bool>(out),
+                   "cannot open checkpoint temp file: " + temp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    CSMABW_REQUIRE(static_cast<bool>(out),
+                   "checkpoint write failed: " + temp);
+  }
+  std::filesystem::rename(temp, path_);
+  pending_ = 0;
+  ++flushes_;
+}
+
+ShardSel parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  CSMABW_REQUIRE(slash != std::string::npos && slash > 0 &&
+                     slash + 1 < text.size(),
+                 "--shard expects I/N (e.g. 0/3), got `" + text + "`");
+  ShardSel sel;
+  try {
+    std::size_t used = 0;
+    sel.index = std::stoi(text.substr(0, slash), &used);
+    CSMABW_REQUIRE(used == slash, "--shard index is not a number");
+    sel.count = std::stoi(text.substr(slash + 1), &used);
+    CSMABW_REQUIRE(used == text.size() - slash - 1,
+                   "--shard count is not a number");
+  } catch (const std::invalid_argument&) {
+    CSMABW_REQUIRE(false, "--shard expects I/N (e.g. 0/3), got `" + text +
+                              "`");
+  } catch (const std::out_of_range&) {
+    CSMABW_REQUIRE(false, "--shard value out of range: `" + text + "`");
+  }
+  CSMABW_REQUIRE(sel.count >= 1 && sel.index >= 0 && sel.index < sel.count,
+                 "--shard needs 0 <= I < N, got `" + text + "`");
+  return sel;
+}
+
+}  // namespace csmabw::serve

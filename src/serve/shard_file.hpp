@@ -1,0 +1,134 @@
+#pragma once
+
+// Checkpoint and process-shard result files (".ccshard").
+//
+// One file holds a set of (cell, repetition) result records for one
+// campaign — the same binary payloads as the result cache (see
+// serve/record.hpp).  The same format serves two roles:
+//
+//  * **Checkpoint**: a running campaign persists every completed
+//    repetition; after a crash, `--resume` reloads the file and only
+//    the missing repetitions execute.
+//  * **Process shard**: a `--shard=I/N` run writes its subset of the
+//    grid; `--merge` loads all N files and reproduces the
+//    single-process output byte-identically.
+//
+// Layout (all little-endian):
+//
+//   magic "CCSH" | u16 version | u16 kind (1 = train, 2 = method)
+//   | u64 campaign_fingerprint | u32 label_len | label bytes
+//   record*
+//
+//   record := u32 record_magic | i32 cell | i32 rep
+//           | u32 payload_len | payload
+//
+// The campaign fingerprint (serve::campaign_fingerprint) hashes the
+// engine version salt plus every cell's canonical scenario/spec, so
+// resuming or merging against a different campaign is a hard error.
+// Files are written atomically (write-temp + rename); a *torn* file —
+// e.g. a checkpoint truncated by a crash mid-write — loads cleanly up
+// to the last complete record and the rest is simply recomputed.
+// A magic, version, kind or fingerprint mismatch always throws.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csmabw::serve {
+
+enum class CampaignKind : std::uint16_t { kTrain = 1, kMethod = 2 };
+
+/// In-memory set of per-(cell, repetition) result payloads.
+class ResultSet {
+ public:
+  void put(int cell, int repetition, std::vector<unsigned char> payload);
+
+  /// The payload, or nullptr when absent.
+  [[nodiscard]] const std::vector<unsigned char>* find(int cell,
+                                                       int repetition) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Records in (cell, repetition) order — the deterministic file order.
+  [[nodiscard]] const std::map<std::pair<int, int>,
+                               std::vector<unsigned char>>&
+  records() const {
+    return records_;
+  }
+
+ private:
+  std::map<std::pair<int, int>, std::vector<unsigned char>> records_;
+};
+
+/// Loads a .ccshard file, tolerating a torn tail (the complete record
+/// prefix is returned).  Throws util::PreconditionError when the file
+/// is missing, is not a shard file, has a different format version, or
+/// its kind/fingerprint do not match the expectation.  Records already
+/// present in `*into` are overwritten (merge semantics: later files
+/// win; identical campaigns produce identical records either way).
+void load_shard_file(const std::string& path, CampaignKind expected_kind,
+                     std::uint64_t expected_fingerprint, ResultSet* into);
+
+/// Accumulating checkpoint/shard writer with periodic atomic flushes.
+///
+/// `add` is thread-safe (campaign workers call it concurrently); every
+/// `flush_every` added records the full record set is rewritten to a
+/// temp file and renamed over `path`, so the on-disk file is always a
+/// complete prefix-consistent snapshot.  Call `flush()` once after the
+/// campaign drains to persist the tail.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string path, CampaignKind kind,
+                   std::uint64_t fingerprint, std::string label,
+                   int flush_every = 64);
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Seeds the writer with already-completed records (resume), so the
+  /// rewritten file keeps them.  Not thread-safe; call before the run.
+  void preload(const ResultSet& completed);
+
+  void add(int cell, int repetition, std::vector<unsigned char> payload);
+
+  /// Writes the current record set atomically; idempotent.
+  void flush();
+
+  [[nodiscard]] std::size_t records() const;
+  [[nodiscard]] std::int64_t flushes() const { return flushes_; }
+
+ private:
+  void flush_locked();
+
+  std::string path_;
+  CampaignKind kind_;
+  std::uint64_t fingerprint_;
+  std::string label_;
+  int flush_every_;
+  mutable std::mutex mu_;
+  ResultSet set_;
+  int pending_ = 0;
+  std::int64_t flushes_ = 0;
+};
+
+/// A `--shard=I/N` work partition: the fixed job ordering of the thread
+/// runner (train work shards, method (cell, rep) jobs) is dealt
+/// round-robin — ordinal o belongs to process o mod N.
+struct ShardSel {
+  int index = 0;
+  int count = 1;
+
+  [[nodiscard]] bool selects(int ordinal) const {
+    return ordinal % count == index;
+  }
+  [[nodiscard]] bool partitioned() const { return count > 1; }
+};
+
+/// Parses "I/N" with 0 <= I < N; throws util::PreconditionError on
+/// malformed input.
+[[nodiscard]] ShardSel parse_shard(const std::string& text);
+
+}  // namespace csmabw::serve

@@ -1,0 +1,135 @@
+#pragma once
+
+// Stable, platform-independent hashing (FNV-1a).
+//
+// std::hash makes no cross-implementation guarantees, so anything that
+// persists a hash — the serve/ result cache keys foremost — must not
+// touch it.  Everything here is pure arithmetic on explicit bytes:
+// the same input produces the same digest on every platform, compiler
+// and standard library, which is what makes content-addressed cache
+// entries shareable between machines.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace csmabw::util {
+
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x00000100000001b3ULL;
+
+/// Incremental FNV-1a 64-bit hasher over raw bytes.
+///
+/// `bytes()` is plain FNV-1a (matches the published test vectors); the
+/// typed `add` overloads build *structured* keys: strings are
+/// length-prefixed and numbers serialized as fixed-width little-endian,
+/// so adjacent fields cannot alias ("ab"+"c" vs "a"+"bc") and the
+/// digest never depends on host endianness or integer width.
+class Fnv1a64 {
+ public:
+  explicit Fnv1a64(std::uint64_t basis = kFnv64OffsetBasis) : h_(basis) {}
+
+  /// Raw FNV-1a over `n` bytes (no framing).
+  Fnv1a64& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ = (h_ ^ p[i]) * kFnv64Prime;
+    }
+    return *this;
+  }
+
+  /// Length-prefixed string field.
+  Fnv1a64& add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    return bytes(s.data(), s.size());
+  }
+  Fnv1a64& add(const char* s) { return add(std::string_view(s)); }
+
+  /// Fixed-width little-endian integer field.
+  Fnv1a64& add(std::uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    return bytes(buf, 8);
+  }
+  Fnv1a64& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+  Fnv1a64& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Fnv1a64& add(bool v) { return add(static_cast<std::int64_t>(v ? 1 : 0)); }
+
+  /// Exact bit pattern of a double (distinguishes -0.0 from 0.0; two
+  /// runs that produced bit-identical doubles hash identically).
+  Fnv1a64& add(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return add(bits);
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+/// Plain FNV-1a 64 of a byte string (the published algorithm; see the
+/// known-answer vectors in tests/hash_test.cpp).
+[[nodiscard]] inline std::uint64_t stable_hash64(std::string_view s) {
+  return Fnv1a64().bytes(s.data(), s.size()).digest();
+}
+
+/// 128-bit digest as two independent 64-bit FNV-1a lanes over the same
+/// input, the second lane seeded with a distinct offset basis.  Not a
+/// cryptographic hash — collision resistance comes from 128 bits of
+/// state plus the cache's full-description comparison on lookup.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+
+  /// 32 lowercase hex characters, hi first.
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(i)] = kHex[(hi >> (60 - 4 * i)) & 0xf];
+      out[static_cast<std::size_t>(16 + i)] = kHex[(lo >> (60 - 4 * i)) & 0xf];
+    }
+    return out;
+  }
+};
+
+/// Second-lane basis: the FNV-1a 64 digest of "csmabw-lane2" — an
+/// arbitrary but documented constant, fixed forever.
+inline constexpr std::uint64_t kFnv64Lane2Basis = 0xa956744e8b8ffb67ULL;
+
+/// Two-lane incremental 128-bit hasher with the Fnv1a64 field framing.
+class StableHash128 {
+ public:
+  StableHash128() : lane2_(kFnv64Lane2Basis) {}
+
+  template <typename T>
+  StableHash128& add(T v) {
+    lane1_.add(v);
+    lane2_.add(v);
+    return *this;
+  }
+
+  StableHash128& bytes(const void* data, std::size_t n) {
+    lane1_.bytes(data, n);
+    lane2_.bytes(data, n);
+    return *this;
+  }
+
+  [[nodiscard]] Digest128 digest() const {
+    return Digest128{lane1_.digest(), lane2_.digest()};
+  }
+
+ private:
+  Fnv1a64 lane1_;
+  Fnv1a64 lane2_;
+};
+
+}  // namespace csmabw::util

@@ -1,0 +1,75 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace csmabw::util {
+namespace {
+
+// Published FNV-1a 64 known-answer vectors (Fowler/Noll/Vo reference
+// implementation).  These pin the exact algorithm: a refactor that
+// silently changed the basis, the prime or the xor/multiply order would
+// re-key every persisted cache entry without anyone noticing.
+TEST(StableHash, Fnv1a64KnownAnswers) {
+  EXPECT_EQ(stable_hash64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stable_hash64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stable_hash64("b"), 0xaf63df4c8601f1a5ULL);
+  EXPECT_EQ(stable_hash64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(StableHash, FramedFieldsDoNotAlias) {
+  // Length-prefixed strings: "ab"+"c" must differ from "a"+"bc".
+  const auto h1 = Fnv1a64().add("ab").add("c").digest();
+  const auto h2 = Fnv1a64().add("a").add("bc").digest();
+  EXPECT_NE(h1, h2);
+  // A framed string also differs from the raw bytes of the same text.
+  EXPECT_NE(Fnv1a64().add("abc").digest(), stable_hash64("abc"));
+}
+
+TEST(StableHash, TypedFieldsAreDeterministic) {
+  const auto digest = [] {
+    return Fnv1a64()
+        .add(std::string_view("key"))
+        .add(std::int64_t{-7})
+        .add(12345)
+        .add(true)
+        .add(0.25)
+        .digest();
+  };
+  EXPECT_EQ(digest(), digest());
+  EXPECT_NE(Fnv1a64().add(false).digest(), Fnv1a64().add(true).digest());
+}
+
+TEST(StableHash, DoubleHashesExactBitPattern) {
+  EXPECT_NE(Fnv1a64().add(0.0).digest(), Fnv1a64().add(-0.0).digest());
+  EXPECT_EQ(Fnv1a64().add(1.5).digest(), Fnv1a64().add(1.5).digest());
+}
+
+TEST(StableHash, Lane2BasisIsFnvOfItsDocumentedSeed) {
+  EXPECT_EQ(stable_hash64("csmabw-lane2"), kFnv64Lane2Basis);
+}
+
+TEST(StableHash, TwoLanesAreIndependent) {
+  StableHash128 h;
+  h.add(std::string_view("payload")).add(42);
+  const Digest128 d = h.digest();
+  EXPECT_NE(d.hi, d.lo);
+
+  StableHash128 again;
+  again.add(std::string_view("payload")).add(42);
+  EXPECT_EQ(d, again.digest());
+
+  StableHash128 other;
+  other.add(std::string_view("payload")).add(43);
+  EXPECT_FALSE(d == other.digest());
+}
+
+TEST(StableHash, Digest128HexIs32LowercaseChars) {
+  const Digest128 d{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ((Digest128{0, 0}.hex()), std::string(32, '0'));
+}
+
+}  // namespace
+}  // namespace csmabw::util

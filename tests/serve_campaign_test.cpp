@@ -1,0 +1,293 @@
+// End-to-end serving tests: cache warm-up, crash/resume from a torn
+// checkpoint, multi-process sharding + merge — each must reproduce an
+// uninterrupted run's merged statistics bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "exp/engine.hpp"
+#include "serve/result_cache.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("csmabw-serve-campaign-" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.campaign_seed = 31;
+  spec.contender_counts = {1};
+  spec.cross_mbps = {2.0, 4.0};
+  spec.train_lengths = {30};
+  spec.probe_mbps = {5.0};
+  spec.repetitions = 10;
+  return spec;
+}
+
+TrainCampaignConfig small_config() {
+  TrainCampaignConfig cfg;
+  cfg.ks_prefix = 2;
+  cfg.shard_size = 3;  // several work shards per cell
+  cfg.sample_contender_queue = true;
+  cfg.queue_prefix = 5;
+  return cfg;
+}
+
+Runner runner_with(int threads) {
+  RunnerOptions opts;
+  opts.threads = threads;
+  return Runner(opts);
+}
+
+void expect_bitwise_equal(const std::vector<TrainCellStats>& a,
+                          const std::vector<TrainCellStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].used, b[c].used);
+    EXPECT_EQ(a[c].dropped, b[c].dropped);
+    EXPECT_EQ(a[c].output_gap_s.mean(), b[c].output_gap_s.mean());
+    EXPECT_EQ(a[c].output_gap_s.stddev(), b[c].output_gap_s.stddev());
+    EXPECT_EQ(a[c].analyzer.steady_mean(), b[c].analyzer.steady_mean());
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(a[c].analyzer.mean_at(i), b[c].analyzer.mean_at(i));
+    }
+    const auto sa = a[c].analyzer.sample_at(0);
+    const auto sb = b[c].analyzer.sample_at(0);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      EXPECT_EQ(sa[k], sb[k]);
+    }
+    ASSERT_EQ(a[c].queue_at_arrival.size(), b[c].queue_at_arrival.size());
+    for (std::size_t i = 0; i < a[c].queue_at_arrival.size(); ++i) {
+      EXPECT_EQ(a[c].queue_at_arrival[i].mean(),
+                b[c].queue_at_arrival[i].mean());
+    }
+  }
+}
+
+TEST(ServeCampaign, WarmCacheReproducesBitwiseWithZeroCompute) {
+  const Campaign campaign(small_spec());
+  const TrainCampaignConfig cfg = small_config();
+  const auto baseline = run_train_campaign(campaign, cfg, runner_with(2));
+
+  serve::ResultCache cache(fresh_dir("warm").string());
+  serve::ServeCounters cold_counters;
+  serve::CampaignServeOptions cold;
+  cold.cache = &cache;
+  cold.counters = &cold_counters;
+  const auto first = run_train_campaign(campaign, cfg, runner_with(2), cold);
+  expect_bitwise_equal(baseline, first);
+  EXPECT_EQ(cold_counters.computed.load(), 20);
+  EXPECT_EQ(cold_counters.cache_hits.load(), 0);
+
+  serve::ServeCounters warm_counters;
+  serve::CampaignServeOptions warm;
+  warm.cache = &cache;
+  warm.counters = &warm_counters;
+  // forbid_compute proves the warm run touches the simulator zero times.
+  warm.forbid_compute = true;
+  const auto second = run_train_campaign(campaign, cfg, runner_with(4), warm);
+  expect_bitwise_equal(baseline, second);
+  EXPECT_EQ(warm_counters.computed.load(), 0);
+  EXPECT_EQ(warm_counters.cache_hits.load(), 20);
+}
+
+TEST(ServeCampaign, ResumeFromTornCheckpointReproducesBitwise) {
+  const Campaign campaign(small_spec());
+  const TrainCampaignConfig cfg = small_config();
+  const auto baseline = run_train_campaign(campaign, cfg, runner_with(2));
+  const std::uint64_t fingerprint =
+      train_campaign_fingerprint(campaign, cfg);
+
+  const fs::path dir = fresh_dir("resume");
+  fs::create_directories(dir);
+  const std::string ck = (dir / "run.ccshard").string();
+  {
+    serve::CheckpointWriter writer(ck, serve::CampaignKind::kTrain,
+                                   fingerprint, "test", /*flush_every=*/4);
+    serve::CampaignServeOptions io;
+    io.checkpoint = &writer;
+    const auto full = run_train_campaign(campaign, cfg, runner_with(2), io);
+    expect_bitwise_equal(baseline, full);
+  }
+
+  // Simulate the crash: tear the checkpoint mid-record.  The loader
+  // keeps the clean prefix; the engine recomputes the rest.
+  fs::resize_file(ck, fs::file_size(ck) - 11);
+  serve::ResultSet completed;
+  serve::load_shard_file(ck, serve::CampaignKind::kTrain, fingerprint,
+                         &completed);
+  ASSERT_GT(completed.size(), 0u);
+  ASSERT_LT(completed.size(), 20u);
+
+  serve::CheckpointWriter writer(ck, serve::CampaignKind::kTrain,
+                                 fingerprint, "test", 4);
+  writer.preload(completed);
+  serve::ServeCounters counters;
+  serve::CampaignServeOptions io;
+  io.checkpoint = &writer;
+  io.resume = &completed;
+  io.counters = &counters;
+  const auto resumed = run_train_campaign(campaign, cfg, runner_with(4), io);
+  expect_bitwise_equal(baseline, resumed);
+  EXPECT_EQ(counters.resumed.load(),
+            static_cast<std::int64_t>(completed.size()));
+  EXPECT_EQ(counters.computed.load(),
+            20 - static_cast<std::int64_t>(completed.size()));
+  // The rewritten checkpoint is complete again.
+  serve::ResultSet after;
+  serve::load_shard_file(ck, serve::CampaignKind::kTrain, fingerprint,
+                         &after);
+  EXPECT_EQ(after.size(), 20u);
+}
+
+TEST(ServeCampaign, ThreeWayShardMergeReproducesBitwise) {
+  const Campaign campaign(small_spec());
+  const TrainCampaignConfig cfg = small_config();
+  const auto baseline = run_train_campaign(campaign, cfg, runner_with(4));
+  const std::uint64_t fingerprint =
+      train_campaign_fingerprint(campaign, cfg);
+
+  const fs::path dir = fresh_dir("shards");
+  fs::create_directories(dir);
+  std::vector<std::string> files;
+  for (int i = 0; i < 3; ++i) {
+    const std::string path =
+        (dir / ("shard" + std::to_string(i) + ".ccshard")).string();
+    serve::CheckpointWriter writer(path, serve::CampaignKind::kTrain,
+                                   fingerprint, "shard", 8);
+    serve::CampaignServeOptions io;
+    io.checkpoint = &writer;
+    io.shard = serve::ShardSel{i, 3};
+    (void)run_train_campaign(campaign, cfg, runner_with(2), io);
+    files.push_back(path);
+  }
+
+  serve::ResultSet merged;
+  for (const std::string& path : files) {
+    serve::load_shard_file(path, serve::CampaignKind::kTrain, fingerprint,
+                           &merged);
+  }
+  EXPECT_EQ(merged.size(), 20u);
+
+  serve::ServeCounters counters;
+  serve::CampaignServeOptions io;
+  io.resume = &merged;
+  io.forbid_compute = true;
+  io.counters = &counters;
+  const auto remerged = run_train_campaign(campaign, cfg, runner_with(4), io);
+  expect_bitwise_equal(baseline, remerged);
+  EXPECT_EQ(counters.computed.load(), 0);
+  EXPECT_EQ(counters.resumed.load(), 20);
+}
+
+TEST(ServeCampaign, IncompleteMergeFailsLoudly) {
+  const Campaign campaign(small_spec());
+  const TrainCampaignConfig cfg = small_config();
+  serve::ResultSet empty;
+  serve::CampaignServeOptions io;
+  io.resume = &empty;
+  io.forbid_compute = true;
+  EXPECT_THROW(
+      (void)run_train_campaign(campaign, cfg, runner_with(1), io),
+      util::PreconditionError);
+}
+
+TEST(ServeCampaign, FingerprintTracksCampaignAndConfig) {
+  const Campaign a(small_spec());
+  SweepSpec other_spec = small_spec();
+  other_spec.campaign_seed = 32;
+  const Campaign b(other_spec);
+  TrainCampaignConfig cfg = small_config();
+
+  EXPECT_EQ(train_campaign_fingerprint(a, cfg),
+            train_campaign_fingerprint(a, cfg));
+  EXPECT_NE(train_campaign_fingerprint(a, cfg),
+            train_campaign_fingerprint(b, cfg));
+  TrainCampaignConfig other_cfg = cfg;
+  other_cfg.shard_size = 5;  // changes accumulation order
+  EXPECT_NE(train_campaign_fingerprint(a, cfg),
+            train_campaign_fingerprint(a, other_cfg));
+  EXPECT_NE(train_campaign_fingerprint(a, cfg),
+            method_campaign_fingerprint(a));
+}
+
+TEST(ServeCampaign, MethodCampaignServesFromCache) {
+  SweepSpec spec;
+  spec.campaign_seed = 5;
+  spec.contender_counts = {1};
+  spec.cross_mbps = {2.0};
+  spec.train_lengths = {30};
+  spec.probe_mbps = {5.0};
+  spec.repetitions = 3;
+  spec.methods = {"packet_pair:pairs=10"};
+  const Campaign campaign(spec);
+
+  const auto baseline =
+      run_method_campaign(campaign, MethodCampaignConfig{}, runner_with(2));
+
+  serve::ResultCache cache(fresh_dir("method").string());
+  serve::CampaignServeOptions cold;
+  cold.cache = &cache;
+  (void)run_method_campaign(campaign, MethodCampaignConfig{}, runner_with(2),
+                            cold);
+
+  serve::ServeCounters counters;
+  serve::CampaignServeOptions warm;
+  warm.cache = &cache;
+  warm.counters = &counters;
+  warm.forbid_compute = true;
+  const auto served = run_method_campaign(campaign, MethodCampaignConfig{},
+                                          runner_with(1), warm);
+  EXPECT_EQ(counters.computed.load(), 0);
+  EXPECT_EQ(counters.cache_hits.load(), 3);
+  ASSERT_EQ(served.size(), baseline.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].cell_index, baseline[i].cell_index);
+    EXPECT_EQ(served[i].repetition, baseline[i].repetition);
+    EXPECT_EQ(served[i].report.method, baseline[i].report.method);
+    EXPECT_EQ(served[i].report.estimate_bps, baseline[i].report.estimate_bps);
+    EXPECT_EQ(served[i].report.trains_sent, baseline[i].report.trains_sent);
+    ASSERT_EQ(served[i].report.metrics.size(),
+              baseline[i].report.metrics.size());
+    for (std::size_t m = 0; m < served[i].report.metrics.size(); ++m) {
+      EXPECT_EQ(served[i].report.metrics[m], baseline[i].report.metrics[m]);
+    }
+  }
+
+  // A cache consumer with a custom transport factory is a contract
+  // violation: content addressing cannot see the custom transport.
+  MethodCampaignConfig custom;
+  custom.make_transport = [](const Cell&, std::uint64_t) {
+    return std::unique_ptr<core::ProbeTransport>();
+  };
+  EXPECT_THROW((void)run_method_campaign(campaign, custom, runner_with(1),
+                                         warm),
+               util::PreconditionError);
+}
+
+TEST(ServeCampaign, ProgressSeparatesCachedFromComputed) {
+  std::ostringstream sink;
+  Progress progress(10, "test", /*enabled=*/true, &sink);
+  progress.tick(4);
+  progress.tick_cached(6);
+  EXPECT_EQ(progress.done(), 10);
+  EXPECT_EQ(progress.cached(), 6);
+  progress.finish();
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("cached=6"), std::string::npos);
+  EXPECT_NE(out.find("computed=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csmabw::exp

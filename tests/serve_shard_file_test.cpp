@@ -1,0 +1,148 @@
+#include "serve/shard_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace csmabw::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kFingerprint = 0xfeedface12345678ULL;
+
+std::string fresh_file(const std::string& name) {
+  const fs::path path =
+      fs::temp_directory_path() / ("csmabw-shard-" + name + ".ccshard");
+  fs::remove(path);
+  return path.string();
+}
+
+std::vector<unsigned char> payload_of(int tag) {
+  return {static_cast<unsigned char>(tag),
+          static_cast<unsigned char>(tag + 1), 0xab};
+}
+
+TEST(ShardFile, WriteLoadRoundTrip) {
+  const std::string path = fresh_file("roundtrip");
+  {
+    CheckpointWriter writer(path, CampaignKind::kTrain, kFingerprint,
+                            "unit test", /*flush_every=*/2);
+    writer.add(0, 0, payload_of(1));
+    writer.add(1, 3, payload_of(2));
+    writer.add(0, 1, payload_of(3));  // triggers periodic flushes too
+    writer.flush();
+    EXPECT_EQ(writer.records(), 3u);
+    EXPECT_GE(writer.flushes(), 2);
+  }
+
+  ResultSet set;
+  load_shard_file(path, CampaignKind::kTrain, kFingerprint, &set);
+  EXPECT_EQ(set.size(), 3u);
+  ASSERT_NE(set.find(1, 3), nullptr);
+  EXPECT_EQ(*set.find(1, 3), payload_of(2));
+  EXPECT_EQ(set.find(2, 0), nullptr);
+}
+
+TEST(ShardFile, EmptyWriterStillProducesALoadableFile) {
+  // A campaign that crashes before its first record must still leave a
+  // valid (empty) checkpoint after the initial flush.
+  const std::string path = fresh_file("empty");
+  CheckpointWriter writer(path, CampaignKind::kMethod, kFingerprint, "", 8);
+  writer.flush();
+  ResultSet set;
+  load_shard_file(path, CampaignKind::kMethod, kFingerprint, &set);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(ShardFile, TornTailKeepsTheCompleteRecordPrefix) {
+  const std::string path = fresh_file("torn");
+  {
+    CheckpointWriter writer(path, CampaignKind::kTrain, kFingerprint, "",
+                            16);
+    for (int rep = 0; rep < 4; ++rep) {
+      writer.add(0, rep, payload_of(rep));
+    }
+    writer.flush();
+  }
+  // Chop into the last record: the first three must survive.  Every
+  // truncation point inside the final record yields the same prefix.
+  const auto full = fs::file_size(path);
+  for (std::uintmax_t cut = 1; cut <= 14; cut += 13) {
+    fs::resize_file(path, full - cut);
+    ResultSet set;
+    load_shard_file(path, CampaignKind::kTrain, kFingerprint, &set);
+    EXPECT_EQ(set.size(), 3u) << "cut=" << cut;
+    EXPECT_NE(set.find(0, 2), nullptr);
+    EXPECT_EQ(set.find(0, 3), nullptr);
+  }
+}
+
+TEST(ShardFile, MismatchesAreHardErrors) {
+  const std::string path = fresh_file("mismatch");
+  {
+    CheckpointWriter writer(path, CampaignKind::kTrain, kFingerprint, "",
+                            16);
+    writer.add(0, 0, payload_of(9));
+    writer.flush();
+  }
+  ResultSet set;
+  EXPECT_THROW(
+      load_shard_file(path, CampaignKind::kMethod, kFingerprint, &set),
+      util::PreconditionError);
+  EXPECT_THROW(
+      load_shard_file(path, CampaignKind::kTrain, kFingerprint + 1, &set),
+      util::PreconditionError);
+  EXPECT_THROW(load_shard_file(fresh_file("missing"), CampaignKind::kTrain,
+                               kFingerprint, &set),
+               util::PreconditionError);
+}
+
+TEST(ShardFile, PreloadKeepsResumedRecordsInRewrites) {
+  const std::string path = fresh_file("preload");
+  ResultSet resumed;
+  resumed.put(0, 0, payload_of(1));
+  {
+    CheckpointWriter writer(path, CampaignKind::kTrain, kFingerprint, "",
+                            16);
+    writer.preload(resumed);
+    writer.add(0, 1, payload_of(2));
+    writer.flush();
+  }
+  ResultSet set;
+  load_shard_file(path, CampaignKind::kTrain, kFingerprint, &set);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_NE(set.find(0, 0), nullptr);
+}
+
+TEST(ShardSelTest, RoundRobinPartitionCoversEveryOrdinalOnce) {
+  const int n = 3;
+  for (int ordinal = 0; ordinal < 20; ++ordinal) {
+    int owners = 0;
+    for (int i = 0; i < n; ++i) {
+      owners += ShardSel{i, n}.selects(ordinal) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1) << "ordinal " << ordinal;
+  }
+  EXPECT_FALSE(ShardSel{}.partitioned());
+  EXPECT_FALSE((ShardSel{0, 1}.partitioned()));
+  EXPECT_TRUE((ShardSel{0, 2}.partitioned()));
+}
+
+TEST(ShardSelTest, ParseShardValidates) {
+  const ShardSel sel = parse_shard("1/3");
+  EXPECT_EQ(sel.index, 1);
+  EXPECT_EQ(sel.count, 3);
+  EXPECT_THROW((void)parse_shard(""), util::PreconditionError);
+  EXPECT_THROW((void)parse_shard("3"), util::PreconditionError);
+  EXPECT_THROW((void)parse_shard("3/3"), util::PreconditionError);
+  EXPECT_THROW((void)parse_shard("-1/3"), util::PreconditionError);
+  EXPECT_THROW((void)parse_shard("0/0"), util::PreconditionError);
+  EXPECT_THROW((void)parse_shard("a/b"), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace csmabw::serve
