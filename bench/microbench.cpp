@@ -33,6 +33,10 @@
 #include "stats/rng.hpp"
 #include "topo/conflict_medium.hpp"
 #include "topo/topology.hpp"
+#include "trace/query/agg.hpp"
+#include "trace/query/engine.hpp"
+#include "trace/query/mapped.hpp"
+#include "trace/query/predicate.hpp"
 #include "trace/reader.hpp"
 #include "trace/replay.hpp"
 #include "trace/writer.hpp"
@@ -329,20 +333,32 @@ void BM_TraceWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceWrite)->Arg(100000);
 
-void BM_TraceReplayRead(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  std::ostringstream encoded;
-  {
-    trace::TraceWriter writer(encoded);
-    for (const trace::TraceEvent& e : synthetic_events(n)) {
-      writer.on_event(e);
-    }
-    writer.close();
+/// Writes `n` synthetic events as an on-disk trace and returns the path
+/// (the read-path benchmarks all consume the same real file, so their
+/// items/s ratios compare decode strategies, not storage).
+std::filesystem::path write_bench_trace(const char* name, int n) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / name;
+  trace::TraceWriter writer(path.string());
+  for (const trace::TraceEvent& e : synthetic_events(n)) {
+    writer.on_event(e);
   }
-  const std::string bytes = encoded.str();
+  writer.close();
+  return path;
+}
+
+void BM_TraceReplayRead(benchmark::State& state) {
+  // The production replay read path (replay_train_file and friends):
+  // ifstream-backed TraceReader streaming events off disk one next()
+  // call at a time.  Every byte crosses two buffers (kernel -> stream
+  // -> page buffer) and every event pays an out-of-line call.
+  const int n = static_cast<int>(state.range(0));
+  const std::filesystem::path path =
+      write_bench_trace("csmabw-bench-replay.cctrace", n);
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(path));
   for (auto _ : state) {
-    std::istringstream in(bytes);
-    trace::TraceReader reader(in);
+    trace::TraceReader reader(path.string());
     trace::TraceEvent e;
     std::uint64_t decoded = 0;
     while (reader.next(&e)) {
@@ -351,10 +367,167 @@ void BM_TraceReplayRead(benchmark::State& state) {
     benchmark::DoNotOptimize(decoded);
   }
   state.SetItemsProcessed(state.iterations() * n);
-  state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(bytes.size()));
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::filesystem::remove(path);
 }
 BENCHMARK(BM_TraceReplayRead)->Arg(100000);
+
+void BM_TraceScanMmap(benchmark::State& state) {
+  // Zero-copy full decode of the same on-disk trace through MappedTrace
+  // — open, page-directory walk and in-place payload scan per
+  // iteration.  The ratio to BM_TraceReplayRead is the mmap path's
+  // single-thread win over the streaming reader on identical content:
+  // no stream-to-buffer copies and no per-event call, with the shared
+  // varint codec (the ALU floor of this format) common to both.  The
+  // scan's second, larger advantage — pages decode independently, so
+  // one file's scan parallelizes across cores while the streaming
+  // reader is inherently sequential — is measured by
+  // BM_TraceScanParallel below.
+  const int n = static_cast<int>(state.range(0));
+  const std::filesystem::path path =
+      write_bench_trace("csmabw-bench-scan.cctrace", n);
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(path));
+  for (auto _ : state) {
+    const trace::MappedTrace mapped(path.string());
+    std::uint64_t decoded = 0;
+    for (std::size_t p = 0; p < mapped.pages().size(); ++p) {
+      mapped.scan_page(p, [&](const trace::TraceEvent& e) {
+        decoded += static_cast<std::uint64_t>(e.station) + 1;
+      });
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceScanMmap)->Arg(100000);
+
+void BM_TraceScanParallel(benchmark::State& state) {
+  // Full decode of one mapped trace with pages fanned out across the
+  // worker pool — the decomposition trace_tool query runs.  This is
+  // where the mmap scan leaves the streaming reader behind: page
+  // payloads are delta-based per page, so a single file's decode
+  // scales with cores (on a 1-core runner this necessarily measures
+  // pool overhead on top of BM_TraceScanMmap; the recorded baseline
+  // says more about the box than the code there).  Thread count
+  // resolves via CSMABW_THREADS / hardware concurrency.
+  const int n = static_cast<int>(state.range(0));
+  const std::filesystem::path path =
+      write_bench_trace("csmabw-bench-parscan.cctrace", n);
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(path));
+  const trace::MappedTrace mapped(path.string());
+  const exp::Runner runner;  // CSMABW_THREADS else hardware concurrency
+  const int pages = static_cast<int>(mapped.pages().size());
+  const int per_unit = 8;
+  const int units = (pages + per_unit - 1) / per_unit;
+  for (auto _ : state) {
+    const std::vector<std::uint64_t> sums =
+        runner.map(units, [&](int u) {
+          const std::size_t first = static_cast<std::size_t>(u) * per_unit;
+          const std::size_t last =
+              std::min<std::size_t>(first + per_unit,
+                                    static_cast<std::size_t>(pages));
+          std::uint64_t d = 0;
+          for (std::size_t p = first; p < last; ++p) {
+            mapped.scan_page(p, [&](const trace::TraceEvent& e) {
+              d += static_cast<std::uint64_t>(e.station) + 1;
+            });
+          }
+          return d;
+        });
+    std::uint64_t decoded = 0;
+    for (const std::uint64_t s : sums) {
+      decoded += s;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceScanParallel)->Arg(1000000);
+
+void BM_TraceQueryPushdown(benchmark::State& state) {
+  // The same file scanned under a narrow time window: the per-page
+  // skip-index refutes almost every page, so the scan touches headers
+  // only.  Items are the events COVERED (the whole file), making the
+  // items/s ratio to BM_TraceScanMmap the pushdown speedup over a full
+  // decode.
+  const int n = static_cast<int>(state.range(0));
+  const std::filesystem::path path =
+      write_bench_trace("csmabw-bench-pushdown.cctrace", n);
+  const trace::MappedTrace mapped(path.string());
+  trace::query::QueryPredicate pred;
+  std::int64_t span = 0;
+  for (const trace::PageInfo& p : mapped.pages()) {
+    span = std::max(span, p.summary.max_time_ns);
+  }
+  pred.time_min_ns = span - span / 100;  // last ~1% of the recording
+  for (auto _ : state) {
+    trace::query::ScanStats stats;
+    std::uint64_t matched = 0;
+    trace::query::scan_pages(mapped, 0, mapped.pages().size(), pred, true,
+                             &stats,
+                             [&](const trace::TraceEvent&) { ++matched; });
+    benchmark::DoNotOptimize(matched);
+    benchmark::DoNotOptimize(stats.pages_skipped);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceQueryPushdown)->Arg(100000);
+
+void BM_TraceAggHistogram(benchmark::State& state) {
+  // End-to-end fleet aggregation: record a small probe-train fleet once,
+  // then per iteration open every file, reconstruct packet lifecycles
+  // and fold access delays into per-position histograms (the query
+  // engine's delay-hist path).
+  const int reps = static_cast<int>(state.range(0));
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "csmabw-bench-agghist";
+  std::filesystem::create_directories(dir);
+  core::ScenarioConfig cfg;
+  cfg.seed = 2;
+  cfg.contenders.push_back(core::StationSpec::poisson(BitRate::mbps(4.0)));
+  const core::Scenario sc(cfg);
+  traffic::TrainSpec spec;
+  spec.n = 60;
+  spec.size_bytes = 1500;
+  spec.gap = BitRate::mbps(5.0).gap_for(1500);
+  std::vector<trace::TraceFile> files;
+  std::uint64_t events = 0;
+  for (int r = 0; r < reps; ++r) {
+    trace::TraceMeta meta;
+    meta.cell = 0;
+    meta.repetition = r;
+    meta.train_n = spec.n;
+    meta.train_size = spec.size_bytes;
+    const std::string path = trace::train_trace_path(dir.string(), 0, r);
+    trace::TraceWriter writer(path, meta);
+    (void)sc.run_train(spec, r, false, &writer);
+    writer.close();
+    events += writer.events_written();
+    files.push_back({path, meta});
+  }
+  exp::RunnerOptions ropts;
+  ropts.threads = 1;  // measure the aggregation path, not the pool
+  const exp::Runner runner(ropts);
+  for (auto _ : state) {
+    const std::unique_ptr<trace::query::Aggregation> agg =
+        trace::query::make_aggregation("delay-hist:bins=40,hi_ms=20");
+    const trace::query::ScanStats stats = trace::query::run_query(
+        files, trace::query::QueryPredicate{}, *agg, runner);
+    benchmark::DoNotOptimize(agg->rows().size());
+    benchmark::DoNotOptimize(stats.events_decoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_TraceAggHistogram)->Arg(8);
 
 void BM_FifoTrace(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -32,7 +32,8 @@ const char* kDefaultFamilies =
     "BM_EventQueueScheduleRun,BM_EventQueueCancelHeavy,"
     "BM_DcfSaturatedStation,BM_MediumContention,BM_ConflictGraphMedium,"
     "BM_ProbeTrainRepetition,BM_CampaignEngine,"
-    "BM_ResultCacheKey,BM_CacheLookupHit";
+    "BM_ResultCacheKey,BM_CacheLookupHit,"
+    "BM_TraceScanMmap,BM_TraceQueryPushdown,BM_TraceAggHistogram";
 
 /// Extracts {name -> items_per_second} from google-benchmark JSON.
 ///

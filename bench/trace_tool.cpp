@@ -17,14 +17,26 @@
 //                numbers are bit-identical to the live campaign's:
 //                  trace_tool replay-stats --dir=DIR [--csv=PATH]
 //                    [--flow=1000] [--ks-prefix=1] [--tol=0.1]
+//   query        run a named aggregation over a fleet through the
+//                columnar scan path (mmap, skip-index pushdown,
+//                parallel page scan):
+//                  trace_tool query --dir=DIR [--agg=counts[:opts]]
+//                    [--where=kinds=success;station=0..3;time_ms=..250]
+//                    [--threads=N] [--csv=PATH] [--no-pushdown]
+//                    [--no-mmap]
+//   index        backfill a `.ccidx` sidecar skip-index for v1 traces
+//                (v2 traces embed their summaries):
+//                  trace_tool index --dir=DIR | --in=FILE
 //   filter       copy a trace keeping only selected events (note that a
 //                kind-filtered trace may no longer replay-reconstruct):
 //                  trace_tool filter --in=A --out=B [--station=N]
 //                    [--flow=F] [--kinds=enqueue,success,...]
+//                    [--where=...]
 #include <array>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +46,11 @@
 #include "exp/collector.hpp"
 #include "exp/engine.hpp"
 #include "trace/event.hpp"
+#include "trace/query/agg.hpp"
+#include "trace/query/engine.hpp"
+#include "trace/query/index.hpp"
+#include "trace/query/mapped.hpp"
+#include "trace/query/predicate.hpp"
 #include "trace/reader.hpp"
 #include "trace/replay.hpp"
 #include "trace/writer.hpp"
@@ -45,15 +62,28 @@ using namespace csmabw;
 namespace {
 
 int usage(std::ostream& out, int code) {
-  out << "usage: trace_tool <record|info|replay-stats|filter> [options]\n"
+  out << "usage: trace_tool "
+         "<record|info|replay-stats|query|index|filter> [options]\n"
          "  record       --out=DIR --scenario=<name|grammar> [--reps=N]\n"
          "               [--train=N] [--probe-mbps=R] [--size=BYTES]\n"
          "               [--seed=S] [--threads=N]\n"
-         "  info         --in=FILE\n"
+         "  info         --in=FILE [--no-mmap]\n"
          "  replay-stats --dir=DIR [--csv=PATH] [--flow=ID]\n"
          "               [--ks-prefix=N] [--tol=T] [--shard=N]\n"
+         "  query        --dir=DIR | --in=FILE [--agg=NAME[:k=v,...]]\n"
+         "               [--where=CLAUSES] [--threads=N] [--csv=PATH]\n"
+         "               [--jsonl=PATH] [--no-pushdown] [--no-mmap]\n"
+         "               [--pages-per-unit=N]\n"
+         "  index        --dir=DIR | --in=FILE [--threads=N]\n"
          "  filter       --in=FILE --out=FILE [--station=N] [--flow=F]\n"
-         "               [--kinds=enqueue,success,...]\n";
+         "               [--kinds=enqueue,success,...] [--where=CLAUSES]\n"
+         "               [--no-pushdown]\n"
+         "aggregations (--agg):\n";
+  for (const std::string& line : trace::query::aggregation_catalog()) {
+    out << "  " << line << "\n";
+  }
+  out << "--where grammar: `;`-separated kinds=a,b  station=A..B\n"
+         "  time_ms=A..B  time_ns=A..B (range ends omittable)\n";
   return code;
 }
 
@@ -104,10 +134,14 @@ int cmd_record(const util::Args& args) {
 
 int cmd_info(const util::Args& args) {
   const std::string path = required(args, "in");
-  trace::TraceReader reader(path);
-  const trace::TraceMeta& meta = reader.meta();
+  trace::MappedTraceOptions mopts;
+  mopts.use_mmap = !args.get("no-mmap", false);
+  const trace::MappedTrace trace(path, mopts);
+  const trace::TraceMeta& meta = trace.meta();
   std::cout << "# " << path << "\n";
-  std::cout << "format_version: " << reader.version() << "\n";
+  std::cout << "format_version: " << trace.version() << "\n";
+  std::cout << "file_bytes: " << trace.file_size() << "\n";
+  std::cout << "io: " << (trace.mapped() ? "mmap" : "buffered") << "\n";
   std::cout << "cell: " << meta.cell << "\nrepetition: " << meta.repetition
             << "\n";
   std::cout << "train_n: " << meta.train_n
@@ -116,23 +150,34 @@ int cmd_info(const util::Args& args) {
   std::cout << "seed: " << meta.seed << "\n";
   std::cout << "label: " << (meta.label.empty() ? "-" : meta.label) << "\n";
 
+  std::size_t with_summary = 0;
+  for (const trace::PageInfo& p : trace.pages()) {
+    with_summary += p.has_summary ? 1 : 0;
+  }
+  std::cout << "events: " << trace.events()
+            << "\npages: " << trace.pages().size() << "\n";
+  std::cout << "pages_with_summary: " << with_summary
+            << (trace.sidecar_loaded() ? " (from .ccidx sidecar)" : "")
+            << "\n";
+
   std::array<std::uint64_t, trace::kEventKindCount> counts{};
   std::map<int, std::uint64_t> per_station;
-  trace::TraceEvent e;
   TimeNs first;
   TimeNs last;
   bool any = false;
-  while (reader.next(&e)) {
-    ++counts[static_cast<std::size_t>(trace::kind_index(e.kind))];
-    ++per_station[e.station];
-    if (!any) {
-      first = e.time;
-      any = true;
-    }
-    last = e.time;
-  }
-  std::cout << "events: " << reader.events_read()
-            << "\npages: " << reader.pages_read() << "\n";
+  trace::query::ScanStats stats;
+  trace::query::scan_pages(trace, 0, trace.pages().size(),
+                           trace::query::QueryPredicate{}, false, &stats,
+                           [&](const trace::TraceEvent& e) {
+                             ++counts[static_cast<std::size_t>(
+                                 trace::kind_index(e.kind))];
+                             ++per_station[e.station];
+                             if (!any) {
+                               first = e.time;
+                               any = true;
+                             }
+                             last = e.time;
+                           });
   if (any) {
     std::cout << "span_ms: " << util::Table::format(first.to_ms(), 3)
               << " .. " << util::Table::format(last.to_ms(), 3) << "\n";
@@ -246,46 +291,163 @@ int cmd_replay_stats(const util::Args& args) {
   return 0;
 }
 
+// ----------------------------------------------------------------- query
+
+/// The fleet to query: every trace under --dir (in replay order), or
+/// the single --in file.
+std::vector<trace::TraceFile> query_files(const util::Args& args) {
+  const std::string dir = args.get("dir", "");
+  const std::string in = args.get("in", "");
+  CSMABW_REQUIRE(dir.empty() != in.empty(),
+                 "trace_tool: give exactly one of --dir or --in");
+  if (!dir.empty()) {
+    const std::vector<trace::TraceFile> files = trace::list_traces(dir);
+    CSMABW_REQUIRE(!files.empty(), "no .cctrace files under `" + dir + "`");
+    return files;
+  }
+  trace::MappedTraceOptions mopts;
+  mopts.load_sidecar = false;  // header only; the engine reopens it
+  const trace::MappedTrace trace(in, mopts);
+  return {trace::TraceFile{in, trace.meta()}};
+}
+
+int cmd_query(const util::Args& args) {
+  const std::vector<trace::TraceFile> files = query_files(args);
+  const trace::query::QueryPredicate pred =
+      trace::query::QueryPredicate::parse(args.get("where", ""));
+  const std::unique_ptr<trace::query::Aggregation> agg =
+      trace::query::make_aggregation(args.get("agg", "counts"));
+
+  trace::query::QueryOptions qopts;
+  qopts.pushdown = !args.get("no-pushdown", false);
+  qopts.map_opts.use_mmap = !args.get("no-mmap", false);
+  qopts.pages_per_unit = args.get("pages-per-unit", 0);
+  const exp::Runner runner = bench::runner_from(args);
+
+  const trace::query::ScanStats stats =
+      trace::query::run_query(files, pred, *agg, runner, qopts);
+
+  exp::CollectorOptions copts;
+  copts.csv_path = args.get("csv", "");
+  copts.jsonl_path = args.get("jsonl", "");
+  exp::Collector collector(agg->columns(), copts);
+  for (const std::vector<exp::Value>& row : agg->rows()) {
+    collector.add(row);
+  }
+  collector.table().print(std::cout);
+  std::cout << "# agg " << agg->name() << ", where " << pred.describe()
+            << ", " << runner.threads() << " threads\n";
+  std::cout << "# scanned " << stats.files << " files, "
+            << stats.pages - stats.pages_skipped << "/" << stats.pages
+            << " pages (" << stats.pages_skipped
+            << " skipped by index), decoded " << stats.events_decoded
+            << " events, matched " << stats.events_matched << "\n";
+  if (!copts.csv_path.empty()) {
+    std::cout << "# csv written: " << copts.csv_path << "\n";
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- index
+
+int cmd_index(const util::Args& args) {
+  std::vector<std::string> paths;
+  const std::string dir = args.get("dir", "");
+  const std::string in = args.get("in", "");
+  CSMABW_REQUIRE(dir.empty() != in.empty(),
+                 "trace_tool: give exactly one of --dir or --in");
+  if (!dir.empty()) {
+    for (const trace::TraceFile& f : trace::list_traces(dir)) {
+      paths.push_back(f.path);
+    }
+    CSMABW_REQUIRE(!paths.empty(), "no .cctrace files under `" + dir + "`");
+  } else {
+    paths.push_back(in);
+  }
+
+  const exp::Runner runner = bench::runner_from(args);
+  struct Result {
+    std::size_t pages = 0;
+    bool embedded = false;
+  };
+  const std::vector<Result> results =
+      runner.map(static_cast<int>(paths.size()), [&](int i) {
+        trace::MappedTraceOptions mopts;
+        mopts.load_sidecar = false;
+        const trace::MappedTrace trace(paths[static_cast<std::size_t>(i)],
+                                       mopts);
+        Result r;
+        r.pages = trace.pages().size();
+        if (trace.version() >= 2) {
+          r.embedded = true;  // summaries already live in the pages
+          return r;
+        }
+        r.pages = trace::write_sidecar_index(trace);
+        return r;
+      });
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (results[i].embedded) {
+      std::cout << "# " << paths[i] << ": v2, summaries embedded ("
+                << results[i].pages << " pages, no sidecar needed)\n";
+    } else {
+      std::cout << "# " << paths[i] << ": indexed " << results[i].pages
+                << " pages -> " << trace::sidecar_index_path(paths[i])
+                << "\n";
+    }
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------- filter
 
 int cmd_filter(const util::Args& args) {
   const std::string in_path = required(args, "in");
   const std::string out_path = required(args, "out");
-  const bool by_station = args.has("station");
-  const int station = args.get("station", 0);
+
+  // The selection is one QueryPredicate (--where, narrowed further by
+  // the legacy --station/--kinds flags) so the copy rides the same
+  // skip-index pushdown as `query`; --flow stays a post-filter (flows
+  // are not summarized per page).
+  trace::query::QueryPredicate pred =
+      trace::query::QueryPredicate::parse(args.get("where", ""));
+  if (args.has("station")) {
+    const int station = args.get("station", 0);
+    CSMABW_REQUIRE(station >= 0 && station <= 0xffff,
+                   "trace_tool: --station out of range 0..65535");
+    pred.station_min = pred.station_max =
+        static_cast<std::uint16_t>(station);
+  }
+  if (args.has("kinds")) {
+    std::uint16_t mask = 0;
+    for (const std::string& name : args.get_strings("kinds", {})) {
+      mask = static_cast<std::uint16_t>(
+          mask |
+          (1u << trace::kind_index(trace::parse_kind(name))));
+    }
+    pred.kinds &= mask;
+  }
   const bool by_flow = args.has("flow");
   const int flow = args.get("flow", 0);
-  std::array<bool, trace::kEventKindCount> keep_kind;
-  keep_kind.fill(true);
-  if (args.has("kinds")) {
-    keep_kind.fill(false);
-    for (const std::string& name :
-         args.get_strings("kinds", {})) {
-      keep_kind[static_cast<std::size_t>(
-          trace::kind_index(trace::parse_kind(name)))] = true;
-    }
-  }
 
-  trace::TraceReader reader(in_path);
-  trace::TraceWriter writer(out_path, reader.meta());
-  trace::TraceEvent e;
+  trace::MappedTraceOptions mopts;
+  mopts.use_mmap = !args.get("no-mmap", false);
+  const trace::MappedTrace trace(in_path, mopts);
+  trace::TraceWriter writer(out_path, trace.meta());
+  trace::query::ScanStats stats;
   std::uint64_t kept = 0;
-  while (reader.next(&e)) {
-    if (by_station && e.station != static_cast<std::uint16_t>(station)) {
-      continue;
-    }
-    if (by_flow && e.flow != flow) {
-      continue;
-    }
-    if (!keep_kind[static_cast<std::size_t>(trace::kind_index(e.kind))]) {
-      continue;
-    }
-    writer.on_event(e);
-    ++kept;
-  }
+  trace::query::scan_pages(trace, 0, trace.pages().size(), pred,
+                           !args.get("no-pushdown", false), &stats,
+                           [&](const trace::TraceEvent& e) {
+                             if (by_flow && e.flow != flow) {
+                               return;
+                             }
+                             writer.on_event(e);
+                             ++kept;
+                           });
   writer.close();
-  std::cout << "# kept " << kept << " of " << reader.events_read()
-            << " events -> " << out_path << "\n";
+  std::cout << "# kept " << kept << " of " << trace.events()
+            << " events -> " << out_path << " (" << stats.pages_skipped
+            << " of " << stats.pages << " pages skipped by index)\n";
   return 0;
 }
 
@@ -305,6 +467,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "replay-stats") {
     return cmd_replay_stats(args);
+  }
+  if (cmd == "query") {
+    return cmd_query(args);
+  }
+  if (cmd == "index") {
+    return cmd_index(args);
   }
   if (cmd == "filter") {
     return cmd_filter(args);

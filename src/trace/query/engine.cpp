@@ -1,0 +1,101 @@
+#include "trace/query/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace csmabw::trace::query {
+
+namespace {
+
+/// Default page-range size of a page-granular work unit: ~4 MiB of
+/// payload at the writer's 64 KiB page target — small enough to load-
+/// balance a handful of files across a pool, large enough that unit
+/// overhead is noise.  Fixed (not thread-derived) so the unit
+/// decomposition, and with it the absorb order, never depends on the
+/// worker count.
+constexpr int kDefaultPagesPerUnit = 64;
+
+struct Unit {
+  int file = 0;
+  std::size_t first_page = 0;
+  std::size_t page_count = 0;
+};
+
+struct UnitResult {
+  std::unique_ptr<AggPartial> partial;
+  ScanStats stats;
+};
+
+}  // namespace
+
+ScanStats run_query(const std::vector<TraceFile>& files,
+                    const QueryPredicate& pred, Aggregation& agg,
+                    const exp::Runner& runner, const QueryOptions& opts) {
+  agg.validate(pred);
+
+  // Open (map + index pages) every file first, in parallel: opening
+  // touches only headers, and holding all maps costs address space, not
+  // memory.
+  const int n_files = static_cast<int>(files.size());
+  std::vector<MappedTrace> traces = runner.map(n_files, [&](int i) {
+    return MappedTrace(files[static_cast<std::size_t>(i)].path,
+                       opts.map_opts);
+  });
+
+  const int per_unit = agg.whole_file()
+                           ? 0
+                           : (opts.pages_per_unit > 0 ? opts.pages_per_unit
+                                                      : kDefaultPagesPerUnit);
+  std::vector<Unit> units;
+  for (int f = 0; f < n_files; ++f) {
+    const std::size_t pages = traces[static_cast<std::size_t>(f)]
+                                  .pages()
+                                  .size();
+    if (per_unit == 0) {
+      units.push_back({f, 0, pages});
+      continue;
+    }
+    for (std::size_t first = 0; first < pages;
+         first += static_cast<std::size_t>(per_unit)) {
+      units.push_back({f, first,
+                       std::min(pages - first,
+                                static_cast<std::size_t>(per_unit))});
+    }
+    if (pages == 0) {
+      units.push_back({f, 0, 0});  // keep one partial per file anyway
+    }
+  }
+
+  std::vector<UnitResult> results =
+      runner.map(static_cast<int>(units.size()), [&](int u) {
+        const Unit& unit = units[static_cast<std::size_t>(u)];
+        const TraceFile& file = files[static_cast<std::size_t>(unit.file)];
+        FileContext ctx;
+        ctx.file_index = unit.file;
+        ctx.path = file.path;
+        ctx.meta = file.meta;
+        UnitResult r;
+        r.partial = agg.make_partial(ctx);
+        r.partial->set_context(std::move(ctx));
+        scan_pages(traces[static_cast<std::size_t>(unit.file)],
+                   unit.first_page, unit.page_count, pred, opts.pushdown,
+                   &r.stats,
+                   [&](const TraceEvent& e) { r.partial->on_event(e); });
+        return r;
+      });
+
+  ScanStats total;
+  total.files = files.size();
+  for (UnitResult& r : results) {
+    total.pages += r.stats.pages;
+    total.pages_skipped += r.stats.pages_skipped;
+    total.events_decoded += r.stats.events_decoded;
+    total.events_matched += r.stats.events_matched;
+    agg.absorb(*r.partial);
+  }
+  agg.finish();
+  return total;
+}
+
+}  // namespace csmabw::trace::query

@@ -1,0 +1,70 @@
+#include "trace/query/index.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/query/mapped.hpp"
+#include "util/require.hpp"
+
+namespace csmabw::trace {
+
+std::size_t write_sidecar_index(const std::string& trace_path) {
+  // Never chase a stale sidecar while rebuilding one.
+  MappedTraceOptions opts;
+  opts.load_sidecar = false;
+  const MappedTrace trace(trace_path, opts);
+  return write_sidecar_index(trace);
+}
+
+std::size_t write_sidecar_index(const MappedTrace& trace) {
+  std::vector<unsigned char> out;
+  out.reserve(20 + trace.pages().size() * (8 + format::kPageSummaryBytes));
+  for (char c : format::kIndexMagic) {
+    out.push_back(static_cast<unsigned char>(c));
+  }
+  format::put_u16(out, format::kIndexVersion);
+  format::put_u16(out, 0);  // reserved
+  format::put_u64(out, trace.file_size());
+  format::put_u32(out, static_cast<std::uint32_t>(trace.pages().size()));
+
+  for (std::size_t i = 0; i < trace.pages().size(); ++i) {
+    const PageInfo& p = trace.pages()[i];
+    format::PageSummary summary = p.summary;
+    if (!p.has_summary) {
+      summary = format::PageSummary{};
+      trace.scan_page(i, [&](const TraceEvent& e) {
+        summary.add(static_cast<std::uint8_t>(e.kind), e.station,
+                    e.time.count());
+      });
+    }
+    CSMABW_REQUIRE(summary.valid(),
+                   "`" + trace.path() + "` page " + std::to_string(i) +
+                       " produced an invalid summary");
+    format::put_u64(out, p.header_offset);
+    format::put_summary(out, summary);
+  }
+
+  const std::string idx_path = sidecar_index_path(trace.path());
+  const std::string tmp_path = idx_path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw std::runtime_error("write_sidecar_index: cannot open '" +
+                               tmp_path + "'");
+    }
+    file.write(reinterpret_cast<const char*>(out.data()),
+               static_cast<std::streamsize>(out.size()));
+    file.flush();
+    if (!file) {
+      throw std::runtime_error("write_sidecar_index: write failed on '" +
+                               tmp_path + "'");
+    }
+  }
+  std::filesystem::rename(tmp_path, idx_path);
+  return trace.pages().size();
+}
+
+}  // namespace csmabw::trace

@@ -1,0 +1,39 @@
+#pragma once
+
+// Sidecar skip-index (".ccidx") builder for version-1 trace fleets.
+//
+// Version-2 traces embed a per-page summary (see trace/format.hpp);
+// v1 files predate it, so without help a scan can never skip their
+// pages.  write_sidecar_index backfills that: it scans a trace once,
+// computes every page's summary, and writes it next to the trace as
+// `<trace>.ccidx`, which MappedTrace then attaches automatically.
+//
+//   ccidx := magic "CCIX" | u16 version | u16 reserved
+//          | u64 source_file_size            (staleness check)
+//          | u32 page_count
+//          | entry*
+//   entry := u64 page_header_offset          (must match the trace)
+//          | summary                         (24 bytes, as in-format)
+//
+// The loader rejects any mismatch with the trace it sits next to
+// (size, page count, page offsets) as stale — a sidecar can only ever
+// describe the exact bytes it was built from.
+
+#include <cstdint>
+#include <string>
+
+namespace csmabw::trace {
+
+class MappedTrace;
+
+/// Builds `<trace_path>.ccidx` from the trace's pages (decoding each
+/// page to compute its summary unless one is already embedded/attached)
+/// and writes it atomically (tmp + rename).  Returns the number of
+/// pages indexed.  Works for any readable version; useful only for v1
+/// files (v2 embeds summaries).
+std::size_t write_sidecar_index(const std::string& trace_path);
+
+/// Same, over an already-opened trace.
+std::size_t write_sidecar_index(const MappedTrace& trace);
+
+}  // namespace csmabw::trace

@@ -1,0 +1,197 @@
+#include "trace/query/predicate.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace csmabw::trace::query {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (!text.empty()) {
+    const std::size_t at = text.find(sep);
+    parts.push_back(text.substr(0, at));
+    if (at == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(at + 1);
+  }
+  return parts;
+}
+
+[[noreturn]] void bad_clause(std::string_view clause,
+                             const std::string& why) {
+  throw util::PreconditionError("query predicate clause `" +
+                                std::string(clause) + "`: " + why);
+}
+
+double parse_double(std::string_view text, std::string_view clause) {
+  const std::string s(text);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || s.empty()) {
+    bad_clause(clause, "`" + s + "` is not a number");
+  }
+  return v;
+}
+
+std::int64_t parse_i64(std::string_view text, std::string_view clause) {
+  std::int64_t v = 0;
+  const auto [p, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || p != text.data() + text.size()) {
+    bad_clause(clause, "`" + std::string(text) + "` is not an integer");
+  }
+  return v;
+}
+
+/// "A..B", "A..", "..B" or "A" (exact); either bound may stay open.
+template <typename Parse>
+void parse_range(std::string_view value, std::string_view clause,
+                 Parse&& parse, bool* has_lo, bool* has_hi) {
+  const std::size_t dots = value.find("..");
+  if (dots == std::string_view::npos) {
+    parse(value, value);  // exact: lo == hi
+    *has_lo = *has_hi = true;
+    return;
+  }
+  const std::string_view lo = value.substr(0, dots);
+  const std::string_view hi = value.substr(dots + 2);
+  if (lo.empty() && hi.empty()) {
+    bad_clause(clause, "range needs at least one bound");
+  }
+  *has_lo = !lo.empty();
+  *has_hi = !hi.empty();
+  parse(lo, hi);
+}
+
+}  // namespace
+
+QueryPredicate QueryPredicate::parse(std::string_view where) {
+  QueryPredicate pred;
+  for (std::string_view clause : split(where, ';')) {
+    if (clause.empty()) {
+      continue;
+    }
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      bad_clause(clause, "expected key=value");
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view value = clause.substr(eq + 1);
+    if (key == "kinds") {
+      std::uint16_t mask = 0;
+      for (std::string_view name : split(value, ',')) {
+        const EventKind kind = parse_kind(name);  // throws on unknown
+        mask = static_cast<std::uint16_t>(
+            mask | (1u << (static_cast<int>(kind) - 1)));
+      }
+      if (mask == 0) {
+        bad_clause(clause, "empty kind list");
+      }
+      pred.kinds = mask;
+    } else if (key == "station") {
+      bool has_lo = false;
+      bool has_hi = false;
+      parse_range(
+          value, clause,
+          [&](std::string_view lo, std::string_view hi) {
+            if (!lo.empty()) {
+              const std::int64_t v = parse_i64(lo, clause);
+              if (v < 0 || v > 0xffff) {
+                bad_clause(clause, "station out of range 0..65535");
+              }
+              pred.station_min = static_cast<std::uint16_t>(v);
+            }
+            if (!hi.empty()) {
+              const std::int64_t v = parse_i64(hi, clause);
+              if (v < 0 || v > 0xffff) {
+                bad_clause(clause, "station out of range 0..65535");
+              }
+              pred.station_max = static_cast<std::uint16_t>(v);
+            }
+          },
+          &has_lo, &has_hi);
+      if (pred.station_min > pred.station_max) {
+        bad_clause(clause, "empty station range");
+      }
+    } else if (key == "time_ms" || key == "time_ns") {
+      bool has_lo = false;
+      bool has_hi = false;
+      const bool ms = key == "time_ms";
+      parse_range(
+          value, clause,
+          [&](std::string_view lo, std::string_view hi) {
+            if (!lo.empty()) {
+              pred.time_min_ns =
+                  ms ? static_cast<std::int64_t>(
+                           std::llround(parse_double(lo, clause) * 1e6))
+                     : parse_i64(lo, clause);
+            }
+            if (!hi.empty()) {
+              pred.time_max_ns =
+                  ms ? static_cast<std::int64_t>(
+                           std::llround(parse_double(hi, clause) * 1e6))
+                     : parse_i64(hi, clause);
+            }
+          },
+          &has_lo, &has_hi);
+      if (pred.time_min_ns > pred.time_max_ns) {
+        bad_clause(clause, "empty time window");
+      }
+    } else {
+      bad_clause(clause, "unknown key `" + std::string(key) +
+                             "` (kinds, station, time_ms, time_ns)");
+    }
+  }
+  return pred;
+}
+
+std::string QueryPredicate::describe() const {
+  if (match_all()) {
+    return "(all)";
+  }
+  std::string out;
+  const auto clause = [&](const std::string& text) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += text;
+  };
+  if (kinds != kAllKindsMask) {
+    std::string names;
+    for (int k = 1; k <= kEventKindCount; ++k) {
+      if ((kinds >> (k - 1)) & 1) {
+        if (!names.empty()) {
+          names += ',';
+        }
+        names += kind_name(static_cast<EventKind>(k));
+      }
+    }
+    clause("kinds=" + names);
+  }
+  if (station_min != 0 || station_max != 0xffff) {
+    clause("station=" + std::to_string(station_min) + ".." +
+           std::to_string(station_max));
+  }
+  if (time_min_ns != std::numeric_limits<std::int64_t>::min() ||
+      time_max_ns != std::numeric_limits<std::int64_t>::max()) {
+    std::string window = "time_ns=";
+    if (time_min_ns != std::numeric_limits<std::int64_t>::min()) {
+      window += std::to_string(time_min_ns);
+    }
+    window += "..";
+    if (time_max_ns != std::numeric_limits<std::int64_t>::max()) {
+      window += std::to_string(time_max_ns);
+    }
+    clause(window);
+  }
+  return out;
+}
+
+}  // namespace csmabw::trace::query

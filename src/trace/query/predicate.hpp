@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "trace/event.hpp"
+#include "trace/format.hpp"
+
+namespace csmabw::trace::query {
+
+/// Every kind bit set — the match-all kind mask.
+inline constexpr std::uint16_t kAllKindsMask =
+    static_cast<std::uint16_t>((1u << kEventKindCount) - 1);
+
+/// The pushdown predicate of a trace query: a kind set, an inclusive
+/// station range and an inclusive time window.  `matches` decides per
+/// event; `may_match_page` decides per page from its skip-index summary
+/// — conservatively, so disabling pushdown can only change speed, never
+/// results.
+///
+/// String form (the `--where=` grammar): semicolon-separated clauses
+///
+///   kinds=<name>[,<name>...]      event kinds to keep
+///   station=<A>..<B> | <N>        station range (either end omittable)
+///   time_ms=<A>..<B>              event-time window, float milliseconds
+///   time_ns=<A>..<B>              same in integer nanoseconds
+///
+/// e.g. `--where=kinds=success,drop;station=0..3;time_ms=..250`.
+struct QueryPredicate {
+  std::uint16_t kinds = kAllKindsMask;
+  std::uint16_t station_min = 0;
+  std::uint16_t station_max = 0xffff;
+  std::int64_t time_min_ns = std::numeric_limits<std::int64_t>::min();
+  std::int64_t time_max_ns = std::numeric_limits<std::int64_t>::max();
+
+  [[nodiscard]] bool matches(const TraceEvent& e) const {
+    return ((kinds >> (static_cast<int>(e.kind) - 1)) & 1) != 0 &&
+           e.station >= station_min && e.station <= station_max &&
+           e.time.count() >= time_min_ns && e.time.count() <= time_max_ns;
+  }
+
+  /// False only when the summary PROVES no event of the page matches.
+  [[nodiscard]] bool may_match_page(const format::PageSummary& s) const {
+    return (kinds & s.kind_mask) != 0 && station_min <= s.max_station &&
+           station_max >= s.min_station && time_min_ns <= s.max_time_ns &&
+           time_max_ns >= s.min_time_ns;
+  }
+
+  /// True when every event matches (lets scans skip per-event checks).
+  [[nodiscard]] bool match_all() const {
+    return kinds == kAllKindsMask && station_min == 0 &&
+           station_max == 0xffff &&
+           time_min_ns == std::numeric_limits<std::int64_t>::min() &&
+           time_max_ns == std::numeric_limits<std::int64_t>::max();
+  }
+
+  /// Parses the `--where=` grammar above; throws util::PreconditionError
+  /// on unknown clauses, malformed ranges or unknown kind names.  An
+  /// empty string is the match-all predicate.
+  [[nodiscard]] static QueryPredicate parse(std::string_view where);
+
+  /// Human-readable form for logs ("(all)" for match-all).
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const QueryPredicate&,
+                         const QueryPredicate&) = default;
+};
+
+}  // namespace csmabw::trace::query

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "trace/codec.hpp"
 #include "trace/format.hpp"
 #include "util/require.hpp"
 
@@ -19,13 +20,13 @@ using format::get_u64;
 /// Reads exactly `n` bytes; returns false on clean EOF at byte 0 and
 /// throws on a mid-record truncation.
 bool read_exact(std::istream& in, unsigned char* out, std::size_t n,
-                const char* what) {
+                const char* what, const std::string& context) {
   in.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(n));
   const auto got = static_cast<std::size_t>(in.gcount());
   if (got == 0 && in.eof()) {
     return false;
   }
-  CSMABW_REQUIRE(got == n, std::string("trace truncated while reading ") +
+  CSMABW_REQUIRE(got == n, context + "trace truncated while reading " +
                                what);
   return true;
 }
@@ -33,36 +34,46 @@ bool read_exact(std::istream& in, unsigned char* out, std::size_t n,
 }  // namespace
 
 TraceReader::TraceReader(const std::string& path)
-    : file_(path, std::ios::binary), in_(&file_) {
+    : file_(path, std::ios::binary), in_(&file_), path_(path) {
   if (!file_) {
     throw std::runtime_error("TraceReader: cannot open '" + path + "'");
   }
   read_header();
 }
 
-TraceReader::TraceReader(std::istream& in) : in_(&in) { read_header(); }
+TraceReader::TraceReader(std::istream& in) : in_(&in), path_("<stream>") {
+  read_header();
+}
+
+std::string TraceReader::at(std::uint64_t offset) const {
+  return "`" + path_ + "` @ byte " + std::to_string(offset) + ": ";
+}
 
 void TraceReader::read_header() {
   unsigned char fixed[12];
-  CSMABW_REQUIRE(read_exact(*in_, fixed, sizeof(fixed), "the header"),
-                 "trace is empty");
+  CSMABW_REQUIRE(read_exact(*in_, fixed, sizeof(fixed), "the header", at(0)),
+                 at(0) + "trace is empty");
   CSMABW_REQUIRE(std::memcmp(fixed, format::kMagic, 4) == 0,
-                 "not a trace file (bad magic; expected \"CCTR\")");
+                 at(0) +
+                     "not a trace file (bad magic; expected \"CCTR\")");
   version_ = get_u16(fixed + 4);
-  CSMABW_REQUIRE(version_ == format::kFormatVersion,
-                 "unsupported trace format version " +
+  CSMABW_REQUIRE(version_ >= format::kMinFormatVersion &&
+                     version_ <= format::kFormatVersion,
+                 at(0) + "unsupported trace format version " +
                      std::to_string(version_) + " (this reader knows " +
+                     std::to_string(format::kMinFormatVersion) + ".." +
                      std::to_string(format::kFormatVersion) + ")");
   const std::uint32_t header_bytes = get_u32(fixed + 8);
   // Plausibility-check sizes BEFORE allocating: a corrupt length field
   // must fail as "corrupt trace", never as a multi-GiB allocation.
   CSMABW_REQUIRE(header_bytes >= 48 &&
                      header_bytes <= format::kMaxHeaderBytes,
-                 "corrupt trace: implausible header size " +
+                 at(0) + "corrupt trace: implausible header size " +
                      std::to_string(header_bytes));
   std::vector<unsigned char> rest(header_bytes - sizeof(fixed));
-  CSMABW_REQUIRE(read_exact(*in_, rest.data(), rest.size(), "the header"),
-                 "trace header truncated");
+  CSMABW_REQUIRE(read_exact(*in_, rest.data(), rest.size(), "the header",
+                            at(sizeof(fixed))),
+                 at(sizeof(fixed)) + "trace header truncated");
   meta_.cell = get_i32(rest.data());
   meta_.repetition = get_i32(rest.data() + 4);
   meta_.train_n = get_i32(rest.data() + 8);
@@ -71,31 +82,51 @@ void TraceReader::read_header() {
   meta_.seed = get_u64(rest.data() + 24);
   const std::uint32_t label_len = get_u32(rest.data() + 32);
   CSMABW_REQUIRE(36 + static_cast<std::size_t>(label_len) <= rest.size(),
-                 "trace label overruns the header");
+                 at(0) + "trace label overruns the header");
   meta_.label.assign(reinterpret_cast<const char*>(rest.data() + 36),
                      label_len);
   // Bytes between the label end and header_bytes belong to a newer
   // minor revision; skip them (they were consumed with `rest`).
+  offset_ = header_bytes;
 }
 
 bool TraceReader::load_page() {
-  unsigned char header[20];
-  if (!read_exact(*in_, header, sizeof(header), "a page header")) {
+  page_offset_ = offset_;
+  const std::size_t header_bytes = format::page_header_bytes(version_);
+  unsigned char header[format::kPageHeaderBytesV2];
+  if (!read_exact(*in_, header, header_bytes, "a page header",
+                  at(page_offset_))) {
     return false;  // clean end of trace
   }
   CSMABW_REQUIRE(get_u32(header) == format::kPageMagic,
-                 "corrupt trace: bad page magic");
+                 at(page_offset_) + "corrupt trace: bad page magic");
   const std::uint32_t payload = get_u32(header + 4);
   remaining_in_page_ = get_u32(header + 8);
   prev_time_ = get_i64(header + 12);
   CSMABW_REQUIRE(remaining_in_page_ > 0 && payload > 0,
-                 "corrupt trace: empty page");
+                 at(page_offset_) + "corrupt trace: empty page");
   CSMABW_REQUIRE(payload <= format::kMaxPageBytes,
-                 "corrupt trace: implausible page size " +
+                 at(page_offset_) +
+                     "corrupt trace: implausible page size " +
                      std::to_string(payload));
+  if (version_ >= 2) {
+    summary_ = format::get_summary(header + format::kPageHeaderBytesV1);
+    CSMABW_REQUIRE(summary_.valid(),
+                   at(page_offset_) +
+                       "corrupt trace: invalid page summary (kind mask " +
+                       std::to_string(summary_.kind_mask) + ", stations " +
+                       std::to_string(summary_.min_station) + ".." +
+                       std::to_string(summary_.max_station) + ", time " +
+                       std::to_string(summary_.min_time_ns) + ".." +
+                       std::to_string(summary_.max_time_ns) + " ns)");
+  } else {
+    summary_ = format::PageSummary{};
+  }
   page_.resize(payload);
-  CSMABW_REQUIRE(read_exact(*in_, page_.data(), payload, "a page payload"),
-                 "trace page truncated");
+  CSMABW_REQUIRE(read_exact(*in_, page_.data(), payload, "a page payload",
+                            at(page_offset_ + header_bytes)),
+                 at(page_offset_) + "trace page truncated");
+  offset_ += header_bytes + payload;
   pos_ = 0;
   ++pages_;
   return true;
@@ -106,47 +137,16 @@ bool TraceReader::next(TraceEvent* out) {
   if (remaining_in_page_ == 0 && !load_page()) {
     return false;
   }
-  CSMABW_REQUIRE(pos_ < page_.size(), "corrupt trace: page underruns");
-  const unsigned char kind = page_[pos_++];
-  CSMABW_REQUIRE(kind >= 1 && kind <= kEventKindCount,
-                 "corrupt trace: unknown event kind " +
-                     std::to_string(static_cast<int>(kind)));
-  std::uint64_t station = 0;
-  std::uint64_t time_delta_z = 0;
-  std::uint64_t packet = 0;
-  std::uint64_t aux_z = 0;
-  std::uint64_t flow_z = 0;
-  std::uint64_t seq_z = 0;
-  std::uint64_t value_z = 0;
-  const bool ok = format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &station) &&
-                  format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &time_delta_z) &&
-                  format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &packet) &&
-                  format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &aux_z) &&
-                  format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &flow_z) &&
-                  format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &seq_z) &&
-                  format::get_varint(page_.data(), page_.size(), &pos_,
-                                     &value_z);
-  CSMABW_REQUIRE(ok, "corrupt trace: event varint truncated");
-  CSMABW_REQUIRE(station <= 0xffff, "corrupt trace: station out of range");
-  out->kind = static_cast<EventKind>(kind);
-  out->station = static_cast<std::uint16_t>(station);
-  prev_time_ += format::unzigzag(time_delta_z);
-  out->time = TimeNs::ns(prev_time_);
-  out->packet = packet;
-  out->aux = TimeNs::ns(prev_time_ + format::unzigzag(aux_z));
-  out->flow = static_cast<std::int32_t>(format::unzigzag(flow_z));
-  out->seq = static_cast<std::int32_t>(format::unzigzag(seq_z));
-  out->value = static_cast<std::int32_t>(format::unzigzag(value_z));
+  const char* err =
+      codec::decode_event(page_.data(), page_.size(), &pos_, &prev_time_,
+                          out);
+  CSMABW_REQUIRE(err == nullptr, at(page_offset_) + "corrupt trace: " +
+                                     (err != nullptr ? err : ""));
   --remaining_in_page_;
   if (remaining_in_page_ == 0) {
     CSMABW_REQUIRE(pos_ == page_.size(),
-                   "corrupt trace: page has trailing bytes");
+                   at(page_offset_) +
+                       "corrupt trace: page has trailing bytes");
   }
   ++events_;
   return true;

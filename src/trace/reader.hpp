@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "trace/format.hpp"
 #include "trace/writer.hpp"  // TraceMeta
 
 namespace csmabw::trace {
@@ -14,9 +15,11 @@ namespace csmabw::trace {
 ///
 /// The header (version + TraceMeta) is read eagerly at construction;
 /// events decode page by page through `next()`, so arbitrarily large
-/// traces read with bounded memory.  Malformed input (bad magic,
+/// traces read with bounded memory.  Reads both format versions
+/// (v1 pages have no skip-index summary).  Malformed input (bad magic,
 /// unsupported version, truncated pages, corrupt varints) reports via
-/// util::PreconditionError.
+/// util::PreconditionError; every corruption message names the file
+/// path and the byte offset of the failing page.
 class TraceReader {
  public:
   /// Opens `path`; throws std::runtime_error when it cannot be opened
@@ -34,21 +37,34 @@ class TraceReader {
   /// Decodes the next event into `*out`; returns false at end of trace.
   [[nodiscard]] bool next(TraceEvent* out);
 
+  /// Skip-index summary of the page `next()` is decoding from;
+  /// summary.kind_mask == 0 before the first page and for v1 pages.
+  [[nodiscard]] const format::PageSummary& page_summary() const {
+    return summary_;
+  }
+
   [[nodiscard]] std::uint64_t events_read() const { return events_; }
   [[nodiscard]] std::uint64_t pages_read() const { return pages_; }
 
  private:
   void read_header();
   [[nodiscard]] bool load_page();
+  /// "`<path>` @ byte <offset>: " — the context every corruption
+  /// message carries.
+  [[nodiscard]] std::string at(std::uint64_t offset) const;
 
   std::ifstream file_;
   std::istream* in_;  // &file_, or the borrowed stream
+  std::string path_;  // "<stream>" in borrowed-stream mode
   TraceMeta meta_;
   std::uint16_t version_ = 0;
   std::vector<unsigned char> page_;
   std::size_t pos_ = 0;
   std::uint32_t remaining_in_page_ = 0;
   std::int64_t prev_time_ = 0;
+  format::PageSummary summary_;
+  std::uint64_t offset_ = 0;       ///< bytes consumed from the stream
+  std::uint64_t page_offset_ = 0;  ///< offset of the current page header
   std::uint64_t events_ = 0;
   std::uint64_t pages_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "trace/codec.hpp"
 #include "trace/format.hpp"
 #include "util/require.hpp"
 
@@ -26,13 +27,25 @@ std::size_t checked_page_limit(std::size_t page_bytes) {
   return limit;
 }
 
+std::uint16_t checked_version(std::uint16_t version) {
+  CSMABW_REQUIRE(version >= format::kMinFormatVersion &&
+                     version <= format::kFormatVersion,
+                 "unsupported trace format version " +
+                     std::to_string(version) + " (this writer knows " +
+                     std::to_string(format::kMinFormatVersion) + ".." +
+                     std::to_string(format::kFormatVersion) + ")");
+  return version;
+}
+
 }  // namespace
 
 TraceWriter::TraceWriter(const std::string& path, TraceMeta meta,
-                         std::size_t page_bytes)
+                         std::size_t page_bytes,
+                         std::uint16_t format_version)
     : file_(path, std::ios::binary),
       out_(&file_),
-      page_limit_(checked_page_limit(page_bytes)) {
+      page_limit_(checked_page_limit(page_bytes)),
+      version_(checked_version(format_version)) {
   if (!file_) {
     throw std::runtime_error("TraceWriter: cannot open '" + path + "'");
   }
@@ -40,8 +53,11 @@ TraceWriter::TraceWriter(const std::string& path, TraceMeta meta,
 }
 
 TraceWriter::TraceWriter(std::ostream& out, TraceMeta meta,
-                         std::size_t page_bytes)
-    : out_(&out), page_limit_(checked_page_limit(page_bytes)) {
+                         std::size_t page_bytes,
+                         std::uint16_t format_version)
+    : out_(&out),
+      page_limit_(checked_page_limit(page_bytes)),
+      version_(checked_version(format_version)) {
   write_header(meta);
 }
 
@@ -61,7 +77,7 @@ void TraceWriter::write_header(const TraceMeta& meta) {
   for (char c : format::kMagic) {
     header.push_back(static_cast<unsigned char>(c));
   }
-  put_u16(header, format::kFormatVersion);
+  put_u16(header, version_);
   put_u16(header, 0);  // reserved
   put_u32(header, 0);  // header_bytes, patched below
   put_i32(header, meta.cell);
@@ -87,16 +103,11 @@ void TraceWriter::on_event(const TraceEvent& event) {
   CSMABW_REQUIRE(!closed_, "TraceWriter used after close()");
   if (page_events_ == 0) {
     page_base_time_ = prev_time_;
+    summary_ = format::PageSummary{};
   }
-  page_.push_back(static_cast<unsigned char>(event.kind));
-  format::put_varint(page_, event.station);
-  format::put_svarint(page_, event.time.count() - prev_time_);
-  format::put_varint(page_, event.packet);
-  format::put_svarint(page_, event.aux.count() - event.time.count());
-  format::put_svarint(page_, event.flow);
-  format::put_svarint(page_, event.seq);
-  format::put_svarint(page_, event.value);
-  prev_time_ = event.time.count();
+  summary_.add(static_cast<std::uint8_t>(event.kind), event.station,
+               event.time.count());
+  codec::encode_event(page_, event, &prev_time_);
   ++page_events_;
   ++events_;
   if (page_.size() >= page_limit_) {
@@ -109,11 +120,14 @@ void TraceWriter::flush_page() {
     return;
   }
   std::vector<unsigned char> header;
-  header.reserve(20);
+  header.reserve(format::page_header_bytes(version_));
   put_u32(header, format::kPageMagic);
   put_u32(header, static_cast<std::uint32_t>(page_.size()));
   put_u32(header, page_events_);
   put_i64(header, page_base_time_);
+  if (version_ >= 2) {
+    format::put_summary(header, summary_);
+  }
   out_->write(reinterpret_cast<const char*>(header.data()),
               static_cast<std::streamsize>(header.size()));
   out_->write(reinterpret_cast<const char*>(page_.data()),
