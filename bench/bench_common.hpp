@@ -10,14 +10,20 @@
 
 #include <unistd.h>
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "exp/progress.hpp"
 #include "exp/runner.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/require.hpp"
 #include "util/table.hpp"
 
 namespace csmabw::bench {
@@ -52,6 +58,77 @@ inline void announce(const std::string& figure, const std::string& what,
                      const std::string& setup) {
   announce_to(std::cout, figure, what, setup);
 }
+
+/// The observability surface of one bench run: `--metrics-out=FILE`
+/// enables the metrics registry and writes a csmabw-run-report JSON on
+/// finish(); `--prof=FILE` enables the span profiler and writes a
+/// Chrome/Perfetto trace.  `--obs` enables the registry without a
+/// report file (counters still feed stderr summaries).  All outputs go
+/// to their own files, never stdout — simulation output is byte-
+/// identical with observability on or off.
+class ObsState {
+ public:
+  /// `force_metrics` enables the registry even without --metrics-out /
+  /// --obs — for tools whose stderr summaries read registry counters
+  /// (e.g. campaign_sweep's "# serve:" line).
+  explicit ObsState(const util::Args& args, std::string tool,
+                    bool force_metrics = false)
+      : tool_(std::move(tool)),
+        metrics_path_(args.get("metrics-out", "")),
+        prof_path_(args.get("prof", "")),
+        registry_(!metrics_path_.empty() || args.get("obs", false) ||
+                  force_metrics),
+        profiler_(!prof_path_.empty()),
+        start_ns_(obs::now_ns()) {}
+
+  [[nodiscard]] obs::Registry* metrics() {
+    return registry_.enabled() ? &registry_ : nullptr;
+  }
+  [[nodiscard]] obs::Profiler* profiler() {
+    return profiler_.enabled() ? &profiler_ : nullptr;
+  }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
+  /// Writes the report/trace files (when requested) with a one-line
+  /// stderr note each.  Call once, after the workers drain.
+  void finish(const std::vector<obs::CellObs>& cells, int threads) {
+    if (!metrics_path_.empty()) {
+      obs::RunReportOptions opts;
+      opts.tool = tool_;
+      opts.threads = threads;
+      opts.wall_ns = obs::now_ns() - start_ns_;
+      std::ofstream out(metrics_path_, std::ios::trunc);
+      CSMABW_REQUIRE(static_cast<bool>(out),
+                     "cannot open --metrics-out file: " + metrics_path_);
+      obs::write_run_report(out, registry_, cells, opts);
+      CSMABW_REQUIRE(static_cast<bool>(out),
+                     "--metrics-out write failed: " + metrics_path_);
+      std::cerr << "# metrics report written: " << metrics_path_ << "\n";
+    }
+    if (!prof_path_.empty()) {
+      std::ofstream out(prof_path_, std::ios::trunc);
+      CSMABW_REQUIRE(static_cast<bool>(out),
+                     "cannot open --prof file: " + prof_path_);
+      profiler_.write_chrome_trace(out);
+      CSMABW_REQUIRE(static_cast<bool>(out),
+                     "--prof write failed: " + prof_path_);
+      std::cerr << "# profile written: " << prof_path_ << " (open in "
+                << "ui.perfetto.dev; spans=" << profiler_.recorded();
+      if (profiler_.dropped() > 0) {
+        std::cerr << " dropped=" << profiler_.dropped();
+      }
+      std::cerr << ")\n";
+    }
+  }
+
+ private:
+  std::string tool_;
+  std::string metrics_path_;
+  std::string prof_path_;
+  obs::Registry registry_;
+  obs::Profiler profiler_;
+  std::int64_t start_ns_;
+};
 
 /// Prints the table and mirrors the numeric rows to --csv=PATH if given
 /// (first CSV row carries the column names).

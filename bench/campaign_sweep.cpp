@@ -44,6 +44,21 @@
 // The serve stats line "# serve: computed=... cache_hits=... resumed=..."
 // goes to stderr.  A warm-cache or merge run reports computed=0.
 //
+// Observability (src/obs/):
+//   --metrics-out=FILE    write a csmabw-run-report JSON (schema v1):
+//                         merged counters/gauges/histograms split into
+//                         deterministic vs wall-time sections, per-cell
+//                         wall time + events/s, slowest cells, thread
+//                         utilization
+//   --prof=FILE           write a Chrome/Perfetto trace of campaign
+//                         spans (per-rep jobs, scenario builds, cache
+//                         lookups/stores, checkpoint flushes, merge);
+//                         open in ui.perfetto.dev
+//   --obs                 enable the metrics registry without a report
+// All observability output goes to its own files / stderr; the campaign
+// rows (stdout, --csv, --jsonl, traces) are byte-identical with
+// observability on or off.
+//
 // With --scenarios the '|'-separated list of registered scenario names
 // and/or inline scenario grammars (core::ScenarioSpec) becomes the
 // OUTERMOST axis, replacing --contenders/--cross-mbps/--phy/--fifo:
@@ -145,7 +160,6 @@ struct ServeState {
   std::unique_ptr<serve::ResultCache> cache;
   std::unique_ptr<serve::CheckpointWriter> checkpoint;
   serve::ResultSet resume_set;
-  serve::ServeCounters counters;
   serve::CampaignServeOptions io;
   bool active = false;      // any serve flag present
   bool shard_only = false;  // emit the shard file instead of rows
@@ -157,10 +171,16 @@ bool serve_flags_present(const util::Args& args) {
 }
 
 // Out-param rather than a return value: `st.io` points back into `st`
-// (counters, resume set), so the object must never move.
+// (resume set, cache, checkpoint), so the object must never move.
+// Serve accounting goes through `obs`'s registry (always enabled when
+// any serve flag is present, so the "# serve:" stderr line keeps its
+// exact values with or without --metrics-out).
 void init_serve_state(ServeState& st, const util::Args& args,
                       serve::CampaignKind kind, std::uint64_t fingerprint,
-                      std::uint64_t seed, exp::Progress* progress) {
+                      std::uint64_t seed, exp::Progress* progress,
+                      bench::ObsState& obs) {
+  st.io.metrics = obs.metrics();
+  st.io.profiler = obs.profiler();
   st.active = serve_flags_present(args);
   if (!st.active) {
     return;
@@ -217,27 +237,28 @@ void init_serve_state(ServeState& st, const util::Args& args,
 
   const std::string cache_dir = args.get("cache", "");
   if (!cache_dir.empty()) {
-    st.cache = std::make_unique<serve::ResultCache>(cache_dir);
+    st.cache = std::make_unique<serve::ResultCache>(cache_dir, obs.metrics(),
+                                                    obs.profiler());
     st.io.cache = st.cache.get();
   }
   if (st.resume_set.size() > 0) {
     st.io.resume = &st.resume_set;
   }
   st.io.progress = progress;
-  st.io.counters = &st.counters;
 }
 
 // stderr, like progress: stdout stays byte-identical whether results
-// were computed, cached or resumed.
-void print_serve_stats(const ServeState& st) {
+// were computed, cached or resumed.  Values read the merged registry
+// counters the engine and cache maintain.
+void print_serve_stats(const ServeState& st, const obs::Registry& registry) {
   if (!st.active) {
     return;
   }
-  std::cerr << "# serve: computed=" << st.counters.computed.load()
-            << " cache_hits=" << st.counters.cache_hits.load()
-            << " resumed=" << st.counters.resumed.load();
+  std::cerr << "# serve: computed=" << registry.value("exp.reps.computed")
+            << " cache_hits=" << registry.value("exp.reps.cache_hit")
+            << " resumed=" << registry.value("exp.reps.resumed");
   if (st.cache != nullptr) {
-    std::cerr << " cache_stores=" << st.cache->counters().stores.load();
+    std::cerr << " cache_stores=" << st.cache->stores();
   }
   if (st.checkpoint != nullptr) {
     std::cerr << " checkpoint_records=" << st.checkpoint->records();
@@ -246,28 +267,45 @@ void print_serve_stats(const ServeState& st) {
 }
 
 int run_method_sweep(const exp::Campaign& campaign, const util::Args& args,
-                     bool json, std::ostream& out, std::uint64_t seed) {
+                     bool json, std::ostream& out, std::uint64_t seed,
+                     bench::ObsState& obs) {
   const bool serving = serve_flags_present(args);
+  // Observability rides the serving engine path (the classic overload
+  // carries no io options); output is byte-identical either way.
+  const bool engine_io = serving || obs.metrics() != nullptr ||
+                         obs.profiler() != nullptr;
   exp::Progress progress(exp::count_method_runs(campaign), "methods",
                          bench::progress_enabled(args));
   // When serving, the engine ticks per repetition (cached vs computed);
   // the runner must not tick the same jobs again.
   const exp::Runner runner =
-      bench::runner_from(args, serving ? nullptr : &progress);
+      bench::runner_from(args, engine_io ? nullptr : &progress);
   // stderr, not stdout: stdout must stay byte-identical across --threads.
   std::cerr << "# threads: " << runner.threads() << "\n";
   ServeState st;
   init_serve_state(st, args, serve::CampaignKind::kMethod,
                    serving ? exp::method_campaign_fingerprint(campaign) : 0,
-                   seed, &progress);
+                   seed, &progress, obs);
   const std::vector<exp::MethodRun> runs =
-      serving ? exp::run_method_campaign(campaign,
-                                         exp::MethodCampaignConfig{}, runner,
-                                         st.io)
-              : exp::run_method_campaign(
-                    campaign, exp::MethodCampaignConfig{}, runner);
+      engine_io ? exp::run_method_campaign(campaign,
+                                           exp::MethodCampaignConfig{},
+                                           runner, st.io)
+                : exp::run_method_campaign(
+                      campaign, exp::MethodCampaignConfig{}, runner);
   progress.finish();
-  print_serve_stats(st);
+  print_serve_stats(st, obs.registry());
+  std::vector<obs::CellObs> cell_obs(campaign.cells().size());
+  for (const exp::MethodRun& run : runs) {
+    obs::CellObs& c = cell_obs[static_cast<std::size_t>(run.cell_index)];
+    c.cell = run.cell_index;
+    c.wall_ns += run.wall_ns;
+    if (run.served) {
+      ++c.cached;
+    } else if (!st.shard_only || run.wall_ns > 0) {
+      ++c.computed;
+    }
+  }
+  obs.finish(cell_obs, runner.threads());
   if (st.shard_only) {
     std::cerr << "# shard " << st.io.shard.index << "/"
               << st.io.shard.count << " written: "
@@ -414,33 +452,48 @@ int main(int argc, char** argv) {
             (spec.methods.empty() ? " probing trains" : " tool runs"));
   }
 
+  bench::ObsState obs(args, "campaign_sweep", serve_flags_present(args));
+
   if (!spec.methods.empty()) {
-    return run_method_sweep(campaign, args, json, *out, spec.campaign_seed);
+    return run_method_sweep(campaign, args, json, *out, spec.campaign_seed,
+                            obs);
   }
 
   exp::TrainCampaignConfig tcfg;
   tcfg.ks_prefix = 1;  // KS of the first packet vs the steady pool
   const bool serving = serve_flags_present(args);
+  // Observability rides the serving engine path (the classic overload
+  // carries no io options); output is byte-identical either way.
+  const bool engine_io = serving || obs.metrics() != nullptr ||
+                         obs.profiler() != nullptr;
   // Serving runs tick per repetition from inside the engine (so cached
   // repetitions stay out of the ETA); classic runs keep the coarser
   // per-work-shard ticks through the runner.
-  exp::Progress progress(serving ? campaign.total_repetitions()
-                                 : exp::count_train_shards(campaign, tcfg),
+  exp::Progress progress(engine_io ? campaign.total_repetitions()
+                                   : exp::count_train_shards(campaign, tcfg),
                          "campaign", bench::progress_enabled(args));
   const exp::Runner runner =
-      bench::runner_from(args, serving ? nullptr : &progress);
+      bench::runner_from(args, engine_io ? nullptr : &progress);
   // stderr, not stdout: stdout must stay byte-identical across --threads.
   std::cerr << "# threads: " << runner.threads() << "\n";
   ServeState st;
   init_serve_state(
       st, args, serve::CampaignKind::kTrain,
       serving ? exp::train_campaign_fingerprint(campaign, tcfg) : 0,
-      spec.campaign_seed, &progress);
+      spec.campaign_seed, &progress, obs);
   const auto results =
-      serving ? exp::run_train_campaign(campaign, tcfg, runner, st.io)
-              : exp::run_train_campaign(campaign, tcfg, runner);
+      engine_io ? exp::run_train_campaign(campaign, tcfg, runner, st.io)
+                : exp::run_train_campaign(campaign, tcfg, runner);
   progress.finish();
-  print_serve_stats(st);
+  print_serve_stats(st, obs.registry());
+  {
+    std::vector<obs::CellObs> cell_obs;
+    cell_obs.reserve(results.size());
+    for (const exp::TrainCellStats& r : results) {
+      cell_obs.push_back(r.obs);
+    }
+    obs.finish(cell_obs, runner.threads());
+  }
   if (st.shard_only) {
     std::cerr << "# shard " << st.io.shard.index << "/"
               << st.io.shard.count << " written: "

@@ -23,6 +23,8 @@
 #include "core/scenario.hpp"
 #include "exp/engine.hpp"
 #include "mac/wlan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/cache_key.hpp"
 #include "serve/record.hpp"
 #include "serve/result_cache.hpp"
@@ -259,6 +261,45 @@ void BM_CacheLookupHit(benchmark::State& state) {
   std::filesystem::remove_all(root);
 }
 BENCHMARK(BM_CacheLookupHit);
+
+void BM_MetricsCounterHot(benchmark::State& state) {
+  // A bound counter increment (Arg(1)) vs the unbound null-tap (Arg(0)).
+  // The emission sites sit inside per-event simulator loops, so both
+  // must stay in the low-nanosecond range — the disabled path is the
+  // cost every non-observed run pays for the instrumentation existing.
+  const bool enabled = state.range(0) != 0;
+  obs::Registry registry(enabled);
+  obs::Counter counter;
+  if (enabled) {
+    counter = registry.counter("bench.counter.hot");
+  }
+  for (auto _ : state) {
+    counter.add(1);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterHot)->Arg(0)->Arg(1);
+
+void BM_ScopedSpan(benchmark::State& state) {
+  // One profiled span (Arg(1): two clock reads + a buffer push) vs the
+  // disabled no-op (Arg(0)).  Spans wrap per-repetition and per-unit
+  // work (~ms), so the enabled cost only needs to stay microsecond-
+  // scale; the disabled cost guards un-profiled runs.
+  const bool enabled = state.range(0) != 0;
+  // Small cap: past it the span still pays both clock reads and the
+  // nesting bookkeeping (the dominant costs) but stops growing the
+  // buffer, keeping the bench's footprint bounded.
+  obs::Profiler profiler(enabled, std::size_t{1} << 16);
+  obs::Profiler* tap = enabled ? &profiler : nullptr;
+  for (auto _ : state) {
+    obs::ScopedSpan span(tap, "bench.span");
+    span.arg("i", 1);
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpan)->Arg(0)->Arg(1);
 
 void BM_KsStatistic(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

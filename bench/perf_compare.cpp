@@ -33,7 +33,8 @@ const char* kDefaultFamilies =
     "BM_DcfSaturatedStation,BM_MediumContention,BM_ConflictGraphMedium,"
     "BM_ProbeTrainRepetition,BM_CampaignEngine,"
     "BM_ResultCacheKey,BM_CacheLookupHit,"
-    "BM_TraceScanMmap,BM_TraceQueryPushdown,BM_TraceAggHistogram";
+    "BM_TraceScanMmap,BM_TraceQueryPushdown,BM_TraceAggHistogram,"
+    "BM_MetricsCounterHot,BM_ScopedSpan";
 
 /// Extracts {name -> items_per_second} from google-benchmark JSON.
 ///

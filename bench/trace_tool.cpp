@@ -23,7 +23,12 @@
 //                  trace_tool query --dir=DIR [--agg=counts[:opts]]
 //                    [--where=kinds=success;station=0..3;time_ms=..250]
 //                    [--threads=N] [--csv=PATH] [--no-pushdown]
-//                    [--no-mmap]
+//                    [--no-mmap] [--stats] [--metrics-out=FILE]
+//                    [--prof=FILE]
+//                `--stats` prints per-file scan accounting (pages
+//                skipped vs decoded, events, wall time, effective
+//                events/s) to stderr; `--metrics-out` / `--prof` write
+//                the run-report JSON / Perfetto trace.
 //   index        backfill a `.ccidx` sidecar skip-index for v1 traces
 //                (v2 traces embed their summaries):
 //                  trace_tool index --dir=DIR | --in=FILE
@@ -73,7 +78,8 @@ int usage(std::ostream& out, int code) {
          "  query        --dir=DIR | --in=FILE [--agg=NAME[:k=v,...]]\n"
          "               [--where=CLAUSES] [--threads=N] [--csv=PATH]\n"
          "               [--jsonl=PATH] [--no-pushdown] [--no-mmap]\n"
-         "               [--pages-per-unit=N]\n"
+         "               [--pages-per-unit=N] [--stats]\n"
+         "               [--metrics-out=FILE] [--prof=FILE]\n"
          "  index        --dir=DIR | --in=FILE [--threads=N]\n"
          "  filter       --in=FILE --out=FILE [--station=N] [--flow=F]\n"
          "               [--kinds=enqueue,success,...] [--where=CLAUSES]\n"
@@ -83,7 +89,10 @@ int usage(std::ostream& out, int code) {
     out << "  " << line << "\n";
   }
   out << "--where grammar: `;`-separated kinds=a,b  station=A..B\n"
-         "  time_ms=A..B  time_ns=A..B (range ends omittable)\n";
+         "  time_ms=A..B  time_ns=A..B (range ends omittable)\n"
+         "query observability: --stats prints per-file scan accounting\n"
+         "  to stderr; --metrics-out writes a csmabw-run-report JSON,\n"
+         "  --prof a Chrome/Perfetto trace (see README, Observability)\n";
   return code;
 }
 
@@ -318,14 +327,27 @@ int cmd_query(const util::Args& args) {
   const std::unique_ptr<trace::query::Aggregation> agg =
       trace::query::make_aggregation(args.get("agg", "counts"));
 
+  const bool per_file_stats = args.get("stats", false);
+  // --stats needs per-unit wall times, which the engine only records
+  // with an enabled registry — so --stats force-enables it.
+  bench::ObsState obs(args, "trace_tool", per_file_stats);
+  std::vector<trace::query::FileScanStats> file_stats;
+
   trace::query::QueryOptions qopts;
   qopts.pushdown = !args.get("no-pushdown", false);
   qopts.map_opts.use_mmap = !args.get("no-mmap", false);
   qopts.pages_per_unit = args.get("pages-per-unit", 0);
+  qopts.metrics = obs.metrics();
+  qopts.profiler = obs.profiler();
+  if (per_file_stats) {
+    qopts.file_stats = &file_stats;
+  }
   const exp::Runner runner = bench::runner_from(args);
 
+  const std::int64_t query_start = obs::now_ns();
   const trace::query::ScanStats stats =
       trace::query::run_query(files, pred, *agg, runner, qopts);
+  const std::int64_t query_ns = obs::now_ns() - query_start;
 
   exp::CollectorOptions copts;
   copts.csv_path = args.get("csv", "");
@@ -345,6 +367,36 @@ int cmd_query(const util::Args& args) {
   if (!copts.csv_path.empty()) {
     std::cout << "# csv written: " << copts.csv_path << "\n";
   }
+  if (per_file_stats) {
+    std::cerr << "# stats: per-file scan accounting (wall sums a file's "
+                 "unit scan times; units run concurrently)\n";
+    for (std::size_t i = 0; i < file_stats.size(); ++i) {
+      const trace::query::FileScanStats& fs = file_stats[i];
+      const double wall_s = static_cast<double>(fs.wall_ns) * 1e-9;
+      std::cerr << "# stats: " << files[i].path << " pages="
+                << fs.pages - fs.pages_skipped << "/" << fs.pages << " ("
+                << fs.pages_skipped << " skipped) decoded="
+                << fs.events_decoded << " matched=" << fs.events_matched
+                << " wall=" << util::Table::format(wall_s * 1e3, 3)
+                << "ms eff="
+                << util::Table::format(
+                       wall_s > 0.0
+                           ? static_cast<double>(fs.events_decoded) / wall_s
+                           : 0.0,
+                       4)
+                << " events/s\n";
+    }
+    const double query_s = static_cast<double>(query_ns) * 1e-9;
+    std::cerr << "# stats: total wall="
+              << util::Table::format(query_s * 1e3, 3) << "ms eff="
+              << util::Table::format(
+                     query_s > 0.0
+                         ? static_cast<double>(stats.events_decoded) / query_s
+                         : 0.0,
+                     4)
+              << " events/s (" << runner.threads() << " threads)\n";
+  }
+  obs.finish({}, runner.threads());
   return 0;
 }
 

@@ -545,6 +545,10 @@ TrainRun Scenario::run_train(const traffic::TrainSpec& spec,
 
   run.packets = train.records();
   run.any_dropped = train.any_dropped();
+  const sim::Simulator::Cost cost = sim.cost();
+  run.sim_events = cost.events_processed;
+  run.sim_allocations = cost.allocations;
+  run.sim_slot_capacity = cost.slot_capacity;
   return run;
 }
 

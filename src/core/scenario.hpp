@@ -231,6 +231,13 @@ struct TrainRun {
   /// (only when requested) — Fig 8 bottom.
   std::vector<double> contender_queue_at_arrival;
 
+  /// Simulator runtime cost of this repetition (events stepped, slab
+  /// allocations, event-slot high-water).  Deterministic per workload;
+  /// feeds the observability run report at zero extra simulation cost.
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_allocations = 0;
+  std::uint64_t sim_slot_capacity = 0;
+
   /// Access delays mu_i in seconds; requires !any_dropped (enforced).
   [[nodiscard]] std::vector<double> access_delays_s() const;
   /// Output gap (Eq. 16) over the departure timestamps.

@@ -64,6 +64,45 @@ void validate_serve_options(const serve::CampaignServeOptions& io) {
                  "never produce a result");
 }
 
+/// The engine's metric handles, bound once per campaign run.  Every
+/// handle is unbound (no-op) when the serve options carry no registry.
+struct EngineObs {
+  obs::Counter computed;     ///< exp.reps.computed
+  obs::Counter cache_hit;    ///< exp.reps.cache_hit
+  obs::Counter resumed;      ///< exp.reps.resumed
+  obs::Counter sim_events;   ///< sim.events.processed
+  obs::Counter sim_alloc;    ///< sim.slab.alloc
+  obs::Gauge slot_capacity;  ///< sim.queue.slot_capacity (high-water)
+  obs::Histogram rep_events;  ///< sim.rep.events (stable)
+  obs::Histogram rep_wall;    ///< exp.rep.wall_ns (wall time)
+  /// Whether per-repetition clock reads are worth making (an enabled
+  /// registry or profiler is attached).
+  bool timing = false;
+};
+
+EngineObs bind_engine_obs(const serve::CampaignServeOptions& io) {
+  EngineObs m;
+  if (io.metrics != nullptr) {
+    m.computed = io.metrics->counter("exp.reps.computed");
+    m.cache_hit = io.metrics->counter("exp.reps.cache_hit");
+    m.resumed = io.metrics->counter("exp.reps.resumed");
+    m.sim_events = io.metrics->counter("sim.events.processed");
+    m.sim_alloc = io.metrics->counter("sim.slab.alloc");
+    m.slot_capacity = io.metrics->gauge("sim.queue.slot_capacity");
+    m.rep_events = io.metrics->histogram("sim.rep.events");
+    m.rep_wall = io.metrics->histogram("exp.rep.wall_ns",
+                                       obs::Determinism::kWallTime);
+  }
+  m.timing = m.rep_wall.bound() ||
+             (io.profiler != nullptr && io.profiler->enabled());
+  if (io.checkpoint != nullptr) {
+    // Single-threaded setup point: route flush accounting to the same
+    // registry/profiler before any worker can trigger a flush.
+    io.checkpoint->bind_obs(io.metrics, io.profiler);
+  }
+  return m;
+}
+
 /// Serves a (cell, repetition) record: resume set first, then the
 /// content-addressed cache, else nullopt (the caller simulates).  Hits
 /// are counted, per-repetition progress is ticked as cached, and cache
@@ -71,8 +110,8 @@ void validate_serve_options(const serve::CampaignServeOptions& io) {
 /// to full coverage.
 template <typename Record>
 std::optional<Record> serve_record(
-    const serve::CampaignServeOptions& io, int cell, int rep,
-    const serve::CacheKey& key,
+    const serve::CampaignServeOptions& io, const EngineObs& m, int cell,
+    int rep, const serve::CacheKey& key,
     bool (*decode)(const unsigned char*, std::size_t, Record*)) {
   Record record;
   if (io.resume != nullptr) {
@@ -82,9 +121,7 @@ std::optional<Record> serve_record(
                      "corrupt record for cell " + std::to_string(cell) +
                          " rep " + std::to_string(rep) +
                          " in the resume/merge set");
-      if (io.counters != nullptr) {
-        io.counters->resumed.fetch_add(1, std::memory_order_relaxed);
-      }
+      m.resumed.add();
       if (io.progress != nullptr) {
         io.progress->tick_cached();
       }
@@ -97,9 +134,7 @@ std::optional<Record> serve_record(
       // A payload that fails to decode is a corrupt entry: treat as a
       // miss, the recompute below overwrites it.
       if (decode(payload->data(), payload->size(), &record)) {
-        if (io.counters != nullptr) {
-          io.counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
-        }
+        m.cache_hit.add();
         if (io.checkpoint != nullptr) {
           io.checkpoint->add(cell, rep, std::move(*payload));
         }
@@ -115,8 +150,8 @@ std::optional<Record> serve_record(
 
 /// Persists a freshly computed record to the cache and checkpoint and
 /// ticks it as computed work.
-void persist_record(const serve::CampaignServeOptions& io, int cell, int rep,
-                    const serve::CacheKey& key,
+void persist_record(const serve::CampaignServeOptions& io, const EngineObs& m,
+                    int cell, int rep, const serve::CacheKey& key,
                     std::vector<unsigned char> payload) {
   if (io.cache != nullptr) {
     io.cache->store(key, payload);
@@ -124,9 +159,7 @@ void persist_record(const serve::CampaignServeOptions& io, int cell, int rep,
   if (io.checkpoint != nullptr) {
     io.checkpoint->add(cell, rep, std::move(payload));
   }
-  if (io.counters != nullptr) {
-    io.counters->computed.fetch_add(1, std::memory_order_relaxed);
-  }
+  m.computed.add();
   if (io.progress != nullptr) {
     io.progress->tick();
   }
@@ -186,6 +219,7 @@ std::vector<MethodRun> run_method_campaign(
     const Campaign& campaign, const MethodCampaignConfig& cfg,
     const Runner& runner, const serve::CampaignServeOptions& io) {
   validate_serve_options(io);
+  const EngineObs m = bind_engine_obs(io);
   CSMABW_REQUIRE(io.cache == nullptr || !cfg.make_transport,
                  "the result cache content-addresses the cell's scenario; "
                  "a custom make_transport is invisible to the key — drop "
@@ -232,14 +266,19 @@ std::vector<MethodRun> run_method_campaign(
         }
         if (std::optional<core::MeasurementReport> served =
                 serve_record<core::MeasurementReport>(
-                    io, job.cell_index, job.repetition, key,
+                    io, m, job.cell_index, job.repetition, key,
                     &serve::decode_method_record)) {
           run.report = std::move(*served);
+          run.served = true;
           return run;
         }
         if (io.forbid_compute) {
           missing_record(job.cell_index, job.repetition);
         }
+        obs::ScopedSpan span(io.profiler, "exp.rep");
+        span.arg("cell", job.cell_index);
+        span.arg("rep", job.repetition);
+        const std::int64_t rep_start = m.timing ? obs::now_ns() : 0;
         std::unique_ptr<core::ProbeTransport> transport;
         if (cfg.make_transport) {
           transport = cfg.make_transport(cell, seed);
@@ -252,9 +291,13 @@ std::vector<MethodRun> run_method_campaign(
         const std::unique_ptr<core::MeasurementMethod> method =
             registry.create(cell.method);
         run.report = method->run(*transport, seed);
+        if (m.timing) {
+          run.wall_ns = obs::now_ns() - rep_start;
+          m.rep_wall.observe(run.wall_ns);
+        }
         std::vector<unsigned char> payload;
         serve::encode_method_record(run.report, payload);
-        persist_record(io, job.cell_index, job.repetition, key,
+        persist_record(io, m, job.cell_index, job.repetition, key,
                        std::move(payload));
         return run;
       });
@@ -293,6 +336,7 @@ std::vector<TrainCellStats> run_train_campaign(
     const Campaign& campaign, const TrainCampaignConfig& cfg,
     const Runner& runner, const serve::CampaignServeOptions& io) {
   validate_serve_options(io);
+  const EngineObs m = bind_engine_obs(io);
   const std::vector<Shard> shards = make_shards(campaign, cfg);
   const std::string& trace_dir = campaign.trace_dir();
   if (!trace_dir.empty()) {
@@ -335,13 +379,20 @@ std::vector<TrainCellStats> run_train_campaign(
       serve::TrainRepRecord record;
       if (std::optional<serve::TrainRepRecord> served =
               serve_record<serve::TrainRepRecord>(
-                  io, cell.index, rep, key, &serve::decode_train_record)) {
+                  io, m, cell.index, rep, key,
+                  &serve::decode_train_record)) {
         record = std::move(*served);
+        ++stats->obs.cached;
       } else {
         if (io.forbid_compute) {
           missing_record(cell.index, rep);
         }
+        obs::ScopedSpan span(io.profiler, "exp.rep");
+        span.arg("cell", cell.index);
+        span.arg("rep", rep);
+        const std::int64_t rep_start = m.timing ? obs::now_ns() : 0;
         if (!scenario.has_value()) {
+          obs::ScopedSpan build(io.profiler, "exp.scenario.build");
           scenario.emplace(cell.scenario);
         }
         std::unique_ptr<trace::TraceWriter> writer;
@@ -362,9 +413,23 @@ std::vector<TrainCellStats> run_train_campaign(
           record.output_gap_s = run.output_gap_s();
           record.queue_at_arrival = run.contender_queue_at_arrival;
         }
+        const auto events = static_cast<std::int64_t>(run.sim_events);
+        m.sim_events.add(events);
+        m.sim_alloc.add(static_cast<std::int64_t>(run.sim_allocations));
+        m.slot_capacity.sample(
+            static_cast<std::int64_t>(run.sim_slot_capacity));
+        m.rep_events.observe(events);
+        span.arg("events", events);
+        ++stats->obs.computed;
+        stats->obs.sim_events += events;
+        if (m.timing) {
+          const std::int64_t wall = obs::now_ns() - rep_start;
+          stats->obs.wall_ns += wall;
+          m.rep_wall.observe(wall);
+        }
         std::vector<unsigned char> payload;
         serve::encode_train_record(record, payload);
-        persist_record(io, cell.index, rep, key, std::move(payload));
+        persist_record(io, m, cell.index, rep, key, std::move(payload));
       }
       if (record.dropped) {
         ++stats->dropped;
@@ -387,10 +452,12 @@ std::vector<TrainCellStats> run_train_campaign(
     io.checkpoint->flush();
   }
 
+  obs::ScopedSpan merge_span(io.profiler, "exp.merge");
   std::vector<TrainCellStats> merged;
   merged.reserve(campaign.cells().size());
   for (const Cell& cell : campaign.cells()) {
     merged.emplace_back(transient_config_for(cell, cfg));
+    merged.back().obs.cell = cell.index;
     if (cfg.sample_contender_queue) {
       merged.back().queue_at_arrival.resize(static_cast<std::size_t>(
           std::min(cfg.queue_prefix, cell.train.n)));
@@ -408,6 +475,7 @@ std::vector<TrainCellStats> run_train_campaign(
     }
     dst.used += src.used;
     dst.dropped += src.dropped;
+    dst.obs.merge(src.obs);
   }
   return merged;
 }

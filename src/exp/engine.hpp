@@ -10,6 +10,7 @@
 #include "core/transient.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "obs/report.hpp"
 #include "serve/campaign_io.hpp"
 #include "stats/summary.hpp"
 
@@ -48,6 +49,11 @@ struct TrainCellStats {
   std::vector<stats::RunningStat> queue_at_arrival;
   int used = 0;
   int dropped = 0;
+  /// Runtime accounting of this cell's repetitions (wall time, computed
+  /// vs served counts, simulator events).  Merged per shard like every
+  /// other field; wall_ns stays 0 unless the serve options carry an
+  /// enabled metrics registry or profiler.  Never affects results.
+  obs::CellObs obs;
 
   /// Measured probe rate implied by the mean output gap.
   [[nodiscard]] double measured_rate_mbps(int size_bytes) const {
@@ -110,6 +116,11 @@ struct MethodRun {
   int cell_index = 0;
   int repetition = 0;
   core::MeasurementReport report;
+  /// Compute wall time of this repetition (0 when served from a record
+  /// set or when observability is off) and whether it was served rather
+  /// than simulated.  Purely observational.
+  std::int64_t wall_ns = 0;
+  bool served = false;
 };
 
 /// How a method campaign builds its tools and transports.

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -15,6 +14,13 @@ namespace csmabw::exp {
 /// mirrors) stays machine-parseable and byte-identical whether or not
 /// progress is shown.  Prints are rate-limited; `tick()` is cheap enough
 /// to call once per work shard from every worker thread.
+///
+/// Timing uses the observability clock source (obs::now_ns), and the
+/// ETA extrapolates from a *compute clock* that starts at the first
+/// computed (non-cached) tick: a resumed run that serves its first ten
+/// thousand repetitions from a checkpoint in milliseconds must not
+/// divide that startup elapsed over the few remaining simulated reps
+/// and report an absurd ETA.
 class Progress {
  public:
   /// `total`: number of work units; `enabled == false` makes every call
@@ -41,10 +47,15 @@ class Progress {
   [[nodiscard]] std::int64_t cached() const;
   [[nodiscard]] std::int64_t total() const { return total_; }
 
+  /// ETA in seconds as the reporter would print it right now, or a
+  /// negative value when no estimate exists yet (nothing computed, or
+  /// the run is complete).  Exposed for tests: the compute-clock fix is
+  /// observable without scraping the status line.
+  [[nodiscard]] double eta_seconds() const;
+
  private:
   void print_locked(bool final_line);
-
-  using Clock = std::chrono::steady_clock;
+  [[nodiscard]] double eta_locked(std::int64_t now) const;
 
   std::int64_t total_;
   std::string label_;
@@ -54,8 +65,9 @@ class Progress {
   std::int64_t done_ = 0;
   std::int64_t cached_ = 0;
   bool finished_ = false;
-  Clock::time_point start_;
-  Clock::time_point last_print_;
+  std::int64_t start_ns_;
+  std::int64_t compute_start_ns_ = -1;  ///< first computed tick; -1 = none
+  std::int64_t last_print_ns_;
 };
 
 }  // namespace csmabw::exp

@@ -1,0 +1,25 @@
+#pragma once
+
+// The observability layer's single monotonic clock source.
+//
+// Every wall-time measurement in the repo's runtime instrumentation —
+// metric timers, profiling spans, progress/ETA extrapolation — reads
+// this one function, so span timestamps, histogram samples and ETA
+// math are mutually comparable and a test can reason about all of them
+// at once.  Wall-time readings are inherently non-deterministic; the
+// run-report schema quarantines everything derived from this clock in
+// its `nondeterministic` section (see obs/report.hpp).
+
+#include <chrono>
+#include <cstdint>
+
+namespace csmabw::obs {
+
+/// Monotonic nanoseconds since an arbitrary epoch (process-stable).
+[[nodiscard]] inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace csmabw::obs

@@ -1,0 +1,255 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace csmabw::obs {
+
+int HistogramData::bucket_of(std::int64_t v) {
+  if (v <= 0) {
+    return 0;
+  }
+  // bit_width(2^62 <= v < 2^63) == 63, so positive samples land in
+  // buckets 1..63 and the 64-entry array covers the full int64 range.
+  return static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+std::int64_t HistogramData::lower_bound(int b) {
+  return b <= 0 ? 0 : std::int64_t{1} << (b - 1);
+}
+
+std::int64_t HistogramData::upper_bound(int b) {
+  if (b <= 0) {
+    return 0;
+  }
+  if (b >= 63) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << b) - 1;
+}
+
+void HistogramData::observe(std::int64_t v) {
+  ++count;
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+  ++buckets[static_cast<std::size_t>(bucket_of(v))];
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) {
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+namespace {
+
+/// Process-unique registry ids: thread-local shard caches key on the
+/// uid, never the address, so a registry allocated where a destroyed
+/// one lived can never alias a stale cache entry.
+std::atomic<std::uint64_t> g_next_registry_uid{1};
+
+struct TlsShardRef {
+  std::uint64_t uid = 0;
+  void* shard = nullptr;
+};
+
+/// Per-thread cache of (registry uid -> shard).  Entries for destroyed
+/// registries go stale harmlessly (their uid never recurs); the vector
+/// stays tiny because a thread touches few registries.
+thread_local std::vector<TlsShardRef> t_shard_cache;
+
+}  // namespace
+
+Registry::Registry(bool enabled)
+    : enabled_(enabled),
+      uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+std::uint32_t Registry::register_metric(std::string_view name,
+                                        MetricKind kind, Determinism det) {
+  std::scoped_lock lock(mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    const MetricInfo& info = metrics_[it->second];
+    CSMABW_REQUIRE(info.kind == kind && info.det == det,
+                   "metric `" + std::string(name) +
+                       "` re-registered with a different kind or "
+                       "determinism class");
+    return info.slot;
+  }
+  MetricInfo info;
+  info.name = std::string(name);
+  info.kind = kind;
+  info.det = det;
+  info.slot =
+      kind == MetricKind::kHistogram ? hist_slots_++ : scalar_slots_++;
+  by_name_.emplace(info.name, static_cast<std::uint32_t>(metrics_.size()));
+  metrics_.push_back(std::move(info));
+  return metrics_.back().slot;
+}
+
+Counter Registry::counter(std::string_view name, Determinism det) {
+  if (!enabled_) {
+    return {};
+  }
+  return Counter(this, register_metric(name, MetricKind::kCounter, det));
+}
+
+Gauge Registry::gauge(std::string_view name, Determinism det) {
+  if (!enabled_) {
+    return {};
+  }
+  return Gauge(this, register_metric(name, MetricKind::kGauge, det));
+}
+
+Histogram Registry::histogram(std::string_view name, Determinism det) {
+  if (!enabled_) {
+    return {};
+  }
+  return Histogram(this, register_metric(name, MetricKind::kHistogram, det));
+}
+
+void Registry::add(std::string_view name, std::int64_t delta,
+                   Determinism det) {
+  if (!enabled_) {
+    return;
+  }
+  counter(name, det).add(delta);
+}
+
+Registry::Shard& Registry::local_shard() {
+  for (std::size_t i = 0; i < t_shard_cache.size(); ++i) {
+    if (t_shard_cache[i].uid == uid_) {
+      if (i != 0) {
+        std::swap(t_shard_cache[0], t_shard_cache[i]);  // MRU to front
+      }
+      return *static_cast<Shard*>(t_shard_cache[0].shard);
+    }
+  }
+  std::scoped_lock lock(mu_);
+  shards_.emplace_back();
+  Shard* shard = &shards_.back();
+  t_shard_cache.push_back(TlsShardRef{uid_, shard});
+  return *shard;
+}
+
+void Registry::add_scalar(std::uint32_t slot, std::int64_t delta) {
+  Shard& s = local_shard();
+  if (s.scalars.size() <= slot) {
+    s.scalars.resize(slot + 1, 0);
+    s.gauge_set.resize(slot + 1, false);
+  }
+  s.scalars[slot] += delta;
+}
+
+void Registry::max_scalar(std::uint32_t slot, std::int64_t value) {
+  Shard& s = local_shard();
+  if (s.scalars.size() <= slot) {
+    s.scalars.resize(slot + 1, 0);
+    s.gauge_set.resize(slot + 1, false);
+  }
+  if (!s.gauge_set[slot] || value > s.scalars[slot]) {
+    s.scalars[slot] = value;
+    s.gauge_set[slot] = true;
+  }
+}
+
+void Registry::observe_hist(std::uint32_t slot, std::int64_t value) {
+  Shard& s = local_shard();
+  if (s.hists.size() <= slot) {
+    s.hists.resize(slot + 1);
+  }
+  s.hists[slot].observe(value);
+}
+
+std::vector<MergedMetric> Registry::merged() const {
+  std::scoped_lock lock(mu_);
+  std::vector<MergedMetric> out;
+  out.reserve(metrics_.size());
+  for (const MetricInfo& info : metrics_) {
+    MergedMetric m;
+    m.name = info.name;
+    m.kind = info.kind;
+    m.determinism = info.det;
+    bool gauge_seen = false;
+    for (const Shard& s : shards_) {
+      if (info.kind == MetricKind::kHistogram) {
+        if (info.slot < s.hists.size()) {
+          m.hist.merge(s.hists[info.slot]);
+        }
+      } else if (info.slot < s.scalars.size()) {
+        if (info.kind == MetricKind::kCounter) {
+          m.value += s.scalars[info.slot];
+        } else if (s.gauge_set[info.slot]) {
+          m.value = gauge_seen ? std::max(m.value, s.scalars[info.slot])
+                               : s.scalars[info.slot];
+          gauge_seen = true;
+        }
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MergedMetric& a, const MergedMetric& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::int64_t Registry::value(std::string_view name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return 0;
+  }
+  const MetricInfo& info = metrics_[it->second];
+  std::int64_t value = 0;
+  bool gauge_seen = false;
+  for (const Shard& s : shards_) {
+    if (info.kind == MetricKind::kHistogram || info.slot >= s.scalars.size()) {
+      continue;
+    }
+    if (info.kind == MetricKind::kCounter) {
+      value += s.scalars[info.slot];
+    } else if (s.gauge_set[info.slot]) {
+      value = gauge_seen ? std::max(value, s.scalars[info.slot])
+                         : s.scalars[info.slot];
+      gauge_seen = true;
+    }
+  }
+  return value;
+}
+
+HistogramData Registry::histogram_data(std::string_view name) const {
+  std::scoped_lock lock(mu_);
+  HistogramData out;
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return out;
+  }
+  const MetricInfo& info = metrics_[it->second];
+  if (info.kind != MetricKind::kHistogram) {
+    return out;
+  }
+  for (const Shard& s : shards_) {
+    if (info.slot < s.hists.size()) {
+      out.merge(s.hists[info.slot]);
+    }
+  }
+  return out;
+}
+
+}  // namespace csmabw::obs

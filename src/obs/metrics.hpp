@@ -1,0 +1,244 @@
+#pragma once
+
+// Runtime metrics registry: string-keyed counters, gauges and
+// log-bucketed histograms with per-thread shards and a deterministic
+// merge.
+//
+// Design goals, in order:
+//
+//  1. **Near-zero cost when disabled.**  Handles obtained from a
+//     disabled registry are unbound (null); every emission site is a
+//     single predictable branch — the same null-tap pattern the event
+//     tap uses (trace::TraceSink), which PR 4 proved perf-neutral by
+//     same-machine A/B against the perf gate.
+//  2. **No contention when enabled.**  Each thread accumulates into its
+//     own shard (plain int64 adds, no atomics); shards are merged after
+//     the worker pool drains — the same shard-then-merge idiom as
+//     exp::Runner.
+//  3. **Deterministic merges.**  Counter and histogram-bucket merges
+//     are integer sums (commutative, associative), gauges merge by
+//     maximum — so the merged snapshot of a campaign's *stable* metrics
+//     is byte-identical for any --threads value.  Metrics that sample
+//     the wall clock are registered as Determinism::kWallTime and land
+//     in the run report's `nondeterministic` section instead.
+//
+// Naming convention: `subsystem.noun.verb` (e.g. `serve.cache.hit`,
+// `exp.reps.computed`, `query.pages.skipped`); wall-time histograms end
+// in a unit suffix (`exp.rep.wall_ns`).
+//
+// Thread-safety contract: add()/set()/observe() may run concurrently
+// from any number of threads; merged()/value()/histogram() must only
+// run while no other thread is mutating (after a pool drain).  Metric
+// registration (counter()/gauge()/histogram()) is mutex-protected and
+// may run at any time.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace csmabw::obs {
+
+/// Whether a metric's merged value is a pure function of the workload
+/// (stable across thread counts and runs) or samples the wall clock.
+enum class Determinism : std::uint8_t { kStable, kWallTime };
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Log-bucketed (base-2) histogram of int64 samples.  Bucket 0 holds
+/// all samples <= 0; bucket b >= 1 holds samples in [2^(b-1), 2^b - 1]
+/// — i.e. the bucket index of a positive sample is its bit width.
+/// 64 buckets cover the full positive int64 range.
+struct HistogramData {
+  static constexpr int kBuckets = 64;
+
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  /// The bucket a sample falls into: 0 for v <= 0, else bit_width(v).
+  [[nodiscard]] static int bucket_of(std::int64_t v);
+  /// Inclusive bounds of bucket b (lower_bound(0) reports 0: the
+  /// "<= 0" bucket's nominal origin).
+  [[nodiscard]] static std::int64_t lower_bound(int b);
+  [[nodiscard]] static std::int64_t upper_bound(int b);
+
+  void observe(std::int64_t v);
+  void merge(const HistogramData& other);
+};
+
+class Registry;
+
+/// Unbound (default-constructed or from a disabled registry) handles
+/// no-op on a single branch.  Handles are trivially copyable and remain
+/// valid for the registry's lifetime.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::int64_t delta = 1) const;
+  [[nodiscard]] bool bound() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// A sampled level (queue depth, capacity high-water mark).  Shards
+/// keep their running maximum and merge by maximum — deterministic
+/// whenever the sampled quantity is.
+class Gauge {
+ public:
+  Gauge() = default;
+  void sample(std::int64_t value) const;
+  [[nodiscard]] bool bound() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Gauge(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::int64_t value) const;
+  [[nodiscard]] bool bound() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  friend class ScopedTimer;
+  Histogram(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// RAII wall-clock timer: observes elapsed nanoseconds into a histogram
+/// on destruction.  Unbound histograms skip the clock reads entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist)
+      : hist_(hist), start_(hist.bound() ? now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (hist_.bound()) {
+      hist_.observe(now_ns() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram hist_;
+  std::int64_t start_;
+};
+
+/// One merged metric in a snapshot.
+struct MergedMetric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Determinism determinism = Determinism::kStable;
+  std::int64_t value = 0;  ///< counter sum / gauge max (scalar kinds)
+  HistogramData hist;      ///< histogram kind only
+};
+
+class Registry {
+ public:
+  explicit Registry(bool enabled = true);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Registers (or re-finds) a metric and returns its handle.  The same
+  /// name always resolves to the same slot; re-registering with a
+  /// different kind or determinism class throws util::PreconditionError.
+  /// A disabled registry returns unbound handles.
+  [[nodiscard]] Counter counter(std::string_view name,
+                                Determinism det = Determinism::kStable);
+  [[nodiscard]] Gauge gauge(std::string_view name,
+                            Determinism det = Determinism::kStable);
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    Determinism det = Determinism::kStable);
+
+  /// Convenience slow path: registers on first use, then adds.  For
+  /// cold call sites (once per run); hot paths should hold a handle.
+  void add(std::string_view name, std::int64_t delta,
+           Determinism det = Determinism::kStable);
+
+  /// Deterministically merged snapshot, sorted by metric name.
+  [[nodiscard]] std::vector<MergedMetric> merged() const;
+  /// Merged scalar value of one metric (0 when absent).
+  [[nodiscard]] std::int64_t value(std::string_view name) const;
+  /// Merged histogram of one metric (empty when absent).
+  [[nodiscard]] HistogramData histogram_data(std::string_view name) const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind;
+    Determinism det;
+    std::uint32_t slot;  ///< scalar or histogram slot, per kind
+  };
+
+  /// One thread's accumulation shard.  Owned (written) by exactly one
+  /// thread; vectors sized lazily on first touch of a slot.
+  struct Shard {
+    std::vector<std::int64_t> scalars;
+    std::vector<bool> gauge_set;  ///< scalar slot ever sampled (gauges)
+    std::vector<HistogramData> hists;
+  };
+
+  [[nodiscard]] std::uint32_t register_metric(std::string_view name,
+                                              MetricKind kind,
+                                              Determinism det);
+  [[nodiscard]] Shard& local_shard();
+  void add_scalar(std::uint32_t slot, std::int64_t delta);
+  void max_scalar(std::uint32_t slot, std::int64_t value);
+  void observe_hist(std::uint32_t slot, std::int64_t value);
+
+  const bool enabled_;
+  const std::uint64_t uid_;  ///< process-unique; thread-local cache key
+  mutable std::mutex mu_;
+  std::vector<MetricInfo> metrics_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::deque<Shard> shards_;  ///< deque: stable addresses across growth
+  std::uint32_t scalar_slots_ = 0;
+  std::uint32_t hist_slots_ = 0;
+};
+
+inline void Counter::add(std::int64_t delta) const {
+  if (reg_ != nullptr) {
+    reg_->add_scalar(slot_, delta);
+  }
+}
+
+inline void Gauge::sample(std::int64_t value) const {
+  if (reg_ != nullptr) {
+    reg_->max_scalar(slot_, value);
+  }
+}
+
+inline void Histogram::observe(std::int64_t value) const {
+  if (reg_ != nullptr) {
+    reg_->observe_hist(slot_, value);
+  }
+}
+
+}  // namespace csmabw::obs

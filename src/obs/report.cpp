@@ -1,0 +1,166 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace csmabw::obs {
+
+namespace {
+
+void write_histogram(std::ostream& out, const HistogramData& h) {
+  out << "{\"count\":" << h.count << ",\"sum\":" << h.sum;
+  if (h.count > 0) {
+    out << ",\"min\":" << h.min << ",\"max\":" << h.max;
+  } else {
+    out << ",\"min\":0,\"max\":0";
+  }
+  out << ",\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < HistogramData::kBuckets; ++b) {
+    const std::int64_t n = h.buckets[static_cast<std::size_t>(b)];
+    if (n == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "[" << HistogramData::lower_bound(b) << ","
+        << HistogramData::upper_bound(b) << "," << n << "]";
+  }
+  out << "]}";
+}
+
+/// Emits the counters/gauges/histograms objects for one determinism
+/// class.  `merged` is already name-sorted, so iteration order (and
+/// therefore the emitted bytes) is deterministic.
+void write_section(std::ostream& out, const std::vector<MergedMetric>& merged,
+                   Determinism det, const char* indent) {
+  const auto write_scalars = [&](MetricKind kind, const char* key) {
+    out << indent << "\"" << key << "\":{";
+    bool first = true;
+    for (const MergedMetric& m : merged) {
+      if (m.determinism != det || m.kind != kind) {
+        continue;
+      }
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      out << "\"" << util::json_escape(m.name) << "\":" << m.value;
+    }
+    out << "},\n";
+  };
+  write_scalars(MetricKind::kCounter, "counters");
+  write_scalars(MetricKind::kGauge, "gauges");
+  out << indent << "\"histograms\":{";
+  bool first = true;
+  for (const MergedMetric& m : merged) {
+    if (m.determinism != det || m.kind != MetricKind::kHistogram) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << util::json_escape(m.name) << "\":";
+    write_histogram(out, m.hist);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void write_run_report(std::ostream& out, const Registry& registry,
+                      const std::vector<CellObs>& cells,
+                      const RunReportOptions& opts) {
+  const std::vector<MergedMetric> merged = registry.merged();
+
+  out << "{\n";
+  out << "  \"schema\":\"csmabw-run-report\",\n";
+  out << "  \"version\":1,\n";
+  out << "  \"tool\":\"" << util::json_escape(opts.tool) << "\",\n";
+
+  out << "  \"deterministic\":{\n";
+  write_section(out, merged, Determinism::kStable, "    ");
+  out << "\n  },\n";
+
+  out << "  \"nondeterministic\":{\n";
+  out << "    \"threads\":" << opts.threads << ",\n";
+  out << "    \"wall_ns\":" << opts.wall_ns << ",\n";
+  write_section(out, merged, Determinism::kWallTime, "    ");
+  out << ",\n";
+
+  // Worker utilization: busy time approximated by the sum of the
+  // designated wall-time histogram (per-rep compute wall), divided by
+  // the wall-clock budget wall_ns * threads.
+  const HistogramData busy = registry.histogram_data(opts.busy_histogram);
+  out << "    \"utilization\":{\"busy_ns\":" << busy.sum
+      << ",\"workers\":" << opts.threads << ",\"ratio\":";
+  if (opts.wall_ns > 0 && opts.threads > 0) {
+    out << util::json_number(static_cast<double>(busy.sum) /
+                             (static_cast<double>(opts.wall_ns) *
+                              static_cast<double>(opts.threads)));
+  } else {
+    out << 0;
+  }
+  out << "},\n";
+
+  out << "    \"cells\":[";
+  bool first = true;
+  for (const CellObs& c : cells) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n      {\"cell\":" << c.cell << ",\"wall_ns\":" << c.wall_ns
+        << ",\"computed\":" << c.computed << ",\"cached\":" << c.cached
+        << ",\"sim_events\":" << c.sim_events << ",\"events_per_s\":";
+    if (c.wall_ns > 0) {
+      out << util::json_number(static_cast<double>(c.sim_events) * 1e9 /
+                               static_cast<double>(c.wall_ns));
+    } else {
+      out << 0;
+    }
+    out << "}";
+  }
+  out << (first ? "],\n" : "\n    ],\n");
+
+  // Slowest K by compute wall time (ties broken by cell index so the
+  // ranking is reproducible given equal inputs).
+  std::vector<const CellObs*> ranked;
+  ranked.reserve(cells.size());
+  for (const CellObs& c : cells) {
+    if (c.wall_ns > 0) {
+      ranked.push_back(&c);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const CellObs* a, const CellObs* b) {
+              if (a->wall_ns != b->wall_ns) {
+                return a->wall_ns > b->wall_ns;
+              }
+              return a->cell < b->cell;
+            });
+  if (opts.slowest_k >= 0 &&
+      ranked.size() > static_cast<std::size_t>(opts.slowest_k)) {
+    ranked.resize(static_cast<std::size_t>(opts.slowest_k));
+  }
+  out << "    \"slowest_cells\":[";
+  first = true;
+  for (const CellObs* c : ranked) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"cell\":" << c->cell << ",\"wall_ns\":" << c->wall_ns << "}";
+  }
+  out << "]\n";
+
+  out << "  }\n";
+  out << "}\n";
+}
+
+}  // namespace csmabw::obs

@@ -1,0 +1,182 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace csmabw::obs {
+
+namespace {
+
+/// Same uid-keyed thread-local cache idiom as the metrics registry (see
+/// metrics.cpp): stale entries for destroyed profilers never match.
+std::atomic<std::uint64_t> g_next_profiler_uid{1};
+
+struct TlsBufferRef {
+  std::uint64_t uid = 0;
+  void* buffer = nullptr;
+};
+
+thread_local std::vector<TlsBufferRef> t_buffer_cache;
+
+}  // namespace
+
+Profiler::Profiler(bool enabled, std::size_t max_spans_per_thread)
+    : enabled_(enabled),
+      uid_(g_next_profiler_uid.fetch_add(1, std::memory_order_relaxed)),
+      max_spans_per_thread_(max_spans_per_thread) {}
+
+Profiler::Buffer* Profiler::local_buffer() {
+  for (std::size_t i = 0; i < t_buffer_cache.size(); ++i) {
+    if (t_buffer_cache[i].uid == uid_) {
+      if (i != 0) {
+        std::swap(t_buffer_cache[0], t_buffer_cache[i]);
+      }
+      return static_cast<Buffer*>(t_buffer_cache[0].buffer);
+    }
+  }
+  std::scoped_lock lock(mu_);
+  buffers_.emplace_back();
+  Buffer* buf = &buffers_.back();
+  buf->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+  buf->cap = max_spans_per_thread_;
+  t_buffer_cache.push_back(TlsBufferRef{uid_, buf});
+  return buf;
+}
+
+std::vector<SpanEvent> Profiler::sorted_spans() const {
+  std::scoped_lock lock(mu_);
+  std::vector<SpanEvent> out;
+  std::size_t total = 0;
+  for (const Buffer& b : buffers_) {
+    total += b.spans.size();
+  }
+  out.reserve(total);
+  for (const Buffer& b : buffers_) {
+    out.insert(out.end(), b.spans.begin(), b.spans.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) {
+                return a.start_ns < b.start_ns;
+              }
+              if (a.tid != b.tid) {
+                return a.tid < b.tid;
+              }
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+std::size_t Profiler::recorded() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const Buffer& b : buffers_) {
+    n += b.spans.size();
+  }
+  return n;
+}
+
+std::size_t Profiler::dropped() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const Buffer& b : buffers_) {
+    n += b.dropped;
+  }
+  return n;
+}
+
+std::size_t Profiler::threads_observed() const {
+  std::scoped_lock lock(mu_);
+  return buffers_.size();
+}
+
+void Profiler::write_chrome_trace(std::ostream& out) const {
+  const std::vector<SpanEvent> spans = sorted_spans();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first: Perfetto labels each track.
+  std::uint32_t tids = 0;
+  {
+    std::scoped_lock lock(mu_);
+    tids = static_cast<std::uint32_t>(buffers_.size());
+  }
+  for (std::uint32_t t = 0; t < tids; ++t) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+        << ",\"args\":{\"name\":\"csmabw-" << t << "\"}}";
+  }
+  for (const SpanEvent& s : spans) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    // Timestamps/durations are microseconds (doubles) per the trace
+    // format; ns precision survives as fractional us.
+    out << "{\"name\":\"" << util::json_escape(s.name)
+        << "\",\"cat\":\"csmabw\",\"ph\":\"X\",\"ts\":"
+        << util::json_number(static_cast<double>(s.start_ns) / 1e3)
+        << ",\"dur\":"
+        << util::json_number(static_cast<double>(s.dur_ns) / 1e3)
+        << ",\"pid\":1,\"tid\":" << s.tid;
+    if (s.n_args > 0) {
+      out << ",\"args\":{";
+      for (std::uint8_t a = 0; a < s.n_args; ++a) {
+        if (a > 0) {
+          out << ",";
+        }
+        out << "\"" << util::json_escape(s.args[a].first)
+            << "\":" << s.args[a].second;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+ScopedSpan::ScopedSpan(Profiler* profiler, std::string_view name) {
+  if (profiler == nullptr || !profiler->enabled()) {
+    return;
+  }
+  buf_ = profiler->local_buffer();
+  ++buf_->depth;
+  name_ = std::string(name);
+  start_ns_ = now_ns();
+}
+
+void ScopedSpan::arg(const char* key, std::int64_t value) {
+  if (buf_ == nullptr || n_args_ >= args_.size()) {
+    return;
+  }
+  args_[n_args_++] = {key, value};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (buf_ == nullptr) {
+    return;
+  }
+  const std::int64_t end = now_ns();
+  Profiler::Buffer& b = *buf_;
+  --b.depth;
+  if (b.spans.size() >= b.cap) {
+    ++b.dropped;
+    return;
+  }
+  SpanEvent e;
+  e.name = std::move(name_);
+  e.start_ns = start_ns_;
+  e.dur_ns = end - start_ns_;
+  e.tid = b.tid;
+  e.depth = b.depth;
+  e.n_args = n_args_;
+  e.args = args_;
+  b.spans.push_back(std::move(e));
+}
+
+}  // namespace csmabw::obs

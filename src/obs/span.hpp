@@ -1,0 +1,121 @@
+#pragma once
+
+// Self-profiling spans with Chrome/Perfetto trace-event export.
+//
+// A ScopedSpan brackets one unit of runtime work (a (cell, repetition)
+// job, a cache lookup, a page scan) and records a complete ("ph":"X")
+// trace event into its thread's buffer on destruction.  The profiler
+// exports the merged buffers as Chrome trace-event JSON
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// which loads directly in `ui.perfetto.dev` or `chrome://tracing` —
+// run a fleet campaign with `--prof=FILE` and open the file.
+//
+// Same null-tap contract as the metrics registry: a null/disabled
+// profiler makes every ScopedSpan a no-op that never reads the clock.
+// Buffers are per-thread (no locks on the record path) and merged at
+// export time; nesting is tracked per thread so tests (and the
+// exporter's self-checks) can verify span containment.
+//
+// Memory is bounded: each thread stores at most `max_spans_per_thread`
+// spans (default 1 << 20, ~64 MiB/thread worst case); further spans
+// are counted in dropped() but not stored, so a multi-million-rep
+// fleet run cannot OOM the profiler.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace csmabw::obs {
+
+/// One completed span.  `args` carry up to three named int64 payloads
+/// (cell/rep indices, page counts); keys must be string literals (the
+/// span stores the pointer, not a copy).
+struct SpanEvent {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;    ///< profiler-assigned thread ordinal
+  std::uint16_t depth = 0;  ///< nesting depth within the thread, 0 = top
+  std::uint8_t n_args = 0;
+  std::array<std::pair<const char*, std::int64_t>, 3> args{};
+};
+
+class ScopedSpan;
+
+class Profiler {
+ public:
+  explicit Profiler(bool enabled = true,
+                    std::size_t max_spans_per_thread = std::size_t{1} << 20);
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// All recorded spans sorted by (start, tid, depth) — a deterministic
+  /// order for a fixed set of spans.  Call after the workers drain.
+  [[nodiscard]] std::vector<SpanEvent> sorted_spans() const;
+
+  /// Spans recorded (stored) / dropped by the per-thread cap.
+  [[nodiscard]] std::size_t recorded() const;
+  [[nodiscard]] std::size_t dropped() const;
+  /// Threads that ever recorded a span.
+  [[nodiscard]] std::size_t threads_observed() const;
+
+  /// Writes the whole profile as Chrome trace-event JSON ("traceEvents"
+  /// array of "X" events, timestamps in microseconds, plus thread-name
+  /// metadata).  Loads in ui.perfetto.dev / chrome://tracing.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  friend class ScopedSpan;
+
+  struct Buffer {
+    std::uint32_t tid = 0;
+    std::uint16_t depth = 0;  ///< live nesting depth of the owning thread
+    std::size_t cap = 0;      ///< max_spans_per_thread, copied at creation
+    std::size_t dropped = 0;
+    std::vector<SpanEvent> spans;
+  };
+
+  [[nodiscard]] Buffer* local_buffer();
+
+  const bool enabled_;
+  const std::uint64_t uid_;
+  const std::size_t max_spans_per_thread_;
+  mutable std::mutex mu_;
+  std::deque<Buffer> buffers_;  ///< deque: stable addresses across growth
+};
+
+/// RAII span.  Construct with the profiler (null = disabled) and a
+/// name; optionally attach up to three int64 args; the destructor stamps
+/// the duration and commits the event.  Not copyable or movable — bind
+/// it to a scope.
+class ScopedSpan {
+ public:
+  ScopedSpan(Profiler* profiler, std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a named int64 payload (max 3; extras are ignored).  `key`
+  /// must be a string literal or otherwise outlive the profiler.
+  void arg(const char* key, std::int64_t value);
+
+ private:
+  Profiler::Buffer* buf_ = nullptr;  ///< null = disabled span
+  std::int64_t start_ns_ = 0;
+  std::string name_;
+  std::uint8_t n_args_ = 0;
+  std::array<std::pair<const char*, std::int64_t>, 3> args_{};
+};
+
+}  // namespace csmabw::obs

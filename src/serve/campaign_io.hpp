@@ -11,26 +11,24 @@
 // combination preserves the engine's byte-identity contract, because
 // records store the exact bits the accumulators consume and the
 // accumulation order never depends on where a record came from.
+//
+// Serve accounting lives in the observability registry (obs/metrics):
+// the engine binds `exp.reps.computed`, `exp.reps.cache_hit` and
+// `exp.reps.resumed` counters on `metrics` at run start, and the cache
+// and checkpoint writer emit their own `serve.*` metrics/spans when
+// constructed with the same registry/profiler.
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "exp/progress.hpp"
 #include "exp/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/shard_file.hpp"
 
 namespace csmabw::serve {
-
-struct ServeCounters {
-  /// Repetitions simulated in this process.
-  std::atomic<std::int64_t> computed{0};
-  /// Repetitions served from the content-addressed cache.
-  std::atomic<std::int64_t> cache_hits{0};
-  /// Repetitions served from the resume/merge record set.
-  std::atomic<std::int64_t> resumed{0};
-};
 
 /// Serving configuration of one campaign run.  Everything optional and
 /// non-owning; the default object reproduces the classic engine
@@ -54,12 +52,18 @@ struct CampaignServeOptions {
   /// tick_cached() — the reporter's ETA then reflects real work only.
   /// When set, the Runner must NOT also carry a progress pointer.
   exp::Progress* progress = nullptr;
-  ServeCounters* counters = nullptr;
+  /// Metrics registry for `exp.reps.*` / per-rep histograms; null or
+  /// disabled = no accounting (the engine output is identical either
+  /// way — obs is purely observational).
+  obs::Registry* metrics = nullptr;
+  /// Span profiler for per-(cell,rep) jobs, scenario builds, checkpoint
+  /// flushes and the shard merge; null = no spans.
+  obs::Profiler* profiler = nullptr;
 
   [[nodiscard]] bool passthrough() const {
     return cache == nullptr && resume == nullptr && checkpoint == nullptr &&
            !shard.partitioned() && !forbid_compute && progress == nullptr &&
-           counters == nullptr;
+           metrics == nullptr && profiler == nullptr;
   }
 };
 

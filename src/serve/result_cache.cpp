@@ -45,9 +45,44 @@ bool read_file(const std::string& path, std::vector<unsigned char>* out) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+ResultCache::ResultCache(std::string root, obs::Registry* metrics,
+                         obs::Profiler* profiler)
+    : root_(std::move(root)),
+      own_metrics_(metrics == nullptr ? std::make_unique<obs::Registry>()
+                                      : nullptr),
+      metrics_(metrics == nullptr ? own_metrics_.get() : metrics),
+      profiler_(profiler),
+      hit_(metrics_->counter("serve.cache.hit")),
+      miss_(metrics_->counter("serve.cache.miss")),
+      store_(metrics_->counter("serve.cache.store")),
+      read_bytes_(metrics_->counter("serve.cache.read_bytes")),
+      write_bytes_(metrics_->counter("serve.cache.write_bytes")),
+      lookup_ns_(metrics_->histogram("serve.cache.lookup_ns",
+                                     obs::Determinism::kWallTime)),
+      store_ns_(metrics_->histogram("serve.cache.store_ns",
+                                    obs::Determinism::kWallTime)) {
   CSMABW_REQUIRE(!root_.empty(), "cache root must be non-empty");
   std::filesystem::create_directories(root_);
+}
+
+std::int64_t ResultCache::hits() const {
+  return metrics_->value("serve.cache.hit");
+}
+
+std::int64_t ResultCache::misses() const {
+  return metrics_->value("serve.cache.miss");
+}
+
+std::int64_t ResultCache::stores() const {
+  return metrics_->value("serve.cache.store");
+}
+
+std::int64_t ResultCache::bytes_read() const {
+  return metrics_->value("serve.cache.read_bytes");
+}
+
+std::int64_t ResultCache::bytes_written() const {
+  return metrics_->value("serve.cache.write_bytes");
 }
 
 std::string ResultCache::entry_path(const CacheKey& key) const {
@@ -65,9 +100,11 @@ std::string ResultCache::entry_path(const CacheKey& key) const {
 
 std::optional<std::vector<unsigned char>> ResultCache::lookup(
     const CacheKey& key) {
+  obs::ScopedSpan span(profiler_, "serve.cache.lookup");
+  obs::ScopedTimer timer(lookup_ns_);
   std::vector<unsigned char> bytes;
   if (!read_file(entry_path(key), &bytes)) {
-    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    miss_.add();
     return std::nullopt;
   }
   // Fixed prefix: magic(4) version(2) reserved(2) key(16) desc_len(4).
@@ -82,7 +119,7 @@ std::optional<std::vector<unsigned char>> ResultCache::lookup(
                        " — clear the cache directory: " + entry_path(key));
   }
   const auto miss = [&]() -> std::optional<std::vector<unsigned char>> {
-    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    miss_.add();
     return std::nullopt;
   };
   if (bytes.size() < 28) {
@@ -107,9 +144,8 @@ std::optional<std::vector<unsigned char>> ResultCache::lookup(
       bytes.size() != payload_at + 4u + payload_len) {
     return miss();  // truncated or trailing garbage
   }
-  counters_.hits.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_read.fetch_add(static_cast<std::int64_t>(bytes.size()),
-                                 std::memory_order_relaxed);
+  hit_.add();
+  read_bytes_.add(static_cast<std::int64_t>(bytes.size()));
   return std::vector<unsigned char>(
       bytes.begin() + static_cast<std::ptrdiff_t>(payload_at + 4),
       bytes.end());
@@ -117,6 +153,8 @@ std::optional<std::vector<unsigned char>> ResultCache::lookup(
 
 void ResultCache::store(const CacheKey& key,
                         const std::vector<unsigned char>& payload) {
+  obs::ScopedSpan span(profiler_, "serve.cache.store");
+  obs::ScopedTimer timer(store_ns_);
   CSMABW_REQUIRE(payload.size() <= kMaxEntryBytes,
                  "cache payload exceeds the entry size cap");
   std::vector<unsigned char> bytes;
@@ -153,9 +191,8 @@ void ResultCache::store(const CacheKey& key,
                    "cache write failed: " + temp);
   }
   std::filesystem::rename(temp, target);
-  counters_.stores.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_written.fetch_add(static_cast<std::int64_t>(bytes.size()),
-                                    std::memory_order_relaxed);
+  store_.add();
+  write_bytes_.add(static_cast<std::int64_t>(bytes.size()));
 }
 
 }  // namespace csmabw::serve

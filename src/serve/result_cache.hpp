@@ -28,26 +28,26 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/cache_key.hpp"
 
 namespace csmabw::serve {
 
-struct CacheCounters {
-  std::atomic<std::int64_t> hits{0};
-  std::atomic<std::int64_t> misses{0};
-  std::atomic<std::int64_t> stores{0};
-  std::atomic<std::int64_t> bytes_read{0};
-  std::atomic<std::int64_t> bytes_written{0};
-};
-
 class ResultCache {
  public:
   /// Opens (and creates if missing) the cache rooted at `root`.
-  explicit ResultCache(std::string root);
+  /// Hit/miss/store accounting goes to `metrics` under
+  /// `serve.cache.*`; when null the cache owns a private registry so
+  /// the accessors below always work.  `profiler` (optional) brackets
+  /// each lookup/store in a span.
+  explicit ResultCache(std::string root, obs::Registry* metrics = nullptr,
+                       obs::Profiler* profiler = nullptr);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -63,14 +63,30 @@ class ResultCache {
   void store(const CacheKey& key, const std::vector<unsigned char>& payload);
 
   [[nodiscard]] const std::string& root() const { return root_; }
-  [[nodiscard]] const CacheCounters& counters() const { return counters_; }
+
+  /// Merged `serve.cache.*` counters.  Reads must not race with
+  /// lookup/store calls (same contract as obs::Registry::value).
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+  [[nodiscard]] std::int64_t stores() const;
+  [[nodiscard]] std::int64_t bytes_read() const;
+  [[nodiscard]] std::int64_t bytes_written() const;
 
   /// The entry path for a key: `<root>/<hex[0:2]>/<hex[2:]>.ccres`.
   [[nodiscard]] std::string entry_path(const CacheKey& key) const;
 
  private:
   std::string root_;
-  CacheCounters counters_;
+  std::unique_ptr<obs::Registry> own_metrics_;  ///< fallback when unshared
+  obs::Registry* metrics_;
+  obs::Profiler* profiler_;
+  obs::Counter hit_;
+  obs::Counter miss_;
+  obs::Counter store_;
+  obs::Counter read_bytes_;
+  obs::Counter write_bytes_;
+  obs::Histogram lookup_ns_;
+  obs::Histogram store_ns_;
   std::atomic<std::uint64_t> temp_counter_{0};
 };
 

@@ -130,6 +130,16 @@ void CheckpointWriter::preload(const ResultSet& completed) {
   }
 }
 
+void CheckpointWriter::bind_obs(obs::Registry* metrics,
+                                obs::Profiler* profiler) {
+  profiler_ = profiler;
+  if (metrics != nullptr) {
+    flush_count_ = metrics->counter("serve.checkpoint.flush");
+    flush_ns_ = metrics->histogram("serve.checkpoint.flush_ns",
+                                   obs::Determinism::kWallTime);
+  }
+}
+
 void CheckpointWriter::add(int cell, int repetition,
                            std::vector<unsigned char> payload) {
   std::scoped_lock lock(mu_);
@@ -152,6 +162,8 @@ std::size_t CheckpointWriter::records() const {
 }
 
 void CheckpointWriter::flush_locked() {
+  obs::ScopedSpan span(profiler_, "serve.checkpoint.flush");
+  obs::ScopedTimer timer(flush_ns_);
   std::vector<unsigned char> bytes;
   for (char c : kShardMagic) {
     bytes.push_back(static_cast<unsigned char>(c));
@@ -183,6 +195,7 @@ void CheckpointWriter::flush_locked() {
   std::filesystem::rename(temp, path_);
   pending_ = 0;
   ++flushes_;
+  flush_count_.add();
 }
 
 ShardSel parse_shard(const std::string& text) {

@@ -37,6 +37,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace csmabw::serve {
 
 enum class CampaignKind : std::uint16_t { kTrain = 1, kMethod = 2 };
@@ -92,6 +95,11 @@ class CheckpointWriter {
   /// rewritten file keeps them.  Not thread-safe; call before the run.
   void preload(const ResultSet& completed);
 
+  /// Routes flush accounting to `metrics` (`serve.checkpoint.flush`,
+  /// `serve.checkpoint.flush_ns`) and brackets each flush in a span on
+  /// `profiler`.  Not thread-safe; call before the run.
+  void bind_obs(obs::Registry* metrics, obs::Profiler* profiler);
+
   void add(int cell, int repetition, std::vector<unsigned char> payload);
 
   /// Writes the current record set atomically; idempotent.
@@ -108,6 +116,9 @@ class CheckpointWriter {
   std::uint64_t fingerprint_;
   std::string label_;
   int flush_every_;
+  obs::Profiler* profiler_ = nullptr;
+  obs::Counter flush_count_;
+  obs::Histogram flush_ns_;
   mutable std::mutex mu_;
   ResultSet set_;
   int pending_ = 0;

@@ -79,6 +79,19 @@ class Simulator {
     return queue_.allocations();
   }
 
+  /// Runtime-cost snapshot of a finished run, bundled so observability
+  /// consumers (run reports, metrics) grab it in one call.  All values
+  /// are pure functions of the workload — deterministic across runs.
+  struct Cost {
+    std::uint64_t events_processed = 0;
+    std::uint64_t allocations = 0;     ///< slab chunks + heap growth
+    std::uint64_t slot_capacity = 0;   ///< event slots currently owned
+  };
+  [[nodiscard]] Cost cost() const {
+    return Cost{processed_, queue_.allocations(),
+                static_cast<std::uint64_t>(queue_.slot_capacity())};
+  }
+
   /// The simulation's event tap (nullptr = tracing disabled).  Owned by
   /// the caller; components sharing this simulator (stations, medium,
   /// queues) emit their MAC/queue events to it, so installing a sink

@@ -25,6 +25,7 @@ struct Unit {
 struct UnitResult {
   std::unique_ptr<AggPartial> partial;
   ScanStats stats;
+  std::int64_t wall_ns = 0;  ///< unit scan wall time (0 when obs off)
 };
 
 }  // namespace
@@ -34,11 +35,30 @@ ScanStats run_query(const std::vector<TraceFile>& files,
                     const exp::Runner& runner, const QueryOptions& opts) {
   agg.validate(pred);
 
+  obs::Counter pages_decoded;
+  obs::Counter pages_skipped;
+  obs::Counter events_decoded;
+  obs::Counter events_matched;
+  obs::Histogram unit_wall;
+  if (opts.metrics != nullptr) {
+    pages_decoded = opts.metrics->counter("query.pages.decoded");
+    pages_skipped = opts.metrics->counter("query.pages.skipped");
+    events_decoded = opts.metrics->counter("query.events.decoded");
+    events_matched = opts.metrics->counter("query.events.matched");
+    unit_wall = opts.metrics->histogram("query.unit.wall_ns",
+                                        obs::Determinism::kWallTime);
+  }
+  const bool timing =
+      unit_wall.bound() ||
+      (opts.profiler != nullptr && opts.profiler->enabled());
+
   // Open (map + index pages) every file first, in parallel: opening
   // touches only headers, and holding all maps costs address space, not
   // memory.
   const int n_files = static_cast<int>(files.size());
   std::vector<MappedTrace> traces = runner.map(n_files, [&](int i) {
+    obs::ScopedSpan span(opts.profiler, "query.open");
+    span.arg("file", i);
     return MappedTrace(files[static_cast<std::size_t>(i)].path,
                        opts.map_opts);
   });
@@ -71,6 +91,10 @@ ScanStats run_query(const std::vector<TraceFile>& files,
       runner.map(static_cast<int>(units.size()), [&](int u) {
         const Unit& unit = units[static_cast<std::size_t>(u)];
         const TraceFile& file = files[static_cast<std::size_t>(unit.file)];
+        obs::ScopedSpan span(opts.profiler, "query.unit");
+        span.arg("file", unit.file);
+        span.arg("pages", static_cast<std::int64_t>(unit.page_count));
+        const std::int64_t unit_start = timing ? obs::now_ns() : 0;
         FileContext ctx;
         ctx.file_index = unit.file;
         ctx.path = file.path;
@@ -82,19 +106,42 @@ ScanStats run_query(const std::vector<TraceFile>& files,
                    unit.first_page, unit.page_count, pred, opts.pushdown,
                    &r.stats,
                    [&](const TraceEvent& e) { r.partial->on_event(e); });
+        if (timing) {
+          r.wall_ns = obs::now_ns() - unit_start;
+          unit_wall.observe(r.wall_ns);
+        }
         return r;
       });
 
+  if (opts.file_stats != nullptr) {
+    opts.file_stats->assign(static_cast<std::size_t>(n_files),
+                            FileScanStats{});
+  }
   ScanStats total;
   total.files = files.size();
-  for (UnitResult& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    UnitResult& r = results[i];
     total.pages += r.stats.pages;
     total.pages_skipped += r.stats.pages_skipped;
     total.events_decoded += r.stats.events_decoded;
     total.events_matched += r.stats.events_matched;
+    if (opts.file_stats != nullptr) {
+      FileScanStats& fs =
+          (*opts.file_stats)[static_cast<std::size_t>(units[i].file)];
+      fs.pages += r.stats.pages;
+      fs.pages_skipped += r.stats.pages_skipped;
+      fs.events_decoded += r.stats.events_decoded;
+      fs.events_matched += r.stats.events_matched;
+      fs.wall_ns += r.wall_ns;
+    }
     agg.absorb(*r.partial);
   }
   agg.finish();
+  pages_decoded.add(
+      static_cast<std::int64_t>(total.pages - total.pages_skipped));
+  pages_skipped.add(static_cast<std::int64_t>(total.pages_skipped));
+  events_decoded.add(static_cast<std::int64_t>(total.events_decoded));
+  events_matched.add(static_cast<std::int64_t>(total.events_matched));
   return total;
 }
 

@@ -15,12 +15,27 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "trace/query/agg.hpp"
 #include "trace/query/mapped.hpp"
 #include "trace/query/predicate.hpp"
 #include "trace/replay.hpp"  // TraceFile
 
 namespace csmabw::trace::query {
+
+/// Per-file scan accounting (`--stats`): what each trace contributed to
+/// the query and how long its units took.  wall_ns sums the file's
+/// unit scan times (units of one file may run concurrently, so it can
+/// exceed the query's wall clock); it stays 0 when observability is
+/// off.
+struct FileScanStats {
+  std::size_t pages = 0;
+  std::size_t pages_skipped = 0;
+  std::uint64_t events_decoded = 0;
+  std::uint64_t events_matched = 0;
+  std::int64_t wall_ns = 0;
+};
 
 struct QueryOptions {
   /// Skip pages whose summary refutes the predicate.  Off decodes
@@ -33,6 +48,14 @@ struct QueryOptions {
   /// 4 MiB of payload).  Whole-file aggregations always run one unit
   /// per file.
   int pages_per_unit = 0;
+  /// Scan accounting under `query.*` (pages decoded/skipped, events);
+  /// null = none.  Purely observational — query output is identical.
+  obs::Registry* metrics = nullptr;
+  /// Per-unit scan spans ("query.unit"); null = none.
+  obs::Profiler* profiler = nullptr;
+  /// When non-null, filled with per-file scan stats indexed like the
+  /// query's `files` argument (wall_ns only with metrics/profiler on).
+  std::vector<FileScanStats>* file_stats = nullptr;
 };
 
 /// What a query touched — the observability half of predicate pushdown.

@@ -114,17 +114,17 @@ TEST(ResultCache, StoreThenLookupHitsAndCounts) {
   const CacheKey key = train_rep_key(cell.scenario, cell.train, false, 0);
 
   EXPECT_FALSE(cache.lookup(key).has_value());
-  EXPECT_EQ(cache.counters().misses.load(), 1);
+  EXPECT_EQ(cache.misses(), 1);
 
   std::vector<unsigned char> payload;
   encode_train_record(sample_train_record(), payload);
   cache.store(key, payload);
-  EXPECT_EQ(cache.counters().stores.load(), 1);
+  EXPECT_EQ(cache.stores(), 1);
 
   const auto hit = cache.lookup(key);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, payload);
-  EXPECT_EQ(cache.counters().hits.load(), 1);
+  EXPECT_EQ(cache.hits(), 1);
   EXPECT_TRUE(fs::exists(cache.entry_path(key)));
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exp/engine.hpp"
+#include "obs/metrics.hpp"
 #include "serve/result_cache.hpp"
 #include "util/require.hpp"
 
@@ -81,25 +82,25 @@ TEST(ServeCampaign, WarmCacheReproducesBitwiseWithZeroCompute) {
   const auto baseline = run_train_campaign(campaign, cfg, runner_with(2));
 
   serve::ResultCache cache(fresh_dir("warm").string());
-  serve::ServeCounters cold_counters;
+  obs::Registry cold_metrics;
   serve::CampaignServeOptions cold;
   cold.cache = &cache;
-  cold.counters = &cold_counters;
+  cold.metrics = &cold_metrics;
   const auto first = run_train_campaign(campaign, cfg, runner_with(2), cold);
   expect_bitwise_equal(baseline, first);
-  EXPECT_EQ(cold_counters.computed.load(), 20);
-  EXPECT_EQ(cold_counters.cache_hits.load(), 0);
+  EXPECT_EQ(cold_metrics.value("exp.reps.computed"), 20);
+  EXPECT_EQ(cold_metrics.value("exp.reps.cache_hit"), 0);
 
-  serve::ServeCounters warm_counters;
+  obs::Registry warm_metrics;
   serve::CampaignServeOptions warm;
   warm.cache = &cache;
-  warm.counters = &warm_counters;
+  warm.metrics = &warm_metrics;
   // forbid_compute proves the warm run touches the simulator zero times.
   warm.forbid_compute = true;
   const auto second = run_train_campaign(campaign, cfg, runner_with(4), warm);
   expect_bitwise_equal(baseline, second);
-  EXPECT_EQ(warm_counters.computed.load(), 0);
-  EXPECT_EQ(warm_counters.cache_hits.load(), 20);
+  EXPECT_EQ(warm_metrics.value("exp.reps.computed"), 0);
+  EXPECT_EQ(warm_metrics.value("exp.reps.cache_hit"), 20);
 }
 
 TEST(ServeCampaign, ResumeFromTornCheckpointReproducesBitwise) {
@@ -133,16 +134,16 @@ TEST(ServeCampaign, ResumeFromTornCheckpointReproducesBitwise) {
   serve::CheckpointWriter writer(ck, serve::CampaignKind::kTrain,
                                  fingerprint, "test", 4);
   writer.preload(completed);
-  serve::ServeCounters counters;
+  obs::Registry metrics;
   serve::CampaignServeOptions io;
   io.checkpoint = &writer;
   io.resume = &completed;
-  io.counters = &counters;
+  io.metrics = &metrics;
   const auto resumed = run_train_campaign(campaign, cfg, runner_with(4), io);
   expect_bitwise_equal(baseline, resumed);
-  EXPECT_EQ(counters.resumed.load(),
+  EXPECT_EQ(metrics.value("exp.reps.resumed"),
             static_cast<std::int64_t>(completed.size()));
-  EXPECT_EQ(counters.computed.load(),
+  EXPECT_EQ(metrics.value("exp.reps.computed"),
             20 - static_cast<std::int64_t>(completed.size()));
   // The rewritten checkpoint is complete again.
   serve::ResultSet after;
@@ -180,15 +181,15 @@ TEST(ServeCampaign, ThreeWayShardMergeReproducesBitwise) {
   }
   EXPECT_EQ(merged.size(), 20u);
 
-  serve::ServeCounters counters;
+  obs::Registry metrics;
   serve::CampaignServeOptions io;
   io.resume = &merged;
   io.forbid_compute = true;
-  io.counters = &counters;
+  io.metrics = &metrics;
   const auto remerged = run_train_campaign(campaign, cfg, runner_with(4), io);
   expect_bitwise_equal(baseline, remerged);
-  EXPECT_EQ(counters.computed.load(), 0);
-  EXPECT_EQ(counters.resumed.load(), 20);
+  EXPECT_EQ(metrics.value("exp.reps.computed"), 0);
+  EXPECT_EQ(metrics.value("exp.reps.resumed"), 20);
 }
 
 TEST(ServeCampaign, IncompleteMergeFailsLoudly) {
@@ -242,15 +243,15 @@ TEST(ServeCampaign, MethodCampaignServesFromCache) {
   (void)run_method_campaign(campaign, MethodCampaignConfig{}, runner_with(2),
                             cold);
 
-  serve::ServeCounters counters;
+  obs::Registry metrics;
   serve::CampaignServeOptions warm;
   warm.cache = &cache;
-  warm.counters = &counters;
+  warm.metrics = &metrics;
   warm.forbid_compute = true;
   const auto served = run_method_campaign(campaign, MethodCampaignConfig{},
                                           runner_with(1), warm);
-  EXPECT_EQ(counters.computed.load(), 0);
-  EXPECT_EQ(counters.cache_hits.load(), 3);
+  EXPECT_EQ(metrics.value("exp.reps.computed"), 0);
+  EXPECT_EQ(metrics.value("exp.reps.cache_hit"), 3);
   ASSERT_EQ(served.size(), baseline.size());
   for (std::size_t i = 0; i < served.size(); ++i) {
     EXPECT_EQ(served[i].cell_index, baseline[i].cell_index);
