@@ -164,6 +164,12 @@ BENCHMARK_CAPTURE(BM_ConflictGraphMedium, grid25,
                   topo::Topology::grid(5, 5));
 BENCHMARK_CAPTURE(BM_ConflictGraphMedium, clique10,
                   topo::Topology::clique(10));
+// The lattice-scaling gates: per-event cost must stay O(degree log N),
+// so items/s may not collapse as the grid grows past 1k stations.
+BENCHMARK_CAPTURE(BM_ConflictGraphMedium, grid1024,
+                  topo::Topology::grid(32, 32));
+BENCHMARK_CAPTURE(BM_ConflictGraphMedium, grid4096,
+                  topo::Topology::grid(64, 64));
 
 void BM_ProbeTrainRepetition(benchmark::State& state) {
   core::ScenarioConfig cfg;

@@ -506,11 +506,13 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
 TrainRun Scenario::run_train(const traffic::TrainSpec& spec,
                              std::uint64_t repetition,
                              bool sample_contender_queue,
-                             trace::TraceSink* trace) const {
+                             trace::TraceSink* trace,
+                             obs::Registry* metrics) const {
   CSMABW_REQUIRE(!sample_contender_queue || !cfg_.contenders.empty(),
                  "queue sampling needs at least one contender");
   ScenarioCell cell(cfg_, repetition, contender_models_, fifo_model_);
   cell.set_trace(trace);
+  cell.set_metrics(metrics);
   auto& sim = cell.simulator();
 
   stats::Rng phase_rng = cell.net().rng("probe-phase");

@@ -216,6 +216,10 @@ class ScenarioCell {
   /// bit-identical with or without it.
   void set_trace(trace::TraceSink* sink) { net_.set_trace(sink); }
 
+  /// Binds the cell medium's hot-path counters (`topo.medium.*`) to a
+  /// metrics registry; nullptr unbinds.  Observational only.
+  void set_metrics(obs::Registry* reg) { net_.set_metrics(reg); }
+
  private:
   mac::WlanNetwork net_;
   std::vector<std::unique_ptr<traffic::FlowDispatcher>> dispatchers_;
@@ -288,11 +292,14 @@ class Scenario {
   /// One ensemble repetition: a single train of `spec` packets.
   /// `sample_contender_queue` additionally samples contender 0's queue at
   /// probe arrival instants.  A non-null `trace` records every MAC/queue
-  /// event of the repetition (warm-up included) without perturbing it.
+  /// event of the repetition (warm-up included) without perturbing it; a
+  /// non-null `metrics` registry additionally collects the medium's
+  /// `topo.medium.*` hot-path counters, equally without perturbing it.
   [[nodiscard]] TrainRun run_train(const traffic::TrainSpec& spec,
                                    std::uint64_t repetition,
                                    bool sample_contender_queue = false,
-                                   trace::TraceSink* trace = nullptr) const;
+                                   trace::TraceSink* trace = nullptr,
+                                   obs::Registry* metrics = nullptr) const;
 
   /// Long-run steady state: CBR probe at `probe_rate` from warmup until
   /// `duration`; throughput measured over [measure_from, duration).

@@ -403,7 +403,8 @@ std::vector<TrainCellStats> run_train_campaign(
         }
         const core::TrainRun run =
             scenario->run_train(cell.train, static_cast<std::uint64_t>(rep),
-                                cfg.sample_contender_queue, writer.get());
+                                cfg.sample_contender_queue, writer.get(),
+                                io.metrics);
         if (writer != nullptr) {
           writer->close();  // surface write errors here, not in ~TraceWriter
         }

@@ -8,6 +8,10 @@
 #include "trace/event.hpp"
 #include "util/time.hpp"
 
+namespace csmabw::obs {
+class Registry;
+}  // namespace csmabw::obs
+
 namespace csmabw::mac {
 
 class DcfStation;
@@ -54,6 +58,12 @@ class MediumBase {
   /// Whether `s` currently senses the channel busy (an ongoing
   /// transmission it can hear).
   [[nodiscard]] virtual bool sensed_busy(const DcfStation& s) const = 0;
+
+  /// Binds the medium's hot-path counters to `reg` (null-tap handles:
+  /// unbound handles cost a single branch; see obs/metrics.hpp).  The
+  /// default is a no-op — media without instrumentation ignore it.
+  /// Call before the simulation starts; `reg` may be nullptr.
+  virtual void bind_metrics(obs::Registry* reg) { (void)reg; }
 
   [[nodiscard]] const PhyParams& phy() const { return phy_; }
   [[nodiscard]] const MediumStats& stats() const { return stats_; }

@@ -56,6 +56,11 @@ class WlanNetwork {
   /// only; a traced run is bit-identical to an untraced one.
   void set_trace(trace::TraceSink* sink) { sim_.set_trace(sink); }
 
+  /// Binds the medium's hot-path counters to a metrics registry (or
+  /// unbinds them with nullptr).  Observational only, like set_trace:
+  /// counters never influence the simulation.
+  void set_metrics(obs::Registry* reg) { medium_->bind_metrics(reg); }
+
  private:
   sim::Simulator sim_;
   stats::Rng root_rng_;

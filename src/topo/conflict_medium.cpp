@@ -13,10 +13,23 @@ ConflictGraphMedium::ConflictGraphMedium(sim::Simulator& sim,
                                          Topology topology)
     : MediumBase(sim, phy), topo_(std::move(topology)) {
   topo_.validate();
+  sense_csr_ = CsrAdjacency(topo_.sense);
+  interfere_csr_ = CsrAdjacency(topo_.interfere);
   const std::size_t n = static_cast<std::size_t>(topo_.num_nodes());
-  nodes_.resize(n);
   stations_.reserve(n);
+  sensed_tx_.assign(n, 0);
+  idle_start_.assign(n, TimeNs{});
+  saw_corrupt_.assign(n, 0);
+  tx_state_.assign(n, kTxIdle);
   txs_.reserve(n);
+  dense_ = topo_.num_nodes() <= kDenseCliqueLimit && topo_.is_clique();
+  if (dense_) {
+    fire_time_.assign(n, TimeNs{});
+    can_fire_.assign(n, 0);
+  } else {
+    fire_idx_.reset(static_cast<int>(n));
+  }
+  end_idx_.reset(static_cast<int>(n));
   winners_.reserve(n);
   post_backoff_.reserve(n);
   went_busy_.reserve(n);
@@ -37,19 +50,32 @@ int ConflictGraphMedium::register_station(mac::DcfStation* s) {
   return static_cast<int>(stations_.size()) - 1;
 }
 
-bool ConflictGraphMedium::sensed_busy(const mac::DcfStation& s) const {
-  return nodes_[static_cast<std::size_t>(s.medium_slot())].sensed_tx > 0;
+void ConflictGraphMedium::bind_metrics(obs::Registry* reg) {
+  if (reg == nullptr) {
+    m_updates_ = obs::Counter{};
+    m_sweeps_ = obs::Counter{};
+    m_rearms_ = obs::Counter{};
+    return;
+  }
+  m_updates_ = reg->counter("topo.medium.updates");
+  m_sweeps_ = reg->counter("topo.medium.neighborhood_sweeps");
+  m_rearms_ = reg->counter("topo.medium.fire_rearms");
 }
 
-TimeNs ConflictGraphMedium::fire_time(const mac::DcfStation& s,
-                                      const Node& n) const {
-  const TimeNs start = std::max(n.idle_start, s.contend_from());
+bool ConflictGraphMedium::sensed_busy(const mac::DcfStation& s) const {
+  return sensed_tx_[static_cast<std::size_t>(s.medium_slot())] > 0;
+}
+
+TimeNs ConflictGraphMedium::fire_time(const mac::DcfStation& s, int i) const {
+  const TimeNs start =
+      std::max(idle_start_[static_cast<std::size_t>(i)], s.contend_from());
   return start + s.defer() + phy_.slot_time * s.backoff_slots();
 }
 
 void ConflictGraphMedium::update_contention(mac::DcfStation& s) {
+  m_updates_.add(1);
   const int i = s.medium_slot();
-  if (nodes_[static_cast<std::size_t>(i)].sensed_tx > 0) {
+  if (sensed_tx_[static_cast<std::size_t>(i)] > 0) {
     return;  // the entry is rebuilt when i's channel goes idle
   }
   refresh_node(i);
@@ -57,54 +83,71 @@ void ConflictGraphMedium::update_contention(mac::DcfStation& s) {
 }
 
 void ConflictGraphMedium::refresh_node(int i) {
-  Node& n = nodes_[static_cast<std::size_t>(i)];
   const mac::DcfStation& s = *stations_[static_cast<std::size_t>(i)];
-  n.can_fire = s.in_contention() && n.sensed_tx == 0 && n.tx == -1;
-  if (n.can_fire) {
-    n.fire = fire_time(s, n);
+  const bool can_fire = s.in_contention() &&
+                        sensed_tx_[static_cast<std::size_t>(i)] == 0 &&
+                        tx_state_[static_cast<std::size_t>(i)] == kTxIdle;
+  if (dense_) {
+    can_fire_[static_cast<std::size_t>(i)] = can_fire ? 1 : 0;
+    if (can_fire) {
+      fire_time_[static_cast<std::size_t>(i)] = fire_time(s, i);
+    }
+    if (i == min_slot_) {
+      // The minimum's owner changed; it may no longer be the minimum.
+      rescan_min();
+    } else if (can_fire &&
+               (min_slot_ < 0 ||
+                fire_time_[static_cast<std::size_t>(i)] <
+                    fire_time_[static_cast<std::size_t>(min_slot_)])) {
+      min_slot_ = i;
+    }
+    return;
   }
-  if (i == min_slot_) {
-    // The minimum's owner changed; it may no longer be the minimum.
-    rescan_min();
-  } else if (n.can_fire &&
-             (min_slot_ < 0 ||
-              n.fire < nodes_[static_cast<std::size_t>(min_slot_)].fire)) {
-    min_slot_ = i;
+  if (can_fire) {
+    fire_idx_.set(i, fire_time(s, i));
+  } else {
+    fire_idx_.erase(i);
   }
 }
 
 void ConflictGraphMedium::rescan_min() {
   min_slot_ = -1;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    if (n.can_fire &&
-        (min_slot_ < 0 ||
-         n.fire < nodes_[static_cast<std::size_t>(min_slot_)].fire)) {
-      min_slot_ = static_cast<int>(i);
+  const int n = static_cast<int>(can_fire_.size());
+  for (int i = 0; i < n; ++i) {
+    if (can_fire_[static_cast<std::size_t>(i)] != 0 &&
+        (min_slot_ < 0 || fire_time_[static_cast<std::size_t>(i)] <
+                              fire_time_[static_cast<std::size_t>(min_slot_)])) {
+      min_slot_ = i;
     }
   }
 }
 
 void ConflictGraphMedium::sync_pending_fire() {
   pending_fire_.cancel();
-  if (min_slot_ < 0) {
-    return;
+  TimeNs earliest;
+  if (dense_) {
+    if (min_slot_ < 0) {
+      return;
+    }
+    earliest = fire_time_[static_cast<std::size_t>(min_slot_)];
+  } else {
+    if (fire_idx_.empty()) {
+      return;
+    }
+    earliest = fire_idx_.top_time();
   }
-  const TimeNs earliest = nodes_[static_cast<std::size_t>(min_slot_)].fire;
   CSMABW_REQUIRE(earliest >= sim_.now(), "fire time in the past");
+  m_rearms_.add(1);
   pending_fire_ =
       sim_.schedule_member_at<&ConflictGraphMedium::fire>(earliest, *this);
 }
 
 void ConflictGraphMedium::sync_pending_end() {
   pending_end_.cancel();
-  if (txs_.empty()) {
+  if (end_idx_.empty()) {
     return;
   }
-  TimeNs earliest = tx_end(txs_.front());
-  for (const Tx& t : txs_) {
-    earliest = std::min(earliest, tx_end(t));
-  }
+  const TimeNs earliest = end_idx_.top_time();
   CSMABW_REQUIRE(earliest >= sim_.now(), "transmission end in the past");
   pending_end_ =
       sim_.schedule_member_at<&ConflictGraphMedium::advance>(earliest, *this);
@@ -120,20 +163,34 @@ void ConflictGraphMedium::mark_corrupted(Tx& t) {
 void ConflictGraphMedium::fire() {
   const TimeNs now = sim_.now();
 
-  // The cache is authoritative for idle-channel stations: collect every
-  // countdown completing exactly now.
+  // The fire index is authoritative for idle-channel stations: pop
+  // every countdown completing exactly now.  The (time, station) heap
+  // order surfaces them in ascending station order — the same order
+  // the old full scan produced.
   winners_.clear();
   post_backoff_.clear();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    if (!n.can_fire || n.fire != now) {
-      continue;
+  if (dense_) {
+    const int n = static_cast<int>(can_fire_.size());
+    for (int i = 0; i < n; ++i) {
+      if (can_fire_[static_cast<std::size_t>(i)] == 0 ||
+          fire_time_[static_cast<std::size_t>(i)] != now) {
+        continue;
+      }
+      can_fire_[static_cast<std::size_t>(i)] = 0;
+      if (stations_[static_cast<std::size_t>(i)]->has_frame()) {
+        winners_.push_back(i);
+      } else {
+        post_backoff_.push_back(i);
+      }
     }
-    n.can_fire = false;
-    if (stations_[i]->has_frame()) {
-      winners_.push_back(static_cast<int>(i));
-    } else {
-      post_backoff_.push_back(static_cast<int>(i));
+  } else {
+    while (!fire_idx_.empty() && fire_idx_.top_time() == now) {
+      const int i = fire_idx_.pop_top();
+      if (stations_[static_cast<std::size_t>(i)]->has_frame()) {
+        winners_.push_back(i);
+      } else {
+        post_backoff_.push_back(i);
+      }
     }
   }
   CSMABW_REQUIRE(!winners_.empty() || !post_backoff_.empty(),
@@ -152,7 +209,7 @@ void ConflictGraphMedium::fire() {
   // Mark the winners before the seize pass so a neighbor that is about
   // to transmit itself is not frozen.
   for (int w : winners_) {
-    nodes_[static_cast<std::size_t>(w)].tx = -2;
+    tx_state_[static_cast<std::size_t>(w)] = kTxWinning;
   }
 
   // Pass A: carrier-sense transitions.  A station whose channel goes
@@ -161,20 +218,27 @@ void ConflictGraphMedium::fire() {
   // registration-order freeze loop.
   went_busy_.clear();
   for (int w : winners_) {
-    for (int nb : topo_.sense[static_cast<std::size_t>(w)]) {
-      if (nodes_[static_cast<std::size_t>(nb)].sensed_tx++ == 0) {
+    m_sweeps_.add(1);
+    for (int nb : sense_csr_.row(w)) {
+      if (sensed_tx_[static_cast<std::size_t>(nb)]++ == 0) {
         went_busy_.push_back(nb);
       }
     }
   }
   std::sort(went_busy_.begin(), went_busy_.end());
   for (int nb : went_busy_) {
-    Node& n = nodes_[static_cast<std::size_t>(nb)];
-    n.can_fire = false;
-    if (n.tx != -1) {
+    // A busy channel has no live countdown.  (Dense path: min_slot_ may
+    // go stale here; the rescan below runs before the next re-arm.)
+    if (dense_) {
+      can_fire_[static_cast<std::size_t>(nb)] = 0;
+    } else {
+      fire_idx_.erase(nb);
+    }
+    if (tx_state_[static_cast<std::size_t>(nb)] != kTxIdle) {
       continue;  // about to transmit (or already on the air)
     }
-    stations_[static_cast<std::size_t>(nb)]->medium_seized(now, n.idle_start);
+    stations_[static_cast<std::size_t>(nb)]->medium_seized(
+        now, idle_start_[static_cast<std::size_t>(nb)]);
   }
 
   // Pass B: put the winners' first frames on the air (ascending).
@@ -194,7 +258,9 @@ void ConflictGraphMedium::fire() {
                      : t.first_end;
     t.success_end = t.data_end + phy_.sifs + phy_.ack_tx_time();
     s->tx_started(now);
-    nodes_[static_cast<std::size_t>(w)].tx = static_cast<int>(txs_.size());
+    tx_state_[static_cast<std::size_t>(w)] =
+        static_cast<std::int32_t>(txs_.size());
+    end_idx_.set(w, tx_end(t));
     txs_.push_back(t);
   }
 
@@ -205,9 +271,10 @@ void ConflictGraphMedium::fire() {
   newly_corrupted_.clear();
   for (int w : winners_) {
     Tx& wt = txs_[static_cast<std::size_t>(
-        nodes_[static_cast<std::size_t>(w)].tx)];
-    for (int j : topo_.interfere[static_cast<std::size_t>(w)]) {
-      const int jt_idx = nodes_[static_cast<std::size_t>(j)].tx;
+        tx_state_[static_cast<std::size_t>(w)])];
+    m_sweeps_.add(1);
+    for (int j : interfere_csr_.row(w)) {
+      const std::int32_t jt_idx = tx_state_[static_cast<std::size_t>(j)];
       if (jt_idx < 0) {
         continue;  // j is not on the air
       }
@@ -223,6 +290,14 @@ void ConflictGraphMedium::fire() {
   }
   if (!newly_corrupted_.empty()) {
     std::sort(newly_corrupted_.begin(), newly_corrupted_.end());
+    // Corruption retargets the end from ACK end to first-frame end:
+    // rekey the end index for everyone whose end just moved (winners
+    // and ongoing interferers alike — set() is an O(log N) rekey).
+    for (int st : newly_corrupted_) {
+      end_idx_.set(st, txs_[static_cast<std::size_t>(
+                              tx_state_[static_cast<std::size_t>(st)])]
+                           .first_end);
+    }
     ++stats_.collisions;
     stats_.collided_frames += newly_corrupted_.size();
     if (trace::TraceSink* sink = sim_.trace()) {
@@ -234,7 +309,7 @@ void ConflictGraphMedium::fire() {
       for (int st : newly_corrupted_) {
         end = std::max(
             end, txs_[static_cast<std::size_t>(
-                          nodes_[static_cast<std::size_t>(st)].tx)]
+                          tx_state_[static_cast<std::size_t>(st)])]
                      .first_end);
       }
       e.aux = end;
@@ -243,18 +318,25 @@ void ConflictGraphMedium::fire() {
     }
   }
 
-  rescan_min();
+  if (dense_) {
+    rescan_min();  // due-collection and Pass A invalidated flags in bulk
+  }
   sync_pending_fire();
   sync_pending_end();
 }
 
 void ConflictGraphMedium::advance() {
   const TimeNs now = sim_.now();
+  // Pop everything ending exactly now: ascending station order, so the
+  // copied-out records below need no sort.
   ended_.clear();
-  for (std::size_t i = 0; i < txs_.size(); ++i) {
-    if (tx_end(txs_[i]) == now) {
-      ended_.push_back(static_cast<int>(i));
-    }
+  ended_txs_.clear();
+  while (!end_idx_.empty() && end_idx_.top_time() == now) {
+    const int st = end_idx_.pop_top();
+    ended_.push_back(
+        static_cast<int>(tx_state_[static_cast<std::size_t>(st)]));
+    ended_txs_.push_back(txs_[static_cast<std::size_t>(
+        tx_state_[static_cast<std::size_t>(st)])]);
   }
   CSMABW_REQUIRE(!ended_.empty(), "transmission end event with nothing ending");
 
@@ -264,40 +346,32 @@ void ConflictGraphMedium::advance() {
   // corrupted ending poisons the next idle period (EIFS) of everyone
   // who heard it.
   went_idle_.clear();
-  for (int idx : ended_) {
-    const Tx& t = txs_[static_cast<std::size_t>(idx)];
+  for (const Tx& t : ended_txs_) {
     ended_now_[static_cast<std::size_t>(t.station)] = 1;
-    nodes_[static_cast<std::size_t>(t.station)].tx = -1;
-    for (int nb : topo_.sense[static_cast<std::size_t>(t.station)]) {
-      Node& n = nodes_[static_cast<std::size_t>(nb)];
+    tx_state_[static_cast<std::size_t>(t.station)] = kTxIdle;
+    m_sweeps_.add(1);
+    for (int nb : sense_csr_.row(t.station)) {
       if (t.corrupted) {
-        n.saw_corrupt = true;
+        saw_corrupt_[static_cast<std::size_t>(nb)] = 1;
       }
-      if (--n.sensed_tx == 0) {
-        n.idle_start = now;
+      if (--sensed_tx_[static_cast<std::size_t>(nb)] == 0) {
+        idle_start_[static_cast<std::size_t>(nb)] = now;
         went_idle_.push_back(nb);
       }
     }
   }
 
-  // Copy the ended records out (ascending station order, as
-  // mac::Medium's transmitter loop) and compact the active slab before
-  // any callback runs.
-  ended_txs_.clear();
-  for (int idx : ended_) {
-    ended_txs_.push_back(txs_[static_cast<std::size_t>(idx)]);
-  }
-  std::sort(ended_txs_.begin(), ended_txs_.end(),
-            [](const Tx& a, const Tx& b) { return a.station < b.station; });
+  // Compact the active slab before any callback runs (descending slab
+  // index, so swap-erase stays valid).
   std::sort(ended_.begin(), ended_.end(), std::greater<>());
-  for (int idx : ended_) {  // descending, so swap-erase stays valid
+  for (int idx : ended_) {
     const int last = static_cast<int>(txs_.size()) - 1;
     if (idx != last) {
       txs_[static_cast<std::size_t>(idx)] =
           txs_[static_cast<std::size_t>(last)];
-      nodes_[static_cast<std::size_t>(
-                 txs_[static_cast<std::size_t>(idx)].station)]
-          .tx = idx;
+      tx_state_[static_cast<std::size_t>(
+          txs_[static_cast<std::size_t>(idx)].station)] =
+          static_cast<std::int32_t>(idx);
     }
     txs_.pop_back();
   }
@@ -323,10 +397,10 @@ void ConflictGraphMedium::advance() {
   // countdown to resume.
   std::sort(went_idle_.begin(), went_idle_.end());
   for (int nb : went_idle_) {
-    Node& n = nodes_[static_cast<std::size_t>(nb)];
-    const bool corrupt = n.saw_corrupt;
-    n.saw_corrupt = false;
-    if (ended_now_[static_cast<std::size_t>(nb)] || n.tx >= 0) {
+    const bool corrupt = saw_corrupt_[static_cast<std::size_t>(nb)] != 0;
+    saw_corrupt_[static_cast<std::size_t>(nb)] = 0;
+    if (ended_now_[static_cast<std::size_t>(nb)] != 0 ||
+        tx_state_[static_cast<std::size_t>(nb)] >= 0) {
       continue;
     }
     stations_[static_cast<std::size_t>(nb)]->occupation_observed(corrupt);

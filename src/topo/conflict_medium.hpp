@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mac/medium.hpp"
+#include "obs/metrics.hpp"
+#include "sim/timer_index.hpp"
 #include "topo/topology.hpp"
 
 namespace csmabw::topo {
@@ -34,10 +37,42 @@ namespace csmabw::topo {
 /// there is no single channel to take a union over) and successes are
 /// counted when the exchange *ends*, not when it starts.
 ///
-/// The hot path stays allocation-free after construction: fire-time
-/// caches and scratch lists are preallocated, rescheduling is the same
-/// cancel + re-arm single-pending-event pattern as mac::Medium, and
-/// transmission records live in a fixed-capacity slab.
+/// ## Scaling layout (1k–10k-station lattices)
+///
+/// Every per-event cost is O(degree log N), never O(N):
+///
+///  - Adjacency is a flat CSR copy of the topology (CsrAdjacency): a
+///    neighborhood sweep reads one contiguous int32 span.
+///  - Per-station channel state lives in structure-of-arrays slabs
+///    (sensed-transmission counts, idle origins, EIFS poison flags,
+///    transmission links) indexed by station id — a sweep over a
+///    neighborhood touches parallel arrays, not scattered structs.
+///  - Fire times and transmission ends live in two addressable min-heaps
+///    (sim::TimerIndex) keyed (time, station): a contention change
+///    rekeys one entry in O(log N); finding "everything due now" pops in
+///    deterministic ascending-station order.  This generalizes the
+///    O(1)-amortized cached-minimum trick of mac::Medium to O(degree):
+///    a state transition touches the transitioning station's
+///    neighborhood only — never all N stations.
+///
+/// Fully-connected graphs are the exception: a clique has no sparsity
+/// to exploit — every event touches all N stations regardless — and
+/// the heap's per-entry bookkeeping costs more than the flat rescan it
+/// replaces.  Small cliques (≤ kDenseCliqueLimit) therefore keep the
+/// dense cached-minimum path: a `fire_time_`/`can_fire_` slab pair plus
+/// `min_slot_`, rescanned O(N) when the minimum's owner changes.
+/// (Production clique scenarios route to mac::Medium anyway; this
+/// covers direct construction, as in the microbench.)
+///
+/// The event-sequence discipline is unchanged from the rescanning
+/// implementation: the pending fire/end events are still cancelled and
+/// re-armed at the same call sites with the same times, so event
+/// numbering — and therefore every .cctrace/CSV byte — is identical;
+/// only the cost of *finding* the minimum changed.
+///
+/// The hot path stays allocation-free after construction: the heaps,
+/// slabs and scratch lists are preallocated and transmission records
+/// live in a fixed-capacity slab.
 class ConflictGraphMedium : public mac::MediumBase {
  public:
   /// `topology.num_nodes()` fixes the station count: exactly that many
@@ -48,6 +83,7 @@ class ConflictGraphMedium : public mac::MediumBase {
   int register_station(mac::DcfStation* s) override;
   void update_contention(mac::DcfStation& s) override;
   [[nodiscard]] bool sensed_busy(const mac::DcfStation& s) const override;
+  void bind_metrics(obs::Registry* reg) override;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   /// Transmissions currently on the air anywhere in the graph.
@@ -57,20 +93,10 @@ class ConflictGraphMedium : public mac::MediumBase {
   /// Start of station i's current idle period (meaningful while i's
   /// channel is idle).
   [[nodiscard]] TimeNs idle_since(int i) const {
-    return nodes_[static_cast<std::size_t>(i)].idle_start;
+    return idle_start_[static_cast<std::size_t>(i)];
   }
 
  private:
-  /// Per-station channel state.
-  struct Node {
-    TimeNs fire;            ///< valid only while `can_fire`
-    bool can_fire = false;  ///< in contention and sensing an idle channel
-    int sensed_tx = 0;      ///< sensing neighbors currently on the air
-    TimeNs idle_start;      ///< last busy->idle transition of i's channel
-    bool saw_corrupt = false;  ///< a corrupted neighbor tx ended this period
-    int tx = -1;            ///< index into txs_ while transmitting
-  };
-
   /// One transmission on the air.
   struct Tx {
     int station = -1;
@@ -82,29 +108,64 @@ class ConflictGraphMedium : public mac::MediumBase {
     bool rts = false;
   };
 
+  /// tx_state_ slab conventions.
+  static constexpr std::int32_t kTxIdle = -1;     ///< not transmitting
+  static constexpr std::int32_t kTxWinning = -2;  ///< firing this instant
+
+  /// Cliques up to this size use the dense min-cache fire path instead
+  /// of the addressable heap (no sparsity to exploit: degree == N - 1).
+  static constexpr int kDenseCliqueLimit = 64;
+
   [[nodiscard]] TimeNs tx_end(const Tx& t) const {
     return t.corrupted ? t.first_end : t.success_end;
   }
-  [[nodiscard]] TimeNs fire_time(const mac::DcfStation& s,
-                                 const Node& n) const;
+  [[nodiscard]] TimeNs fire_time(const mac::DcfStation& s, int i) const;
+  /// Recomputes station i's fire eligibility and rekeys (or erases) its
+  /// fire-index entry — O(log N), no global rescan.  On the dense path
+  /// it updates the fire_time_/can_fire_ slabs and challenges (or
+  /// rescans) the cached minimum instead.
   void refresh_node(int i);
+  /// Dense path only: full O(N) rescan for the earliest live countdown.
   void rescan_min();
-  /// Re-arms the pending fire event at the cached minimum (cancel +
-  /// fresh schedule — the event-sequence discipline of mac::Medium).
+  /// Re-arms the pending fire event at the fire index's minimum (cancel
+  /// + fresh schedule — the event-sequence discipline of mac::Medium).
   void sync_pending_fire();
-  /// Re-arms the pending end event at the earliest active tx_end.
+  /// Re-arms the pending end event at the end index's minimum.
   void sync_pending_end();
   void fire();
   void advance();
   void mark_corrupted(Tx& t);
 
   Topology topo_;
+  CsrAdjacency sense_csr_;
+  CsrAdjacency interfere_csr_;
   std::vector<mac::DcfStation*> stations_;
-  std::vector<Node> nodes_;
+
+  // Structure-of-arrays per-station channel state, indexed by station.
+  std::vector<std::int32_t> sensed_tx_;  ///< sensing neighbors on the air
+  std::vector<TimeNs> idle_start_;   ///< last busy->idle transition
+  std::vector<char> saw_corrupt_;    ///< corrupted neighbor tx this period
+  std::vector<std::int32_t> tx_state_;  ///< txs_ index, or kTxIdle/kTxWinning
+
   std::vector<Tx> txs_;
-  int min_slot_ = -1;  ///< index of the cached earliest fire, -1 = none
+  /// Stations with a live countdown, keyed by fire time.  Membership is
+  /// the old `can_fire` flag: in contention, channel idle, not on air.
+  /// Unused on the dense (clique) path.
+  sim::TimerIndex fire_idx_;
+  // Dense (clique) fire path: flat slabs plus a cached minimum.
+  bool dense_ = false;
+  std::vector<TimeNs> fire_time_;  ///< countdown deadline (valid if can_fire_)
+  std::vector<char> can_fire_;     ///< in contention, idle channel, off air
+  int min_slot_ = -1;              ///< argmin over can_fire_ of fire_time_
+  /// Transmitting stations, keyed by their transmission's end.
+  sim::TimerIndex end_idx_;
   sim::EventHandle pending_fire_;
   sim::EventHandle pending_end_;
+
+  // Hot-path instrumentation (unbound by default: one branch each).
+  obs::Counter m_updates_;  ///< topo.medium.updates
+  obs::Counter m_sweeps_;   ///< topo.medium.neighborhood_sweeps
+  obs::Counter m_rearms_;   ///< topo.medium.fire_rearms
 
   // Preallocated scratch (station ids / tx indices); reused per event.
   std::vector<int> winners_;

@@ -9,14 +9,25 @@ namespace csmabw::topo {
 namespace {
 
 int parse_count(std::string_view arg, const std::string& what) {
-  int value = 0;
+  // Parse into 64 bits so ring:4000000000 is reported as out of range
+  // rather than wrapping inside from_chars' int overflow handling path
+  // with the generic grammar error.
+  long long value = 0;
   const auto [ptr, ec] =
       std::from_chars(arg.data(), arg.data() + arg.size(), value);
+  CSMABW_REQUIRE(ec != std::errc::result_out_of_range,
+                 what + " `" + std::string(arg) +
+                     "` is out of range (max " +
+                     std::to_string(kMaxTopologyNodes) + ")");
   CSMABW_REQUIRE(ec == std::errc{} && ptr == arg.data() + arg.size() &&
                      value >= 1,
                  what + " needs a positive integer, got `" +
                      std::string(arg) + "`");
-  return value;
+  CSMABW_REQUIRE(value <= kMaxTopologyNodes,
+                 what + " " + std::to_string(value) +
+                     " exceeds the topology cap of " +
+                     std::to_string(kMaxTopologyNodes) + " stations");
+  return static_cast<int>(value);
 }
 
 std::pair<int, int> parse_grid_arg(std::string_view arg) {
@@ -26,6 +37,14 @@ std::pair<int, int> parse_grid_arg(std::string_view arg) {
                      std::string(arg) + "`");
   const int rows = parse_count(arg.substr(0, x), "grid rows");
   const int cols = parse_count(arg.substr(x + 1), "grid cols");
+  // Each dimension fits, but the product can still overflow int
+  // (grid:100000x100000); check it in 64 bits before anyone multiplies.
+  CSMABW_REQUIRE(static_cast<long long>(rows) * cols <= kMaxTopologyNodes,
+                 "grid " + std::to_string(rows) + "x" + std::to_string(cols) +
+                     " has " + std::to_string(static_cast<long long>(rows) *
+                                              cols) +
+                     " stations, above the topology cap of " +
+                     std::to_string(kMaxTopologyNodes));
   return {rows, cols};
 }
 

@@ -34,10 +34,14 @@ void check_adjacency(const std::vector<std::vector<int>>& adj, int n,
                      const char* what) {
   for (int i = 0; i < n; ++i) {
     const std::vector<int>& row = adj[static_cast<std::size_t>(i)];
-    CSMABW_REQUIRE(std::is_sorted(row.begin(), row.end()) &&
-                       std::adjacent_find(row.begin(), row.end()) == row.end(),
-                   std::string(what) + " adjacency must be sorted and unique");
+    // One linear pass: strict ascent implies sorted, unique and (with
+    // the range check) self-loop-free without re-scanning the row.
+    int prev = -1;
     for (int j : row) {
+      CSMABW_REQUIRE(j > prev,
+                     std::string(what) +
+                         " adjacency must be sorted and unique");
+      prev = j;
       CSMABW_REQUIRE(j >= 0 && j < n,
                      std::string(what) + " edge endpoint out of range");
       CSMABW_REQUIRE(j != i, std::string(what) + " self-loop");
@@ -48,6 +52,21 @@ void check_adjacency(const std::vector<std::vector<int>>& adj, int n,
 }
 
 }  // namespace
+
+CsrAdjacency::CsrAdjacency(const std::vector<std::vector<int>>& rows) {
+  std::size_t total = 0;
+  for (const std::vector<int>& row : rows) {
+    total += row.size();
+  }
+  offsets_.reserve(rows.size() + 1);
+  targets_.reserve(total);
+  for (const std::vector<int>& row : rows) {
+    for (int j : row) {
+      targets_.push_back(static_cast<std::int32_t>(j));
+    }
+    offsets_.push_back(static_cast<std::int32_t>(targets_.size()));
+  }
+}
 
 bool Topology::is_clique() const {
   const int n = num_nodes();
@@ -85,17 +104,30 @@ void Topology::validate() const {
   check_adjacency(sense, n, "sense");
   check_adjacency(interfere, n, "interfere");
   for (int i = 0; i < n; ++i) {
-    for (int j : sense[static_cast<std::size_t>(i)]) {
-      CSMABW_REQUIRE(adjacent(interfere, i, j),
-                     "sensing implies interference: sense edge " +
-                         std::to_string(i) + "-" + std::to_string(j) +
-                         " missing from the interference set");
+    const std::vector<int>& s = sense[static_cast<std::size_t>(i)];
+    const std::vector<int>& f = interfere[static_cast<std::size_t>(i)];
+    // Both rows are sorted (checked above), so subset is one merge.
+    if (!std::includes(f.begin(), f.end(), s.begin(), s.end())) {
+      int j = -1;  // re-find the offending edge only on the error path
+      for (int k : s) {
+        if (!std::binary_search(f.begin(), f.end(), k)) {
+          j = k;
+          break;
+        }
+      }
+      CSMABW_REQUIRE(false, "sensing implies interference: sense edge " +
+                                std::to_string(i) + "-" + std::to_string(j) +
+                                " missing from the interference set");
     }
   }
 }
 
 Topology Topology::clique(int n) {
   CSMABW_REQUIRE(n >= 1, "clique size must be >= 1");
+  CSMABW_REQUIRE(n <= kMaxDenseTopologyNodes,
+                 "clique size " + std::to_string(n) + " exceeds the dense-"
+                 "topology cap of " + std::to_string(kMaxDenseTopologyNodes) +
+                 " stations (edge count is quadratic)");
   Topology t;
   t.spec = "clique:" + std::to_string(n);
   t.sense.resize(static_cast<std::size_t>(n));
@@ -113,34 +145,58 @@ Topology Topology::clique(int n) {
 
 Topology Topology::grid(int rows, int cols) {
   CSMABW_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
+  CSMABW_REQUIRE(static_cast<long long>(rows) * cols <= kMaxTopologyNodes,
+                 "grid " + std::to_string(rows) + "x" + std::to_string(cols) +
+                     " exceeds the topology cap of " +
+                     std::to_string(kMaxTopologyNodes) + " stations");
   const int n = rows * cols;
   Topology t;
   t.spec = "grid:" + std::to_string(rows) + "x" + std::to_string(cols);
   t.sense.resize(static_cast<std::size_t>(n));
   t.interfere.resize(static_cast<std::size_t>(n));
+  // Enumerate the (dr, dc) offsets with |dr| + |dc| <= 2 in row-major
+  // order, so every row comes out sorted without a sort pass and the
+  // whole build is O(N) — the old all-pairs double loop was the
+  // bottleneck past ~1k stations.
   for (int a = 0; a < n; ++a) {
     const int ra = a / cols;
     const int ca = a % cols;
-    for (int b = a + 1; b < n; ++b) {
-      const int rb = b / cols;
-      const int cb = b % cols;
-      const int dist = std::abs(ra - rb) + std::abs(ca - cb);
-      if (dist <= 1) {
-        add_edge(t.sense, a, b);
+    std::vector<int>& srow = t.sense[static_cast<std::size_t>(a)];
+    std::vector<int>& frow = t.interfere[static_cast<std::size_t>(a)];
+    srow.reserve(4);
+    frow.reserve(12);
+    for (int dr = -2; dr <= 2; ++dr) {
+      const int rb = ra + dr;
+      if (rb < 0 || rb >= rows) {
+        continue;
       }
-      if (dist <= 2) {
-        add_edge(t.interfere, a, b);
+      const int span = 2 - std::abs(dr);
+      for (int dc = -span; dc <= span; ++dc) {
+        if (dr == 0 && dc == 0) {
+          continue;
+        }
+        const int cb = ca + dc;
+        if (cb < 0 || cb >= cols) {
+          continue;
+        }
+        const int b = rb * cols + cb;
+        if (std::abs(dr) + std::abs(dc) <= 1) {
+          srow.push_back(b);
+        }
+        frow.push_back(b);
       }
     }
   }
-  sort_unique(t.sense);
-  sort_unique(t.interfere);
   t.validate();
   return t;
 }
 
 Topology Topology::ring(int n) {
   CSMABW_REQUIRE(n >= 1, "ring size must be >= 1");
+  CSMABW_REQUIRE(n <= kMaxTopologyNodes,
+                 "ring size " + std::to_string(n) +
+                     " exceeds the topology cap of " +
+                     std::to_string(kMaxTopologyNodes) + " stations");
   Topology t;
   t.spec = "ring:" + std::to_string(n);
   t.sense.resize(static_cast<std::size_t>(n));
@@ -165,6 +221,11 @@ Topology Topology::ring(int n) {
 
 Topology Topology::hidden_pairs(int n) {
   CSMABW_REQUIRE(n >= 2, "pairs-hidden needs >= 2 stations");
+  CSMABW_REQUIRE(n <= kMaxDenseTopologyNodes,
+                 "pairs-hidden size " + std::to_string(n) +
+                     " exceeds the dense-topology cap of " +
+                     std::to_string(kMaxDenseTopologyNodes) +
+                     " stations (edge count is quadratic)");
   Topology t;
   t.spec = "pairs-hidden:" + std::to_string(n);
   t.sense.resize(static_cast<std::size_t>(n));
@@ -205,6 +266,9 @@ Topology Topology::from_file(const std::string& path) {
       CSMABW_REQUIRE(n < 0, where + ": duplicate nodes: directive");
       CSMABW_REQUIRE(static_cast<bool>(ls >> n) && n >= 1,
                      where + ": nodes: needs a positive count");
+      CSMABW_REQUIRE(n <= kMaxTopologyNodes,
+                     where + ": node count exceeds the topology cap of " +
+                         std::to_string(kMaxTopologyNodes));
       t.sense.resize(static_cast<std::size_t>(n));
       t.interfere.resize(static_cast<std::size_t>(n));
       continue;

@@ -1,9 +1,54 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace csmabw::topo {
+
+/// Hard ceiling on topology node counts.  Large enough for the 1k–10k
+/// station lattice campaigns (and then some); small enough that
+/// rows*cols products and edge counts can never overflow 32-bit
+/// arithmetic — the registry rejects anything bigger with a clear error
+/// instead of silently wrapping.
+inline constexpr int kMaxTopologyNodes = 1 << 20;
+/// Tighter ceiling for the dense generators (clique, pairs-hidden),
+/// whose edge count is quadratic in the node count.
+inline constexpr int kMaxDenseTopologyNodes = 2048;
+
+/// Flat compressed-sparse-row copy of a sorted adjacency-list
+/// structure: one contiguous target array plus n+1 row offsets.  The
+/// per-node vector-of-vectors layout stays the construction/query
+/// format of topo::Topology (cheap to build incrementally, friendly to
+/// tests); the CSR copy is what the medium hot path sweeps — a
+/// neighborhood walk is a contiguous int32 span, one cache stream, no
+/// per-row pointer chase.
+class CsrAdjacency {
+ public:
+  CsrAdjacency() = default;
+  explicit CsrAdjacency(const std::vector<std::vector<int>>& rows);
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(offsets_.size()) - 1;
+  }
+  [[nodiscard]] std::size_t num_entries() const { return targets_.size(); }
+  [[nodiscard]] std::span<const std::int32_t> row(int i) const {
+    const std::size_t b =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(i)]);
+    const std::size_t e =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(i) + 1]);
+    return {targets_.data() + b, targets_.data() + e};
+  }
+  [[nodiscard]] int degree(int i) const {
+    return offsets_[static_cast<std::size_t>(i) + 1] -
+           offsets_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<std::int32_t> offsets_{0};
+  std::vector<std::int32_t> targets_;
+};
 
 /// A carrier-sense/interference conflict graph over the stations of one
 /// cell.
@@ -52,7 +97,11 @@ struct Topology {
 
   /// Throws util::PreconditionError unless both adjacency structures are
   /// sorted, unique, symmetric, self-loop-free, in range, and
-  /// sense[i] is a subset of interfere[i] for every i.
+  /// sense[i] is a subset of interfere[i] for every i.  Scales to the
+  /// lattice campaigns: one linear pass per row for the
+  /// sorted/unique/range invariants, a sorted merge (std::includes) per
+  /// node for the subset invariant, O(E log deg) for symmetry — a
+  /// 10k-node grid validates in well under 100 ms.
   void validate() const;
 
   /// Complete graph on n >= 1 nodes: today's single collision domain.

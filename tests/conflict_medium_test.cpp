@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "mac/medium.hpp"
 #include "mac/station.hpp"
 #include "mac/wlan.hpp"
@@ -194,6 +197,76 @@ TEST(ConflictGraphMedium, HiddenPairRunsAreDeterministic) {
   const auto second = run_once();
   ASSERT_EQ(first.size(), second.size());
   EXPECT_TRUE(first == second);
+}
+
+// The hot-path counters: bound handles count contention updates,
+// neighborhood sweeps and fire re-arms; unbound handles (the default)
+// change nothing about the run.
+TEST(ConflictGraphMedium, MetricsCountHotPathWorkWithoutPerturbing) {
+  const auto run_once = [](obs::Registry* reg) {
+    mac::WlanNetwork net(mac::PhyParams::dot11b_short(), 11,
+                         graph_factory(Topology::grid(3, 3)));
+    net.set_metrics(reg);
+    VectorSink sink;
+    net.set_trace(&sink);
+    std::vector<mac::DcfStation*> stations;
+    for (int i = 0; i < 9; ++i) {
+      stations.push_back(&net.add_station());
+    }
+    net.simulator().schedule_at(TimeNs::ms(1), [&stations] {
+      for (int i = 0; i < 9; ++i) {
+        for (int k = 0; k < 5; ++k) {
+          stations[static_cast<std::size_t>(i)]->enqueue(make_packet(i, k));
+        }
+      }
+    });
+    net.simulator().run_until(TimeNs::sec(2));
+    return sink.events;
+  };
+
+  obs::Registry reg(/*enabled=*/true);
+  const auto instrumented = run_once(&reg);
+  const auto plain = run_once(nullptr);
+  // Observational only: the instrumented run is bit-identical.
+  ASSERT_EQ(instrumented.size(), plain.size());
+  EXPECT_TRUE(instrumented == plain);
+
+  EXPECT_GT(reg.value("topo.medium.updates"), 0);
+  EXPECT_GT(reg.value("topo.medium.neighborhood_sweeps"), 0);
+  EXPECT_GT(reg.value("topo.medium.fire_rearms"), 0);
+  // Sweeps track medium activity (one per winner pass / ended tx), never
+  // the station count per event — a 9-station burst stays in the hundreds.
+  EXPECT_LT(reg.value("topo.medium.neighborhood_sweeps"), 100000);
+}
+
+// The counters surface through the standard run-report path — the
+// `--metrics-out` JSON a campaign writes names every topo.medium.*
+// metric.
+TEST(ConflictGraphMedium, MetricsAppearInRunReport) {
+  core::ScenarioConfig cfg;
+  cfg.seed = 23;
+  cfg.topology = "pairs-hidden:3";
+  cfg.contenders = {core::StationSpec::poisson(BitRate::mbps(1.0), 1500),
+                    core::StationSpec::poisson(BitRate::mbps(1.0), 1500)};
+  const core::Scenario scenario(cfg);
+  traffic::TrainSpec train;
+  train.n = 10;
+  train.size_bytes = 1500;
+  train.gap = BitRate::mbps(5.0).gap_for(1500);
+
+  obs::Registry reg(/*enabled=*/true);
+  const core::TrainRun run =
+      scenario.run_train(train, 0, false, nullptr, &reg);
+  EXPECT_FALSE(run.packets.empty());
+
+  std::ostringstream out;
+  obs::write_run_report(out, reg, {}, obs::RunReportOptions{});
+  const std::string report = out.str();
+  for (const char* name :
+       {"topo.medium.updates", "topo.medium.neighborhood_sweeps",
+        "topo.medium.fire_rearms"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(ConflictGraphMedium, RegistrationIsCappedAtTheNodeCount) {

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "sim/timer_index.hpp"
+#include "util/require.hpp"
+#include "util/time.hpp"
+
+namespace csmabw::sim {
+namespace {
+
+TEST(TimerIndex, InsertEraseAndFindMin) {
+  TimerIndex idx;
+  idx.reset(8);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.universe(), 8);
+
+  idx.set(3, TimeNs::ns(30));
+  idx.set(1, TimeNs::ns(10));
+  idx.set(5, TimeNs::ns(20));
+  EXPECT_EQ(idx.size(), 3);
+  EXPECT_TRUE(idx.contains(1));
+  EXPECT_FALSE(idx.contains(0));
+  EXPECT_EQ(idx.top_id(), 1);
+  EXPECT_EQ(idx.top_time(), TimeNs::ns(10));
+  EXPECT_EQ(idx.time_of(5), TimeNs::ns(20));
+
+  idx.erase(1);
+  EXPECT_EQ(idx.top_id(), 5);
+  idx.erase(1);  // absent: no-op
+  EXPECT_EQ(idx.size(), 2);
+
+  EXPECT_EQ(idx.pop_top(), 5);
+  EXPECT_EQ(idx.pop_top(), 3);
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(TimerIndex, RekeyMovesBothDirections) {
+  TimerIndex idx;
+  idx.reset(4);
+  idx.set(0, TimeNs::ns(100));
+  idx.set(1, TimeNs::ns(200));
+  idx.set(2, TimeNs::ns(300));
+  // Decrease-key promotes to the top.
+  idx.set(2, TimeNs::ns(50));
+  EXPECT_EQ(idx.top_id(), 2);
+  // Increase-key demotes.
+  idx.set(2, TimeNs::ns(400));
+  EXPECT_EQ(idx.top_id(), 0);
+  EXPECT_EQ(idx.time_of(2), TimeNs::ns(400));
+  EXPECT_EQ(idx.size(), 3);
+}
+
+TEST(TimerIndex, EqualTimesPopInAscendingIdOrder) {
+  // The determinism contract: equal keys drain smallest-id first, no
+  // matter the insertion/update history.
+  TimerIndex idx;
+  idx.reset(16);
+  for (int id : {7, 2, 11, 4, 9}) {
+    idx.set(id, TimeNs::ns(500));
+  }
+  idx.set(9, TimeNs::ns(100));  // churn the heap shape
+  idx.set(9, TimeNs::ns(500));
+  std::vector<int> popped;
+  while (!idx.empty()) {
+    popped.push_back(idx.pop_top());
+  }
+  EXPECT_EQ(popped, (std::vector<int>{2, 4, 7, 9, 11}));
+}
+
+TEST(TimerIndex, ResetClearsAndResizes) {
+  TimerIndex idx;
+  idx.reset(2);
+  idx.set(0, TimeNs::ns(1));
+  idx.reset(5);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.universe(), 5);
+  EXPECT_FALSE(idx.contains(0));
+  idx.set(4, TimeNs::ns(9));
+  EXPECT_EQ(idx.top_id(), 4);
+}
+
+TEST(TimerIndex, GuardsMisuse) {
+  TimerIndex idx;
+  idx.reset(2);
+  EXPECT_THROW((void)idx.top_time(), util::PreconditionError);
+  EXPECT_THROW((void)idx.top_id(), util::PreconditionError);
+  EXPECT_THROW((void)idx.pop_top(), util::PreconditionError);
+  EXPECT_THROW((void)idx.time_of(0), util::PreconditionError);
+  EXPECT_THROW(idx.reset(-1), util::PreconditionError);
+}
+
+TEST(TimerIndex, RandomizedAgainstReferenceMap) {
+  // Exercise every operation against a naive reference; the heap's
+  // (time, id) order must match the reference minimum at every step.
+  TimerIndex idx;
+  const int n = 64;
+  idx.reset(n);
+  std::vector<std::int64_t> ref(n, -1);  // -1 = absent
+  std::mt19937_64 rng(12345);
+  for (int step = 0; step < 20000; ++step) {
+    const int id = static_cast<int>(rng() % n);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // set (bias toward churn)
+        const auto t = static_cast<std::int64_t>(rng() % 1000);
+        idx.set(id, TimeNs::ns(t));
+        ref[static_cast<std::size_t>(id)] = t;
+        break;
+      }
+      case 2:
+        idx.erase(id);
+        ref[static_cast<std::size_t>(id)] = -1;
+        break;
+      default:
+        if (!idx.empty()) {
+          const int top = idx.pop_top();
+          ASSERT_GE(ref[static_cast<std::size_t>(top)], 0);
+          ref[static_cast<std::size_t>(top)] = -1;
+        }
+        break;
+    }
+    // Reference minimum: smallest (time, id) among present entries.
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (ref[static_cast<std::size_t>(i)] < 0) {
+        continue;
+      }
+      if (best < 0 || ref[static_cast<std::size_t>(i)] <
+                          ref[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    ASSERT_EQ(idx.empty(), best < 0);
+    if (best >= 0) {
+      ASSERT_EQ(idx.top_time(), TimeNs::ns(ref[static_cast<std::size_t>(best)]));
+      ASSERT_EQ(idx.top_id(), best);
+      ASSERT_EQ(idx.time_of(best),
+                TimeNs::ns(ref[static_cast<std::size_t>(best)]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csmabw::sim

@@ -138,6 +138,130 @@ TEST(Topology, ValidateRejectsBrokenInvariants) {
   EXPECT_THROW(v.validate(), util::PreconditionError);
 }
 
+TEST(Topology, GridHiddenPairsMatchClosedForm) {
+  // On an R x C lattice the hidden pairs are exactly the
+  // Manhattan-distance-2 pairs: straight-line pairs along rows and
+  // columns plus the diagonal-step pairs,
+  //
+  //   H = R(C-2) + C(R-2) + 2(R-1)(C-1),
+  //
+  // and summing hidden_from(i) over all i counts each pair twice.
+  const auto directed_hidden = [](const Topology& t) {
+    std::size_t total = 0;
+    for (int i = 0; i < t.num_nodes(); ++i) {
+      total += t.hidden_from(i).size();
+    }
+    return total;
+  };
+  const auto closed_form = [](std::size_t r, std::size_t c) {
+    return 2 * (r * (c - 2) + c * (r - 2) + 2 * (r - 1) * (c - 1));
+  };
+  EXPECT_EQ(directed_hidden(Topology::grid(3, 3)), closed_form(3, 3));
+  EXPECT_EQ(directed_hidden(Topology::grid(5, 7)), closed_form(5, 7));
+  const Topology big = Topology::grid(64, 64);
+  EXPECT_EQ(big.num_nodes(), 4096);
+  EXPECT_FALSE(big.is_clique());
+  EXPECT_EQ(directed_hidden(big), closed_form(64, 64));  // 31748
+}
+
+TEST(Topology, LargeRingWrapsAround) {
+  const Topology t = Topology::ring(10000);
+  EXPECT_EQ(t.num_nodes(), 10000);
+  EXPECT_FALSE(t.is_clique());
+  // Wraparound edges at the seam.
+  EXPECT_EQ(t.sense[0], (std::vector<int>{1, 9999}));
+  EXPECT_EQ(t.interfere[0], (std::vector<int>{1, 2, 9998, 9999}));
+  EXPECT_EQ(t.sense[9999], (std::vector<int>{0, 9998}));
+  EXPECT_EQ(t.hidden_from(0), (std::vector<int>{2, 9998}));
+  EXPECT_EQ(t.hidden_from(5000), (std::vector<int>{4998, 5002}));
+}
+
+TEST(Topology, LargeGridBuildsAndValidatesQuickly) {
+  // The O(N) generator + linear-merge validate() keep a 10k-node
+  // lattice build well inside the issue's ~100 ms budget; the hard
+  // assertion here is correctness at scale, the perf gate guards speed.
+  const Topology t = Topology::grid(100, 100);
+  EXPECT_EQ(t.num_nodes(), 10000);
+  t.validate();
+  // An interior station senses its 4-cross and interferes with its
+  // full distance-2 ball (12 stations).
+  const int mid = 50 * 100 + 50;
+  EXPECT_EQ(t.sense[static_cast<std::size_t>(mid)].size(), 4u);
+  EXPECT_EQ(t.interfere[static_cast<std::size_t>(mid)].size(), 12u);
+  EXPECT_EQ(t.hidden_from(mid).size(), 8u);
+}
+
+TEST(Topology, CsrAdjacencyMatchesVectorLayout) {
+  const Topology t = Topology::grid(8, 8);
+  const CsrAdjacency sense(t.sense);
+  const CsrAdjacency interfere(t.interfere);
+  ASSERT_EQ(sense.num_nodes(), t.num_nodes());
+  ASSERT_EQ(interfere.num_nodes(), t.num_nodes());
+  std::size_t sense_entries = 0;
+  for (int i = 0; i < t.num_nodes(); ++i) {
+    const std::vector<int>& row = t.sense[static_cast<std::size_t>(i)];
+    sense_entries += row.size();
+    ASSERT_EQ(sense.degree(i), static_cast<int>(row.size())) << i;
+    const auto span = sense.row(i);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      EXPECT_EQ(static_cast<int>(span[k]), row[k]) << i << "," << k;
+    }
+    const std::vector<int>& frow = t.interfere[static_cast<std::size_t>(i)];
+    const auto fspan = interfere.row(i);
+    ASSERT_EQ(fspan.size(), frow.size()) << i;
+    for (std::size_t k = 0; k < frow.size(); ++k) {
+      EXPECT_EQ(static_cast<int>(fspan[k]), frow[k]) << i << "," << k;
+    }
+  }
+  EXPECT_EQ(sense.num_entries(), sense_entries);
+  // Empty universe degenerates cleanly.
+  const CsrAdjacency empty(std::vector<std::vector<int>>{});
+  EXPECT_EQ(empty.num_nodes(), 0);
+  EXPECT_EQ(empty.num_entries(), 0u);
+}
+
+TEST(Topology, GeneratorsRejectOversizedGraphs) {
+  EXPECT_THROW((void)Topology::grid(100000, 100000),
+               util::PreconditionError);
+  EXPECT_THROW((void)Topology::ring(kMaxTopologyNodes + 1),
+               util::PreconditionError);
+  EXPECT_THROW((void)Topology::clique(kMaxDenseTopologyNodes + 1),
+               util::PreconditionError);
+  EXPECT_THROW((void)Topology::hidden_pairs(kMaxDenseTopologyNodes + 1),
+               util::PreconditionError);
+}
+
+TEST(TopologyRegistry, RejectsOverflowingDimensions) {
+  const TopologyRegistry& reg = TopologyRegistry::global();
+  // Each guard must fire at parse time (canonical), before any build:
+  // a silently wrapped rows*cols product used to pass the per-dimension
+  // checks and explode later.
+  EXPECT_THROW((void)reg.canonical("grid:100000x100000"),
+               util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("ring:4000000000"),
+               util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("ring:99999999999999999999"),
+               util::PreconditionError);
+  EXPECT_THROW((void)reg.canonical("clique:2147483648"),
+               util::PreconditionError);
+  // The error names the cap, not a generic grammar failure.
+  try {
+    (void)reg.canonical("grid:100000x100000");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos);
+  }
+  try {
+    (void)reg.canonical("ring:4000000000");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos);
+  }
+  // Values just inside the cap still parse.
+  EXPECT_EQ(reg.canonical("ring:1048576"), "ring:1048576");
+  EXPECT_EQ(reg.canonical("grid:1024x1024"), "grid:1024x1024");
+}
+
 TEST(TopologyRegistry, BuiltinsAreRegistered) {
   const TopologyRegistry& reg = TopologyRegistry::global();
   for (const char* name :
